@@ -1,0 +1,364 @@
+package repro
+
+// Benchmarks: one per experiment table of DESIGN.md §5. Each reports, beyond
+// wall time, the paper's own cost metrics via b.ReportMetric — energy in
+// Local-Broadcast units (LB/vertex) and time in LB calls — so `go test
+// -bench` regenerates the quantitative shape of every claim.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/diameter"
+	"repro/internal/graph"
+	"repro/internal/labelcast"
+	"repro/internal/lbnet"
+	"repro/internal/lowerbound"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/vnet"
+)
+
+// BenchmarkE1RecursiveBFS measures Theorem 4.1's algorithm end to end with
+// fixed machinery (β = 1/8, one clustering level) so the scaling across n is
+// apples-to-apples; BenchmarkAblationDepth/Beta sweep the design choices.
+func BenchmarkE1RecursiveBFS(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		g := graph.Cycle(n)
+		d := n / 2
+		p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
+		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
+			var maxLB, lbTime int64
+			for i := 0; i < b.N; i++ {
+				base := lbnet.NewUnitNet(g, 0, uint64(i))
+				st, err := core.BuildStack(base, p, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist := st.BFS([]int32{0}, d)
+				if bad := core.VerifyAgainstReference(g, []int32{0}, dist, d); bad != 0 {
+					b.Fatalf("%d mislabeled", bad)
+				}
+				maxLB, lbTime = lbnet.MaxLBEnergy(base), base.LBTime()
+			}
+			b.ReportMetric(float64(maxLB), "LBenergy/vtx")
+			b.ReportMetric(float64(lbTime), "LBtime")
+		})
+	}
+}
+
+// BenchmarkE1DecayBFS is the Θ(D log² n)-energy baseline on real radio slots.
+func BenchmarkE1DecayBFS(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		g := graph.Cycle(n)
+		p := decay.ParamsFor(n, 8)
+		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
+			var maxE int64
+			for i := 0; i < b.N; i++ {
+				eng := radio.NewEngine(g)
+				res := decay.BFS(eng, p, []int32{0}, n, uint64(i))
+				if bad := decay.ReferenceAgainst(g, []int32{0}, res.Dist, n); bad != 0 {
+					b.Fatalf("%d mislabeled", bad)
+				}
+				maxE = eng.MaxEnergy()
+			}
+			b.ReportMetric(float64(maxE), "slots/vtx")
+		})
+	}
+}
+
+// BenchmarkE2LocalBroadcast measures Lemma 2.4 under heavy contention.
+func BenchmarkE2LocalBroadcast(b *testing.B) {
+	for _, deg := range []int{16, 128} {
+		g := graph.Star(deg + 1)
+		p := decay.ParamsFor(deg+1, 8)
+		senders := make([]radio.TX, 0, deg)
+		for v := 1; v <= deg; v++ {
+			senders = append(senders, radio.TX{ID: int32(v), Msg: radio.Msg{A: uint64(v)}})
+		}
+		got := make([]radio.Msg, 1)
+		ok := make([]bool, 1)
+		b.Run(fmt.Sprintf("deg=%d", deg), func(b *testing.B) {
+			miss := 0
+			for i := 0; i < b.N; i++ {
+				eng := radio.NewEngine(g)
+				decay.LocalBroadcast(eng, p, senders, []int32{0}, uint64(i), got, ok)
+				if !ok[0] {
+					miss++
+				}
+			}
+			b.ReportMetric(float64(miss)/float64(b.N), "failrate")
+		})
+	}
+}
+
+// BenchmarkE3Cluster measures Lemma 2.5's construction.
+func BenchmarkE3Cluster(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		g, _ := graph.Named("grid", n, 1)
+		cfg := cluster.DefaultConfig(g.N(), 8)
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			var radius int32
+			for i := 0; i < b.N; i++ {
+				base := lbnet.NewUnitNet(g, 0, uint64(i))
+				cl := cluster.Build(base, cfg, uint64(i))
+				radius = cl.Radius()
+			}
+			b.ReportMetric(float64(radius), "radius")
+			b.ReportMetric(float64(cfg.TMax), "TMax")
+		})
+	}
+}
+
+// BenchmarkE4DistanceProxy measures the Lemma 2.2/2.3 machinery (ideal MPX
+// plus cluster-graph BFS).
+func BenchmarkE4DistanceProxy(b *testing.B) {
+	g := graph.Path(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ideal := cluster.BuildIdeal(g, 8, uint64(i))
+		cg := cluster.ClusterGraphOf(g, ideal.ClusterOf, len(ideal.Center))
+		graph.BFS(cg, ideal.ClusterOf[0])
+	}
+}
+
+// BenchmarkE5Casts measures one full Downcast (Lemma 3.1).
+func BenchmarkE5Casts(b *testing.B) {
+	g, _ := graph.Named("grid", 400, 1)
+	base := lbnet.NewUnitNet(g, 0, 1)
+	cl := cluster.Build(base, cluster.DefaultConfig(g.N(), 4), 1)
+	vn := vnet.New(base, cl)
+	nc := vn.N()
+	part := make([]bool, nc)
+	has := make([]bool, nc)
+	msgs := make([]radio.Msg, nc)
+	for c := range part {
+		part[c], has[c] = true, true
+	}
+	memberGot := make([]radio.Msg, g.N())
+	memberOk := make([]bool, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vn.Downcast(part, has, msgs, memberGot, memberOk)
+	}
+	b.ReportMetric(float64(vn.CastLBs()), "parentLBs")
+}
+
+// BenchmarkE5VirtualLB measures one simulated Local-Broadcast on G*
+// (Lemma 3.2).
+func BenchmarkE5VirtualLB(b *testing.B) {
+	g, _ := graph.Named("grid", 400, 1)
+	base := lbnet.NewUnitNet(g, 0, 1)
+	cl := cluster.Build(base, cluster.DefaultConfig(g.N(), 4), 1)
+	vn := vnet.New(base, cl)
+	if vn.N() < 2 {
+		b.Skip("degenerate clustering")
+	}
+	senders := []radio.TX{{ID: 0, Msg: radio.Msg{A: 1}}}
+	receivers := []int32{1}
+	got := make([]radio.Msg, 1)
+	ok := make([]bool, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vn.LocalBroadcast(senders, receivers, got, ok)
+	}
+	b.ReportMetric(float64(vn.VLBCost()), "parentLBs")
+}
+
+// BenchmarkE7Claims measures the instrumented Recursive-BFS used for the
+// Claim 1/2 counters.
+func BenchmarkE7Claims(b *testing.B) {
+	g := graph.Cycle(256)
+	p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
+	var xi, sp int64
+	for i := 0; i < b.N; i++ {
+		base := lbnet.NewUnitNet(g, 0, uint64(i))
+		st, _ := core.BuildStack(base, p, uint64(i))
+		st.Inst = core.NewInstrumentation()
+		st.BFS([]int32{0}, 128)
+		xi, sp = st.Inst.MaxXi(0), st.Inst.MaxSpecial(0)
+	}
+	b.ReportMetric(float64(xi), "maxXi")
+	b.ReportMetric(float64(sp), "maxSpecial")
+}
+
+// BenchmarkE10GoodPairs measures the Theorem 5.1 probing protocols.
+func BenchmarkE10GoodPairs(b *testing.B) {
+	g := graph.CompleteMinusEdge(64, 1, 2)
+	b.Run("roundrobin", func(b *testing.B) {
+		var e int64
+		for i := 0; i < b.N; i++ {
+			res := lowerbound.RoundRobinProbe(g)
+			if !res.Detected {
+				b.Fatal("missed edge")
+			}
+			e = res.MaxEnergy
+		}
+		b.ReportMetric(float64(e), "slots/vtx")
+	})
+	b.Run("budget=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lowerbound.BudgetedProbe(g, 8, uint64(i))
+		}
+	})
+}
+
+// BenchmarkE11Disjointness measures the Theorem 5.2 construction + check.
+func BenchmarkE11Disjointness(b *testing.B) {
+	var evens, odds []uint64
+	for x := 0; x < 128; x++ {
+		if x%2 == 0 {
+			evens = append(evens, uint64(x))
+		} else {
+			odds = append(odds, uint64(x))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := lowerbound.BuildDisjointness(evens, odds, 7)
+		if graph.Diameter(d.G) != 2 {
+			b.Fatal("diameter property violated")
+		}
+	}
+}
+
+// BenchmarkE12TwoApprox measures Theorem 5.3's 2-approximation.
+func BenchmarkE12TwoApprox(b *testing.B) {
+	g := graph.Cycle(128)
+	p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	var est int32
+	var e int64
+	for i := 0; i < b.N; i++ {
+		base := lbnet.NewUnitNet(g, 0, uint64(i))
+		st, _ := core.BuildStack(base, p, uint64(i))
+		res := diameter.TwoApprox(st, diameter.Designated(), 128)
+		est, e = res.Estimate, lbnet.MaxLBEnergy(base)
+	}
+	b.ReportMetric(float64(est), "estimate")
+	b.ReportMetric(float64(e), "LBenergy/vtx")
+}
+
+// BenchmarkE13ThreeHalves measures Theorem 5.4 (radio at n=48, mirror at
+// n=1024).
+func BenchmarkE13ThreeHalves(b *testing.B) {
+	b.Run("radio/n=48", func(b *testing.B) {
+		g := graph.Path(48)
+		p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+		for i := 0; i < b.N; i++ {
+			base := lbnet.NewUnitNet(g, 0, uint64(i))
+			st, _ := core.BuildStack(base, p, uint64(i))
+			diameter.ThreeHalvesApprox(st, diameter.Designated(), 48, uint64(i))
+		}
+	})
+	b.Run("mirror/n=1024", func(b *testing.B) {
+		g := graph.Cycle(1024)
+		for i := 0; i < b.N; i++ {
+			res := diameter.MirrorThreeHalves(g, uint64(i))
+			if res.Estimate > 512 || res.Estimate < 341 {
+				b.Fatalf("estimate %d out of band", res.Estimate)
+			}
+		}
+	})
+}
+
+// BenchmarkE14LabelCast measures the duty-cycled dissemination trade-off.
+func BenchmarkE14LabelCast(b *testing.B) {
+	g, _ := graph.Named("geometric", 256, 1)
+	labels := graph.BFS(g, 0)
+	for _, period := range []int{1, 8} {
+		b.Run(fmt.Sprintf("P=%d", period), func(b *testing.B) {
+			var e int64
+			for i := 0; i < b.N; i++ {
+				net := lbnet.NewUnitNet(g, 0, uint64(i))
+				res := labelcast.Broadcast(net, labels, period, int64(g.N())*int64(period+2)*4)
+				if !res.DeliveredAll {
+					b.Fatal("not delivered")
+				}
+				e = lbnet.MaxLBEnergy(net)
+			}
+			b.ReportMetric(float64(e), "LBenergy/vtx")
+		})
+	}
+}
+
+// BenchmarkAblationDepth sweeps the recursion depth at fixed n — the design
+// choice DESIGN.md §3 calls out: each level multiplies overhead by polylog
+// factors while dividing the effective radius, so at simulable n the energy
+// rises with depth even though the asymptotics eventually reverse it.
+func BenchmarkAblationDepth(b *testing.B) {
+	g := graph.Cycle(128)
+	for _, depth := range []int{0, 1, 2} {
+		p := core.Params{InvBeta: 8, Depth: depth, W: 21, Alpha: 4}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var e int64
+			for i := 0; i < b.N; i++ {
+				base := lbnet.NewUnitNet(g, 0, uint64(i))
+				st, err := core.BuildStack(base, p, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist := st.BFS([]int32{0}, 64)
+				if bad := core.VerifyAgainstReference(g, []int32{0}, dist, 64); bad != 0 {
+					b.Fatalf("%d mislabeled", bad)
+				}
+				e = lbnet.MaxLBEnergy(base)
+			}
+			b.ReportMetric(float64(e), "LBenergy/vtx")
+		})
+	}
+}
+
+// BenchmarkAblationBeta sweeps 1/β at one clustering level: small β means
+// few, large clusters (cheap stages, expensive casts); large β the reverse.
+func BenchmarkAblationBeta(b *testing.B) {
+	g := graph.Cycle(256)
+	for _, invB := range []int{2, 4, 8, 16, 32} {
+		p := core.Params{InvBeta: invB, Depth: 1, W: 24, Alpha: 4}
+		b.Run(fmt.Sprintf("invBeta=%d", invB), func(b *testing.B) {
+			var e int64
+			for i := 0; i < b.N; i++ {
+				base := lbnet.NewUnitNet(g, 0, uint64(i))
+				st, err := core.BuildStack(base, p, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist := st.BFS([]int32{0}, 128)
+				if bad := core.VerifyAgainstReference(g, []int32{0}, dist, 128); bad != 0 {
+					b.Fatalf("%d mislabeled", bad)
+				}
+				e = lbnet.MaxLBEnergy(base)
+			}
+			b.ReportMetric(float64(e), "LBenergy/vtx")
+		})
+	}
+}
+
+// BenchmarkEngineStep measures the physics core itself.
+func BenchmarkEngineStep(b *testing.B) {
+	g := graph.Grid(64, 64)
+	eng := radio.NewEngine(g)
+	tx := []radio.TX{{ID: 2000, Msg: radio.Msg{A: 1}}}
+	listeners := []int32{2001, 2064, 1936}
+	out := make([]radio.RX, len(listeners))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(tx, listeners, out)
+	}
+}
+
+// BenchmarkVerifyGradient measures the polylog labeling verifier.
+func BenchmarkVerifyGradient(b *testing.B) {
+	g := graph.Cycle(512)
+	labels := graph.BFS(g, 0)
+	var viol int
+	for i := 0; i < b.N; i++ {
+		net := lbnet.NewUnitNet(g, 0, rng.Derive(7, uint64(i)))
+		viol = core.VerifyGradient(net, labels, 512).Violations
+	}
+	if viol != 0 {
+		b.Fatalf("%d violations", viol)
+	}
+}

@@ -1,0 +1,375 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/vnet"
+)
+
+// runE1 measures Theorem 4.1: Recursive-BFS labels are exact, and its
+// energy/time are reported against the everyone-awake baseline in both cost
+// models. The paper's asymptotic crossover lies beyond simulable n (see
+// DESIGN.md §4); what is checked here is correctness, the LB-unit scaling
+// fit, and the baseline's strictly linear-in-D energy.
+func runE1(cfg config) {
+	tbl := stats.NewTable("Recursive-BFS vs Decay baseline (unit-cost LBs)",
+		"family", "n", "D", "params", "rec maxLB", "rec time(LB)", "base maxLB", "base time(LB)", "mislabeled", "castFail")
+	type inst struct {
+		family string
+		n, d   int
+	}
+	insts := []inst{
+		{"cycle", 128, 64}, {"cycle", 256, 128}, {"cycle", 512, 256},
+		{"grid", 256, 30}, {"geometric", 256, 256},
+	}
+	if !cfg.quick {
+		insts = append(insts, inst{"cycle", 1024, 512}, inst{"grid", 1024, 62}, inst{"geometric", 1024, 1024})
+	}
+	var ds, recE, baseE []float64
+	for _, in := range insts {
+		g, _ := graph.Named(in.family, in.n, cfg.seed)
+		p := core.DefaultParams(g.N(), in.d)
+		base := lbnet.NewUnitNet(g, 0, cfg.seed)
+		st, err := core.BuildStack(base, p, cfg.seed)
+		if err != nil {
+			fmt.Fprintln(cfg.out, "error:", err)
+			return
+		}
+		dist := st.BFS([]int32{0}, in.d)
+		bad := core.VerifyAgainstReference(g, []int32{0}, dist, in.d)
+		recMax, recTime := lbnet.MaxLBEnergy(base), base.LBTime()
+
+		// Baseline: trivial wavefront BFS (depth 0) = one LB per hop with
+		// every unlabeled vertex listening (the Decay baseline in LB units).
+		base2 := lbnet.NewUnitNet(g, 0, cfg.seed)
+		st2, _ := core.BuildStack(base2, core.Params{InvBeta: 1, Depth: 0, W: 1, Alpha: 4}, cfg.seed)
+		st2.BFS([]int32{0}, in.d)
+		tbl.AddRowf(in.family, in.n, in.d, p.String(), recMax, recTime,
+			lbnet.MaxLBEnergy(base2), base2.LBTime(), bad, st.CastFailures())
+		if in.family == "cycle" {
+			ds = append(ds, float64(in.d))
+			recE = append(recE, float64(recMax))
+			baseE = append(baseE, float64(lbnet.MaxLBEnergy(base2)))
+		}
+	}
+	tbl.Render(cfg.out)
+	eRec, _ := stats.FitPowerLaw(ds, recE)
+	eBase, _ := stats.FitPowerLaw(ds, baseE)
+	fmt.Fprintf(cfg.out, "cycle-family scaling fits (energy ~ D^e): recursive e=%.2f, baseline e=%.2f\n", eRec, eBase)
+	fmt.Fprintf(cfg.out, "baseline is Θ(D); recursive carries large polylog constants at these n (see DESIGN.md §4)\n\n")
+
+	// Physical-channel spot check: the full stack down to radio slots.
+	g, _ := graph.Named("cycle", 64, cfg.seed)
+	eng := radio.NewEngine(g)
+	phys := lbnet.NewPhysNet(eng, decay.ParamsFor(64, 10), cfg.seed)
+	stp, _ := core.BuildStack(phys, core.Params{InvBeta: 4, Depth: 1, W: 20, Alpha: 4}, cfg.seed)
+	dist := stp.BFS([]int32{0}, 32)
+	bad := core.VerifyAgainstReference(g, []int32{0}, dist, 32)
+	fmt.Fprintf(cfg.out, "physical channel (n=64, D=32): mislabeled=%d, max slot energy=%d, rounds=%d, msg violations=%d\n\n",
+		bad, eng.MaxEnergy(), eng.Round(), eng.MsgViolations())
+}
+
+// runE2 measures Lemma 2.4's Local-Broadcast: success probability under
+// contention, sender energy O(passes), hearing-receiver energy O(log Δ).
+func runE2(cfg config) {
+	tbl := stats.NewTable("Local-Broadcast under contention (star center listening)",
+		"degree", "passes", "success", "sender E", "rx-hear E(mean)", "duration(slots)")
+	trials := 400
+	if cfg.quick {
+		trials = 120
+	}
+	for _, deg := range []int{2, 8, 64, 255} {
+		n := deg + 1
+		g := graph.Star(n)
+		for _, passes := range []int{2, 4, 8} {
+			p := decay.ParamsFor(n, passes)
+			okCount, hearE := 0, 0.0
+			var senderE int64
+			for trial := 0; trial < trials; trial++ {
+				eng := radio.NewEngine(g)
+				senders := make([]radio.TX, 0, deg)
+				for v := 1; v <= deg; v++ {
+					senders = append(senders, radio.TX{ID: int32(v), Msg: radio.Msg{A: uint64(v)}})
+				}
+				got := make([]radio.Msg, 1)
+				ok := make([]bool, 1)
+				decay.LocalBroadcast(eng, p, senders, []int32{0}, rng.Derive(cfg.seed, uint64(deg), uint64(passes), uint64(trial)), got, ok)
+				if ok[0] {
+					okCount++
+					hearE += float64(eng.Energy(0))
+				}
+				senderE = eng.Energy(1)
+			}
+			success := float64(okCount) / float64(trials)
+			mean := 0.0
+			if okCount > 0 {
+				mean = hearE / float64(okCount)
+			}
+			tbl.AddRowf(deg, passes, success, senderE, mean, p.Duration())
+		}
+	}
+	tbl.Render(cfg.out)
+}
+
+// runE3 measures Lemma 2.5: clustering runs in TMax Local-Broadcasts with
+// O(TMax) energy, radius < TMax, and an O(β) cut fraction.
+func runE3(cfg config) {
+	tbl := stats.NewTable("MPX clustering (Lemma 2.5)",
+		"family", "n", "1/β", "TMax", "clusters", "radius", "cut frac", "β", "maxLB E", "time(LB)")
+	n := 1024
+	if cfg.quick {
+		n = 256
+	}
+	for _, family := range []string{"cycle", "grid", "gnp"} {
+		g, _ := graph.Named(family, n, cfg.seed)
+		for _, invBeta := range []int{4, 8, 16} {
+			cl0 := cluster.DefaultConfig(g.N(), invBeta)
+			base := lbnet.NewUnitNet(g, 0, cfg.seed)
+			cl := cluster.Build(base, cl0, cfg.seed)
+			tbl.AddRowf(family, g.N(), invBeta, cl0.TMax, cl.NumClusters(), cl.Radius(),
+				cluster.CutFraction(g, cl.ClusterOf), 1.0/float64(invBeta),
+				lbnet.MaxLBEnergy(base), base.LBTime())
+		}
+	}
+	tbl.Render(cfg.out)
+}
+
+// runE4 measures Lemmas 2.1-2.3 on the ideal (fractional) MPX process.
+func runE4(cfg config) {
+	n := 2048
+	if cfg.quick {
+		n = 512
+	}
+	invBeta := 8
+	g := graph.Path(n)
+	ideal := cluster.BuildIdeal(g, invBeta, cfg.seed)
+	cg := cluster.ClusterGraphOf(g, ideal.ClusterOf, len(ideal.Center))
+
+	// Lemma 2.1: tail of #clusters intersecting Ball(v, 1).
+	counts := stats.I64s(intsTo64(cluster.BallClusterCounts(g, ideal.ClusterOf, 1)))
+	beta := 1 / float64(invBeta)
+	q := 1 - math.Exp(-2*beta)
+	tbl := stats.NewTable(fmt.Sprintf("Lemma 2.1 tail on path n=%d, 1/β=%d (bound q=%.3f)", n, invBeta, q),
+		"j", "P(count > j) observed", "bound q^j")
+	for j := 1; j <= 6; j++ {
+		exceed := 0
+		for _, c := range counts {
+			if c > float64(j) {
+				exceed++
+			}
+		}
+		tbl.AddRowf(j, float64(exceed)/float64(len(counts)), math.Pow(q, float64(j)))
+	}
+	tbl.Render(cfg.out)
+
+	// Lemmas 2.2/2.3: ratio dist_G*(Cl(0), Cl(v)) / (β·dist_G(0, v)).
+	distStar := graph.BFS(cg, ideal.ClusterOf[0])
+	rt := stats.NewTable("Lemmas 2.2/2.3 distance-proxy ratio dist*/(β·d) on the path",
+		"d bucket", "samples", "min ratio", "mean ratio", "max ratio", "2.2 band", "2.3 band (large d)")
+	lg := math.Log2(float64(n))
+	for _, bucket := range [][2]int{{8, 32}, {32, 128}, {128, 512}, {512, n - 1}} {
+		lo, hi := bucket[0], bucket[1]
+		if lo >= n {
+			continue
+		}
+		var ratios []float64
+		for v := lo; v < hi && v < n; v += 3 {
+			d := float64(v)
+			ds := float64(distStar[ideal.ClusterOf[v]])
+			ratios = append(ratios, ds/(beta*d))
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		minR, maxR := ratios[0], ratios[0]
+		for _, r := range ratios {
+			minR = math.Min(minR, r)
+			maxR = math.Max(maxR, r)
+		}
+		band22 := fmt.Sprintf("[%.3f, %.1f]", 1/(8*lg), 8*lg)
+		band23 := "-"
+		if lo >= invBeta*int(lg*lg) {
+			band23 = "O(1) factor"
+		}
+		rt.AddRowf(fmt.Sprintf("[%d,%d)", lo, hi), len(ratios), minR, stats.Mean(ratios), maxR, band22, band23)
+	}
+	rt.Render(cfg.out)
+	fmt.Fprintln(cfg.out, "Lemma 2.2 predicts ratios within a Θ(log n) band for all d; Lemma 2.3 tightens")
+	fmt.Fprintln(cfg.out, "it to a constant band once d = Ω(β⁻¹·log² n) — visible as shrinking spread above.")
+	fmt.Fprintln(cfg.out)
+}
+
+func intsTo64(xs []int) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = int64(x)
+	}
+	return out
+}
+
+// runE5 measures Lemma 3.1/3.2 overheads on a one-level virtual network.
+func runE5(cfg config) {
+	n := 400
+	if cfg.quick {
+		n = 144
+	}
+	g, _ := graph.Named("grid", n, cfg.seed)
+	base := lbnet.NewUnitNet(g, 0, cfg.seed)
+	cl0 := cluster.DefaultConfig(g.N(), 4)
+	cl := cluster.Build(base, cl0, cfg.seed)
+	vn := vnet.New(base, cl)
+	nc := vn.N()
+
+	tbl := stats.NewTable("Cast and virtual-LB costs (Lemmas 3.1, 3.2)",
+		"quantity", "value", "paper bound")
+	tbl.AddRowf("clusters", nc, "-")
+	tbl.AddRowf("contention bound C", cl0.C, "O(log n / log(1/β))·const")
+	tbl.AddRowf("subset universe ℓ", cl0.SubsetLen, "Θ(C log n)")
+	tbl.AddRowf("cast duration (parent LBs)", vn.CastLBs(), "TMax·ℓ = O(log³n / (β log 1/β))")
+	tbl.AddRowf("virtual LB duration", vn.VLBCost(), "3 casts + 1")
+
+	// One full Downcast: per-vertex participation vs the O(log n) bound.
+	pre := snapshot(base)
+	part := make([]bool, nc)
+	has := make([]bool, nc)
+	msgs := make([]radio.Msg, nc)
+	for c := range part {
+		part[c], has[c] = true, true
+	}
+	vn.Downcast(part, has, msgs, make([]radio.Msg, g.N()), make([]bool, g.N()))
+	spent := make([]float64, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		spent[v] = float64(base.LBEnergy(v) - pre[v])
+	}
+	tbl.AddRowf("downcast per-vertex LBs (mean)", stats.Mean(spent), "O(|S_C|) = O(log n)")
+	tbl.AddRowf("downcast per-vertex LBs (max)", stats.Max(spent), "O(log n)")
+	tbl.AddRowf("subset property (2) failures", cluster.SubsetProperty(g, cl), "0 w.h.p.")
+	tbl.AddRowf("cast divergence events", vn.CastFailures(), "0 w.h.p.")
+	tbl.Render(cfg.out)
+}
+
+func snapshot(net lbnet.Net) []int64 {
+	out := make([]int64, net.N())
+	for v := int32(0); int(v) < net.N(); v++ {
+		out[v] = net.LBEnergy(v)
+	}
+	return out
+}
+
+// runE6 prints the Z-sequence and its Lemma 4.2 profile.
+func runE6(cfg config) {
+	z := core.NewZSeq(4, 200) // D* = 256
+	tbl := stats.NewTable("Z-sequence, α=4, D*=256 (Z[0]=D*)", "i", "Y[i]", "Z[i]")
+	for i := 1; i <= 32; i++ {
+		tbl.AddRowf(i, core.Y(i), z.At(i))
+	}
+	tbl.Render(cfg.out)
+	fmt.Fprintln(cfg.out, "Lemma 4.2's periodicity properties are verified exhaustively in internal/core tests.")
+	fmt.Fprintln(cfg.out)
+}
+
+// runE7 measures Claims 1 and 2.
+func runE7(cfg config) {
+	tbl := stats.NewTable("Claims 1-2: participation counters (cycles, fixed β=1/8, w=24)",
+		"n", "D", "stages", "max X_i count", "max Special Updates", "sender violations")
+	ns := []int{256, 512}
+	if !cfg.quick {
+		ns = append(ns, 1024, 2048)
+	}
+	var xs, xis, sps []float64
+	for _, n := range ns {
+		g := graph.Cycle(n)
+		d := n / 2
+		p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
+		base := lbnet.NewUnitNet(g, 0, cfg.seed)
+		st, _ := core.BuildStack(base, p, cfg.seed)
+		st.Inst = core.NewInstrumentation()
+		st.BFS([]int32{0}, d)
+		stages := (d + p.InvBeta - 1) / p.InvBeta
+		tbl.AddRowf(n, d, stages, st.Inst.MaxXi(0), st.Inst.MaxSpecial(0), st.Inst.SenderViolations)
+		xs = append(xs, float64(stages))
+		xis = append(xis, float64(st.Inst.MaxXi(0)))
+		sps = append(sps, float64(st.Inst.MaxSpecial(0)))
+	}
+	tbl.Render(cfg.out)
+	eXi, _ := stats.FitPowerLaw(xs, xis)
+	eSp, _ := stats.FitPowerLaw(xs, sps)
+	fmt.Fprintf(cfg.out, "growth vs stage count: maxXi ~ stages^%.2f, maxSpecial ~ stages^%.2f (both << 1: sublinear,\n", eXi, eSp)
+	fmt.Fprintln(cfg.out, "consistent with the polylog bounds of Claims 1-2; the proven bounds O(w²·log D) are far above).")
+	fmt.Fprintln(cfg.out)
+}
+
+// runE8 runs the expensive Invariant 4.1 reference check across seeds.
+func runE8(cfg config) {
+	tbl := stats.NewTable("Invariant 4.1 reference check", "graph", "seed", "low violations (dist<L)", "high violations (dist>U)", "mislabeled")
+	for _, fam := range []string{"cycle", "grid"} {
+		n := 144
+		g, _ := graph.Named(fam, n, cfg.seed)
+		seeds := 5
+		if cfg.quick {
+			seeds = 2
+		}
+		for s := 0; s < seeds; s++ {
+			seed := rng.Derive(cfg.seed, uint64(s), 0xe8)
+			base := lbnet.NewUnitNet(g, 0, seed)
+			st, _ := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, seed)
+			st.Inst = core.NewInstrumentation()
+			st.Inst.CheckInvariant = true
+			dist := st.BFS([]int32{0}, n/2)
+			bad := core.VerifyAgainstReference(g, []int32{0}, dist, n/2)
+			tbl.AddRowf(fam, s, st.Inst.LowViolations, st.Inst.HighViolations, bad)
+		}
+	}
+	tbl.Render(cfg.out)
+}
+
+// runE9 reproduces Figure 3: the evolution of [L, U] and the true wavefront
+// distance for one cluster.
+func runE9(cfg config) {
+	n := 240
+	g := graph.Cycle(n)
+	p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	base := lbnet.NewUnitNet(g, 0, cfg.seed)
+	st, _ := core.BuildStack(base, p, cfg.seed)
+	st.Inst = core.NewInstrumentation()
+	st.Inst.TraceCluster = st.VNets[0].Clustering().ClusterOf[n/2]
+	st.BFS([]int32{0}, n/2)
+
+	var lSeries, uSeries, tSeries []float64
+	tbl := stats.NewTable("Figure 3 series (cluster of the antipodal vertex)",
+		"stage", "Z[i+1]", "L_i", "U_i", "true dist to W_i")
+	for _, pt := range st.Inst.Trace {
+		lv, uv := float64(pt.L), float64(pt.U)
+		if pt.L < 0 {
+			lv = 0
+		}
+		if pt.U > float64AsInt64Cap {
+			uv = math.NaN()
+		}
+		lSeries = append(lSeries, lv)
+		uSeries = append(uSeries, uv)
+		tSeries = append(tSeries, float64(pt.TrueDist))
+		uStr := fmt.Sprint(pt.U)
+		if pt.U > float64AsInt64Cap {
+			uStr = "∞"
+		}
+		tbl.AddRowf(pt.Stage, pt.Z, pt.L, uStr, pt.TrueDist)
+	}
+	tbl.Render(cfg.out)
+	fmt.Fprintln(cfg.out, stats.Chart(60, 14,
+		stats.Series{Name: "U_i (upper bound)", Mark: '#', Points: uSeries},
+		stats.Series{Name: "true dist(W_i, C)", Mark: '*', Points: tSeries},
+		stats.Series{Name: "L_i (lower bound)", Mark: '.', Points: lSeries},
+	))
+}
+
+const float64AsInt64Cap = int64(1) << 40

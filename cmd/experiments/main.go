@@ -1,0 +1,81 @@
+// Command experiments regenerates every experiment table of the
+// reproduction (DESIGN.md §5, recorded in EXPERIMENTS.md): one table or
+// chart per theorem/lemma/figure of the paper.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E1,E7] [-seed 1]
+//
+// -quick shrinks instance sizes for CI-scale runs; -only selects a subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg config)
+}
+
+type config struct {
+	quick bool
+	seed  uint64
+	out   *os.File
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced instance sizes")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E7)")
+	seed := flag.Uint64("seed", 1, "root seed")
+	flag.Parse()
+
+	cfg := config{quick: *quick, seed: *seed, out: os.Stdout}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+	all := []experiment{
+		{"E1", "Theorem 4.1 — Recursive-BFS energy and time", runE1},
+		{"E2", "Lemma 2.4 — Local-Broadcast (Decay) costs", runE2},
+		{"E3", "Lemma 2.5 — MPX clustering costs and shape", runE3},
+		{"E4", "Lemmas 2.1-2.3 — cluster graph as distance proxy", runE4},
+		{"E5", "Lemmas 3.1-3.2 — cast and virtual-LB overhead", runE5},
+		{"E6", "Z-sequence (§4.1, Lemma 4.2)", runE6},
+		{"E7", "Claims 1-2 — participation counters", runE7},
+		{"E8", "Invariant 4.1 — reference check", runE8},
+		{"E9", "Figure 3 — distance-estimate evolution", runE9},
+		{"E10", "Theorem 5.1 — K_n vs K_n-e energy trade-off", runE10},
+		{"E11", "Theorem 5.2 — set-disjointness construction", runE11},
+		{"E12", "Theorem 5.3 — 2-approximate diameter", runE12},
+		{"E13", "Theorem 5.4 — 3/2-approximate diameter", runE13},
+		{"E14", "§1 motivation — polling-period dissemination", runE14},
+	}
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(cfg.out, "# %s: %s\n\n", e.id, e.title)
+		e.run(cfg)
+		fmt.Fprintf(cfg.out, "(%s finished in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[K int | string, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

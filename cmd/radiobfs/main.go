@@ -1,0 +1,107 @@
+// Command radiobfs runs one of the paper's algorithms on a generated radio
+// network and prints the labels and cost meters.
+//
+// Usage:
+//
+//	radiobfs -graph cycle -n 256 -algo recursive -source 0 -maxdist 128
+//	radiobfs -graph geometric -n 400 -algo diam2
+//
+// Algorithms: recursive (Recursive-BFS, §4), baseline (Decay BFS),
+// diam2 (Theorem 5.3), diam32 (Theorem 5.4), verify (BFS then gradient
+// verification).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radiobfs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("graph", "grid", "graph family: "+strings.Join(graph.FamilyNames(), ", "))
+	n := flag.Int("n", 256, "number of devices")
+	algo := flag.String("algo", "recursive", "algorithm: recursive, baseline, diam2, diam32, verify")
+	source := flag.Int("source", 0, "BFS source vertex")
+	maxDist := flag.Int("maxdist", 0, "search radius (0 = n)")
+	seed := flag.Uint64("seed", 1, "root seed")
+	physical := flag.Bool("physical", false, "charge real radio slots instead of LB units")
+	showLabels := flag.Bool("labels", false, "print the per-vertex labels")
+	flag.Parse()
+
+	g, err := repro.NewGraph(*family, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if *maxDist <= 0 {
+		*maxDist = g.N()
+	}
+	var opts []repro.Option
+	if *physical {
+		opts = append(opts, repro.WithCostModel(repro.CostPhysical))
+	}
+	nw := repro.NewNetwork(g, *seed, opts...)
+	fmt.Printf("graph=%s n=%d m=%d maxdeg=%d\n", *family, g.N(), g.M(), g.MaxDegree())
+
+	var labels []int32
+	switch *algo {
+	case "recursive":
+		labels, err = nw.BFS(int32(*source), *maxDist)
+	case "baseline":
+		labels = nw.BFSBaseline(int32(*source), *maxDist)
+	case "verify":
+		labels, err = nw.BFS(int32(*source), *maxDist)
+		if err == nil {
+			bad := nw.VerifyLabeling(labels, *maxDist)
+			fmt.Printf("gradient verification violations: %d\n", bad)
+		}
+	case "diam2":
+		var d int32
+		d, err = nw.Diameter2Approx()
+		fmt.Printf("2-approximate diameter: %d (true: %d)\n", d, graph.Diameter(g))
+	case "diam32":
+		var d int32
+		d, err = nw.Diameter32Approx()
+		fmt.Printf("3/2-approximate diameter: %d (true: %d)\n", d, graph.Diameter(g))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	if labels != nil {
+		labeled, maxLabel := 0, int32(0)
+		for _, l := range labels {
+			if l >= 0 {
+				labeled++
+				if l > maxLabel {
+					maxLabel = l
+				}
+			}
+		}
+		fmt.Printf("labeled %d/%d vertices, eccentricity(source) >= %d\n", labeled, g.N(), maxLabel)
+		if *showLabels {
+			for v, l := range labels {
+				fmt.Printf("%d\t%d\n", v, l)
+			}
+		}
+	}
+	rep := nw.Report()
+	fmt.Printf("energy: maxLB=%d totalLB=%d timeLB=%d", rep.MaxLBEnergy, rep.TotalLBEnergy, rep.LBTime)
+	if *physical {
+		fmt.Printf(" physMax=%d physRounds=%d msgViolations=%d", rep.MaxPhysEnergy, rep.PhysRounds, rep.MsgViolations)
+	}
+	fmt.Println()
+	return nil
+}

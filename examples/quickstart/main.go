@@ -1,0 +1,49 @@
+// Quickstart: build a radio network, run the paper's Recursive-BFS, verify
+// the labeling, and inspect the energy meters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 16×16 grid of sensors; device 0 (a corner) is the base station.
+	g, err := repro.NewGraph("grid", 256, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw := repro.NewNetwork(g, 42)
+
+	labels, err := nw.BFS(0, g.N())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bad := nw.VerifyLabeling(labels, g.N()); bad != 0 {
+		log.Fatalf("labeling failed verification at %d vertices", bad)
+	}
+
+	maxLabel := int32(0)
+	for _, l := range labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	rep := nw.Report()
+	fmt.Printf("BFS labeling of a %d-device grid\n", g.N())
+	fmt.Printf("  deepest label (ecc of base station): %d\n", maxLabel)
+	fmt.Printf("  energy (max LB participations/device): %d\n", rep.MaxLBEnergy)
+	fmt.Printf("  time (Local-Broadcast units):          %d\n", rep.LBTime)
+	fmt.Printf("  labeling verified by the O(1)-energy gradient sweep\n")
+
+	// The first few rows of the grid, as labeled distances.
+	fmt.Println("\nlabels (top-left 8x8 corner):")
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			fmt.Printf("%3d", labels[r*16+c])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,61 @@
+// Rawproto shows the goroutine-per-device API: each radio device runs plain
+// sequential Go code (Listen / Transmit / Idle) against the collision
+// semantics of the RN model. The protocol here is a token ring relay with a
+// duty-cycled listener — a miniature of the energy ideas in the paper,
+// written at the lowest level the simulator offers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func main() {
+	const n = 24
+	g := graph.Cycle(n)
+	eng := radio.NewEngine(g)
+	sim := radio.NewSim(eng, 7)
+
+	// The token starts at device 0 and must travel around the ring. Each
+	// device sleeps until the token is due in its neighborhood (it knows
+	// the schedule: one hop per round), listens once, and relays.
+	arrival := make([]int64, n)
+	sim.Run(func(d *radio.Device) {
+		id := int64(d.ID())
+		if id == 0 {
+			d.Transmit(radio.Msg{Kind: 1, A: 0})
+			arrival[0] = 0
+			return
+		}
+		// Wake exactly when the predecessor transmits: round id-1.
+		d.IdleUntil(id - 1)
+		m, ok := d.Listen()
+		if !ok || m.Kind != 1 {
+			arrival[d.ID()] = -1
+			return
+		}
+		arrival[d.ID()] = d.Now() - 1
+		if int(id) < n-1 { // the last device only receives
+			d.Transmit(radio.Msg{Kind: 1, A: uint64(id)})
+		}
+	})
+
+	fmt.Printf("token ring over %d devices\n", n)
+	for v := 0; v < n; v++ {
+		if arrival[v] < 0 {
+			log.Fatalf("device %d never saw the token", v)
+		}
+	}
+	fmt.Printf("token reached device %d at round %d\n", n-1, arrival[n-1])
+	fmt.Printf("total rounds: %d\n", eng.Round())
+	fmt.Printf("per-device energy: max %d slots (1 listen + 1 transmit)\n", eng.MaxEnergy())
+	fmt.Printf("aggregate energy: %d slots for %d hops\n", eng.TotalEnergy(), n-1)
+	if eng.MaxEnergy() > 2 {
+		log.Fatal("duty cycling failed: some device stayed awake")
+	}
+	fmt.Println("\nevery device woke for exactly the rounds it needed — sleeping is free,")
+	fmt.Println("which is the premise of the paper's energy model.")
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"repro/internal/graph"
+)
+
+// CutFraction returns the fraction of edges of g whose endpoints lie in
+// different clusters. Lemma 2.5's process cuts an O(β) fraction in
+// expectation. Returns 0 for edgeless graphs.
+func CutFraction(g *graph.Graph, clusterOf []int32) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	cut := 0
+	g.Edges(func(u, v int32) {
+		if clusterOf[u] != clusterOf[v] {
+			cut++
+		}
+	})
+	return float64(cut) / float64(g.M())
+}
+
+// BallClusterCounts returns, for every vertex v, the number of distinct
+// clusters intersecting Ball_G(v, ℓ) — the quantity bounded by Lemma 2.1:
+// P(count > j) <= (1 - e^(-2ℓβ))^j.
+func BallClusterCounts(g *graph.Graph, clusterOf []int32, ell int) []int {
+	n := g.N()
+	out := make([]int, n)
+	seen := make(map[int32]struct{}, 16)
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	for v := int32(0); v < int32(n); v++ {
+		clear(seen)
+		queue = append(queue[:0], v)
+		dist[v] = 0
+		seen[clusterOf[v]] = struct{}{}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if int(dist[u]) >= ell {
+				continue
+			}
+			for _, w := range g.Neighbors(u) {
+				if dist[w] == -1 {
+					dist[w] = dist[u] + 1
+					seen[clusterOf[w]] = struct{}{}
+					queue = append(queue, w)
+				}
+			}
+		}
+		out[v] = len(seen)
+		for _, u := range queue {
+			dist[u] = -1
+		}
+	}
+	return out
+}
+
+// LayersConsistent verifies the defining property of the layer labels: the
+// center has layer 0, and every layer-i > 0 vertex has a same-cluster
+// neighbor at layer i-1. It returns the number of violating vertices.
+func LayersConsistent(g *graph.Graph, cl *Clustering) int {
+	bad := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		l := cl.Layer[v]
+		if l == 0 {
+			if cl.Center[cl.ClusterOf[v]] != v {
+				bad++
+			}
+			continue
+		}
+		found := false
+		for _, u := range g.Neighbors(v) {
+			if cl.ClusterOf[u] == cl.ClusterOf[v] && cl.Layer[u] == l-1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad++
+		}
+	}
+	return bad
+}
+
+// SubsetProperty counts the vertices v for which property (2) of Lemma 3.1
+// fails: there is no slot j in S_Cl(v) avoided by every other cluster with a
+// member in N(v) ∪ {v}. With the paper's parameters this should be zero
+// w.h.p.
+func SubsetProperty(g *graph.Graph, cl *Clustering) int {
+	subsets := make([][]int32, cl.NumClusters())
+	for c := range subsets {
+		subsets[c] = cl.Subset(int32(c))
+	}
+	inSubset := func(c int32, j int32) bool {
+		s := subsets[c]
+		lo, hi := 0, len(s)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s[mid] < j {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(s) && s[lo] == j
+	}
+	bad := 0
+	var neigh []int32
+	for v := int32(0); v < int32(g.N()); v++ {
+		own := cl.ClusterOf[v]
+		neigh = neigh[:0]
+		for _, u := range g.Neighbors(v) {
+			c := cl.ClusterOf[u]
+			if c != own {
+				neigh = append(neigh, c)
+			}
+		}
+		good := false
+		for _, j := range subsets[own] {
+			conflict := false
+			for _, c := range neigh {
+				if inSubset(c, j) {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				good = true
+				break
+			}
+		}
+		if !good {
+			bad++
+		}
+	}
+	return bad
+}
+
+// IsPartition checks that every vertex has a cluster and a layer and that
+// each cluster's members induce a connected subgraph containing the center.
+// Returns the number of violations.
+func IsPartition(g *graph.Graph, cl *Clustering) int {
+	bad := 0
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if cl.ClusterOf[v] < 0 || int(cl.ClusterOf[v]) >= cl.NumClusters() || cl.Layer[v] < 0 {
+			bad++
+		}
+	}
+	// Connectivity within clusters: BFS from the center restricted to the
+	// cluster must reach every member.
+	members := cl.Members()
+	mark := make([]bool, n)
+	var queue []int32
+	for c, mem := range members {
+		if len(mem) == 0 {
+			bad++
+			continue
+		}
+		center := cl.Center[c]
+		queue = append(queue[:0], center)
+		mark[center] = true
+		reached := 1
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range g.Neighbors(u) {
+				if !mark[w] && cl.ClusterOf[w] == int32(c) {
+					mark[w] = true
+					reached++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if reached != len(mem) {
+			bad++
+		}
+		for _, u := range queue {
+			mark[u] = false
+		}
+	}
+	return bad
+}

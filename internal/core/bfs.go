@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/vnet"
+)
+
+// Message kinds used by Recursive-BFS.
+const (
+	// MsgWave advances the BFS wavefront; A carries the sender's label.
+	MsgWave = 0x30
+	// MsgDist disseminates a Special Update result; A carries dist*+1 (0 = ∞).
+	MsgDist = 0x31
+	// MsgFlag aggregates the W*/A* cluster flags; A carries a bitmask.
+	MsgFlag = 0x32
+)
+
+// infBound is the ∞ sentinel for the L/U distance estimates.
+const infBound = int64(1) << 60
+
+// Unreached marks vertices whose distance exceeds the search radius.
+const Unreached = int32(-1)
+
+// Stack is the prebuilt tower of cluster graphs over a base network. Per §4,
+// the cluster graph of each level is computed once and reused by every
+// recursive invocation at that level.
+type Stack struct {
+	P    Params
+	Base lbnet.Net
+	// VNets[r] is the cluster graph of level r (so the Net of level r+1).
+	VNets []*vnet.VNet
+	// Inst collects instrumentation; nil disables it.
+	Inst *Instrumentation
+
+	seed uint64
+}
+
+// BuildStack clusters the base network Depth times, paying the construction
+// energy of Lemma 2.5 at each level, and returns the reusable stack.
+func BuildStack(base lbnet.Net, p Params, seed uint64) (*Stack, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stack{P: p, Base: base, seed: seed}
+	cur := lbnet.Net(base)
+	for r := 0; r < p.Depth; r++ {
+		cfg := cluster.DefaultConfig(base.GlobalN(), p.InvBeta)
+		cl := cluster.Build(cur, cfg, rng.Derive(seed, uint64(r), 0x57ac))
+		vn := vnet.New(cur, cl)
+		s.VNets = append(s.VNets, vn)
+		cur = vn
+	}
+	return s, nil
+}
+
+// Level returns the Net of recursion level r (0 = base).
+func (s *Stack) Level(r int) lbnet.Net {
+	if r == 0 {
+		return s.Base
+	}
+	return s.VNets[r-1]
+}
+
+// CastFailures sums the cast divergence counters across all levels.
+func (s *Stack) CastFailures() int64 {
+	var t int64
+	for _, vn := range s.VNets {
+		t += vn.CastFailures()
+	}
+	return t
+}
+
+// BFS computes, for every vertex of the base network, its hop distance from
+// the source set, or Unreached if it exceeds d. Sources must be non-empty.
+func (s *Stack) BFS(sources []int32, d int) []int32 {
+	n := s.Base.N()
+	S := make([]bool, n)
+	for _, v := range sources {
+		S[v] = true
+	}
+	A := make([]bool, n)
+	for v := range A {
+		A[v] = true
+	}
+	return s.recBFS(0, S, A, d)
+}
+
+// recBFS is Recursive-BFS(G, S, A, D) of Figure 2 at recursion level r.
+// It returns dist_A(S, ·) capped at d (Unreached beyond). Vertices outside
+// A expend no energy and return Unreached.
+func (s *Stack) recBFS(r int, S, A []bool, d int) []int32 {
+	net := s.Level(r)
+	if r == s.P.Depth {
+		return s.trivialBFS(r, net, S, A, d)
+	}
+	n := net.N()
+	vn := s.VNets[r]
+	clusterOf := vn.Clustering().ClusterOf
+	nc := vn.N()
+	invB := int64(s.P.InvBeta)
+	w := int64(s.P.W)
+
+	dist := make([]int32, n)
+	active := make([]bool, n)
+	for v := 0; v < n; v++ {
+		dist[v] = Unreached
+		active[v] = A[v]
+		if S[v] && A[v] {
+			dist[v] = 0
+		}
+	}
+
+	z := NewZSeq(s.P.Alpha, int(ceilDiv(w*int64(d), invB)))
+	L := make([]int64, nc)
+	U := make([]int64, nc)
+
+	// --- Step 1: initialize distance estimates via a recursive call on the
+	// whole active cluster graph, searched to radius D* = Z[0].
+	partAll := make([]bool, nc)
+	for c := range partAll {
+		partAll[c] = true
+	}
+	inS, inA := s.aggregateFlags(r, partAll,
+		func(v int32) bool { return S[v] && active[v] },
+		func(v int32) bool { return active[v] })
+	distStar := s.recBFS(r+1, inS, inA, z.DStar)
+	s.disseminateDist(r, partAll, distStar)
+	for c := 0; c < nc; c++ {
+		if distStar[c] < 0 {
+			L[c], U[c] = infBound, infBound
+			continue
+		}
+		x := int64(distStar[c])
+		L[c] = x * invB / w
+		U[c] = maxI64(w*invB, x*invB*w)
+	}
+	// Step 2: deactivate vertices in unreached clusters.
+	for v := 0; v < n; v++ {
+		if active[v] && L[clusterOf[v]] >= infBound {
+			active[v] = false
+		}
+	}
+
+	var (
+		senders   []radio.TX
+		receivers []int32
+		got       = make([]radio.Msg, n)
+		ok        = make([]bool, n)
+	)
+	stages := ceilDiv(int64(d), invB)
+	for i := int64(0); i < stages; i++ {
+		// Step 4: X_i = active vertices whose cluster might be near the
+		// wavefront.
+		inX := func(v int32) bool { return L[clusterOf[v]] <= invB }
+		if s.Inst != nil {
+			s.Inst.observeStage(r, i, s, active, dist, L, U, z, clusterOf, invB)
+		}
+		// Step 5: advance the wavefront by β⁻¹ Local-Broadcasts.
+		for k := int64(1); k <= invB; k++ {
+			target := i*invB + k - 1
+			senders, receivers = senders[:0], receivers[:0]
+			for v := int32(0); v < int32(n); v++ {
+				if !active[v] {
+					continue
+				}
+				if int64(dist[v]) == target && target+1 <= int64(d) && dist[v] >= 0 {
+					if !inX(v) {
+						// The invariant promises this cannot happen; count it
+						// and honor the protocol (non-X_i vertices sleep).
+						if s.Inst != nil {
+							s.Inst.SenderViolations++
+						}
+						continue
+					}
+					senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: MsgWave, A: uint64(target)}})
+				} else if dist[v] == Unreached && inX(v) {
+					receivers = append(receivers, v)
+				}
+			}
+			if len(senders) == 0 && len(receivers) == 0 {
+				net.SkipLB(1)
+				continue
+			}
+			net.LocalBroadcast(senders, receivers, got[:len(receivers)], ok[:len(receivers)])
+			for j, v := range receivers {
+				if ok[j] && got[j].Kind == MsgWave {
+					dist[v] = int32(target + 1)
+				}
+			}
+		}
+		// Step 6: deactivate settled vertices.
+		for v := 0; v < n; v++ {
+			if active[v] && dist[v] != Unreached && int64(dist[v]) < (i+1)*invB {
+				active[v] = false
+			}
+		}
+		// Step 7: Special Update on Υ = {C ∈ A* : L_i(C) <= (Z[i+1]+1)·β⁻¹}.
+		zNext := int64(z.At(int(i + 1)))
+		cand := make([]bool, nc)
+		for c := 0; c < nc; c++ {
+			cand[c] = L[c] < infBound && L[c] <= (zNext+1)*invB
+		}
+		front := (i + 1) * invB
+		inW, inAct := s.aggregateFlags(r, cand,
+			func(v int32) bool { return int64(dist[v]) == front && dist[v] >= 0 },
+			func(v int32) bool { return active[v] })
+		ups := make([]bool, nc)
+		srcs := make([]bool, nc)
+		for c := 0; c < nc; c++ {
+			ups[c] = cand[c] && inAct[c]
+			srcs[c] = ups[c] && inW[c]
+		}
+		distStar := s.recBFS(r+1, srcs, ups, int(zNext))
+		s.disseminateDist(r, ups, distStar)
+		for c := 0; c < nc; c++ {
+			switch {
+			case ups[c]:
+				if s.Inst != nil {
+					s.Inst.countSpecial(r, c)
+				}
+				newU := U[c] - invB
+				var newL int64
+				if distStar[c] < 0 {
+					newL = zNext*invB + 1
+				} else {
+					x := int64(distStar[c])
+					newL = minI64(zNext*invB+1, x*invB/w)
+					newU = minI64(newU, maxI64(x, 1)*invB*w)
+				}
+				L[c], U[c] = newL, newU
+			case L[c] < infBound:
+				// Step 8: Automatic Update (free, purely local).
+				L[c] -= invB
+				U[c] -= invB
+			}
+		}
+	}
+	return dist
+}
+
+// trivialBFS settles all distances up to d with d Local-Broadcasts (§4.3's
+// base case): unlabeled active vertices listen in every call, so each spends
+// Θ(d) energy — which is why the recursion only invokes it on small radii.
+func (s *Stack) trivialBFS(r int, net lbnet.Net, S, A []bool, d int) []int32 {
+	n := net.N()
+	dist := make([]int32, n)
+	var senders []radio.TX
+	var receivers []int32
+	for v := 0; v < n; v++ {
+		dist[v] = Unreached
+		if S[v] && A[v] {
+			dist[v] = 0
+		}
+	}
+	got := make([]radio.Msg, n)
+	ok := make([]bool, n)
+	for k := int32(1); int(k) <= d; k++ {
+		senders, receivers = senders[:0], receivers[:0]
+		for v := int32(0); v < int32(n); v++ {
+			if !A[v] {
+				continue
+			}
+			switch {
+			case dist[v] == k-1:
+				senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: MsgWave, A: uint64(k - 1)}})
+			case dist[v] == Unreached:
+				receivers = append(receivers, v)
+			}
+		}
+		if len(receivers) == 0 {
+			// Nobody is listening: the remaining calls are silent for all.
+			net.SkipLB(int64(d) - int64(k) + 1)
+			break
+		}
+		net.LocalBroadcast(senders, receivers, got[:len(receivers)], ok[:len(receivers)])
+		for j, v := range receivers {
+			if ok[j] && got[j].Kind == MsgWave {
+				dist[v] = k
+			}
+		}
+	}
+	if s.Inst != nil {
+		s.Inst.TrivialCalls[r]++
+	}
+	return dist
+}
+
+// aggregateFlags computes, for every participating cluster of level r, the
+// OR over members of two per-vertex predicates — via two Upcasts — and
+// downcasts the combined result so members share it (one Downcast). This is
+// how W*_{i+1} and A* reach the vertices that need them (Invariant 4.1's
+// "each vertex u knows").
+func (s *Stack) aggregateFlags(r int, part []bool, bit1, bit2 func(int32) bool) (f1, f2 []bool) {
+	vn := s.VNets[r]
+	pn := s.Level(r).N()
+	clusterOf := vn.Clustering().ClusterOf
+	nc := vn.N()
+	memberHas := make([]bool, pn)
+	memberMsg := make([]radio.Msg, pn)
+	clusterGot := make([]radio.Msg, nc)
+	f1 = make([]bool, nc)
+	f2 = make([]bool, nc)
+	for pass := 0; pass < 2; pass++ {
+		bit := bit1
+		out := f1
+		if pass == 1 {
+			bit = bit2
+			out = f2
+		}
+		for v := int32(0); v < int32(pn); v++ {
+			memberHas[v] = part[clusterOf[v]] && bit(v)
+			memberMsg[v] = radio.Msg{Kind: MsgFlag, A: 1}
+		}
+		vn.Upcast(part, memberHas, memberMsg, clusterGot, out)
+	}
+	// Downcast the combined flags to the members.
+	msgs := make([]radio.Msg, nc)
+	has := make([]bool, nc)
+	for c := 0; c < nc; c++ {
+		if part[c] {
+			has[c] = true
+			var bits uint64
+			if f1[c] {
+				bits |= 1
+			}
+			if f2[c] {
+				bits |= 2
+			}
+			msgs[c] = radio.Msg{Kind: MsgFlag, A: bits}
+		}
+	}
+	vn.Downcast(part, has, msgs, memberMsg, memberHas)
+	return f1, f2
+}
+
+// disseminateDist downcasts each participating cluster's Special Update
+// result so all members can apply the same L/U update (the replicated state
+// of Invariant 4.1). Divergence is counted by the vnet cast-failure meter.
+func (s *Stack) disseminateDist(r int, part []bool, distStar []int32) {
+	vn := s.VNets[r]
+	pn := s.Level(r).N()
+	nc := vn.N()
+	msgs := make([]radio.Msg, nc)
+	has := make([]bool, nc)
+	for c := 0; c < nc; c++ {
+		if part[c] {
+			has[c] = true
+			msgs[c] = radio.Msg{Kind: MsgDist, A: uint64(int64(distStar[c]) + 1)}
+		}
+	}
+	memberGot := make([]radio.Msg, pn)
+	memberOk := make([]bool, pn)
+	vn.Downcast(part, has, msgs, memberGot, memberOk)
+}
+
+// VerifyAgainstReference compares labels against a sequential BFS and
+// returns the number of mismatches (labels capped at d).
+func VerifyAgainstReference(g *graph.Graph, sources []int32, dist []int32, d int) int {
+	ref := graph.MultiSourceBFS(g, sources)
+	bad := 0
+	for v := range ref {
+		want := ref[v]
+		if want == graph.Unreachable || int(want) > d {
+			want = Unreached
+		}
+		if dist[v] != want {
+			bad++
+		}
+	}
+	return bad
+}
+
+// BFSAuto runs the doubling driver of §4.3: BFS with D₀ = 1, 2, 4, ...
+// until every vertex is labeled, rebuilding the parameter set and cluster
+// stack per guess (β depends on D₀). Meters on base accumulate the honest
+// total cost. It returns the labels and the last stack used.
+func BFSAuto(base lbnet.Net, sources []int32, seed uint64) ([]int32, *Stack, error) {
+	n := base.N()
+	for d0 := 1; ; d0 *= 2 {
+		p := DefaultParams(base.GlobalN(), d0)
+		st, err := BuildStack(base, p, rng.Derive(seed, uint64(d0)))
+		if err != nil {
+			return nil, nil, err
+		}
+		dist := st.BFS(sources, d0)
+		done := true
+		for _, dd := range dist {
+			if dd == Unreached {
+				done = false
+				break
+			}
+		}
+		if done || d0 >= 2*n {
+			return dist, st, nil
+		}
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("core: ceilDiv by %d", b))
+	}
+	return (a + b - 1) / b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/decay"
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// runBFS builds a stack on a fresh UnitNet and returns labels plus the stack.
+func runBFS(t *testing.T, g *graph.Graph, p Params, srcs []int32, d int, seed uint64) ([]int32, *Stack, *lbnet.UnitNet) {
+	t.Helper()
+	base := lbnet.NewUnitNet(g, 0, seed)
+	st, err := BuildStack(base, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := st.BFS(srcs, d)
+	return dist, st, base
+}
+
+func TestTrivialDepthZeroFamilies(t *testing.T) {
+	p := Params{InvBeta: 1, Depth: 0, W: 12, Alpha: 4}
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(50)},
+		{"star", graph.Star(40)},
+		{"grid", graph.Grid(7, 8)},
+		{"complete", graph.Complete(25)},
+	} {
+		dist, _, _ := runBFS(t, tc.g, p, []int32{0}, tc.g.N(), 3)
+		if bad := VerifyAgainstReference(tc.g, []int32{0}, dist, tc.g.N()); bad != 0 {
+			t.Errorf("%s: %d mismatches", tc.name, bad)
+		}
+	}
+}
+
+func TestRecursiveDepthOneFamilies(t *testing.T) {
+	r := rng.New(5)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		d    int
+	}{
+		{"cycle", graph.Cycle(120), 60},
+		{"path", graph.Path(100), 99},
+		{"grid", graph.Grid(12, 12), 22},
+		{"gnp", graph.ConnectedGNP(150, 0.03, r), 150},
+		{"tree", graph.BinaryTree(127), 12},
+		{"geometric", graph.RandomGeometric(150, 0.12, r, true), 150},
+		{"caterpillar", graph.Caterpillar(30, 2), 31},
+	} {
+		dist, st, _ := runBFS(t, tc.g, p, []int32{0}, tc.d, 7)
+		if bad := VerifyAgainstReference(tc.g, []int32{0}, dist, tc.d); bad != 0 {
+			t.Errorf("%s: %d mismatches", tc.name, bad)
+		}
+		if st.CastFailures() != 0 {
+			t.Errorf("%s: %d cast failures", tc.name, st.CastFailures())
+		}
+	}
+}
+
+func TestRecursiveManySeeds(t *testing.T) {
+	g := graph.Cycle(100)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	for seed := uint64(0); seed < 10; seed++ {
+		dist, _, _ := runBFS(t, g, p, []int32{0}, 50, seed)
+		if bad := VerifyAgainstReference(g, []int32{0}, dist, 50); bad != 0 {
+			t.Fatalf("seed %d: %d mismatches", seed, bad)
+		}
+	}
+}
+
+func TestRecursiveDepthTwo(t *testing.T) {
+	g := graph.Cycle(512)
+	p := DefaultParams(512, 256)
+	if p.Depth < 2 {
+		p.Depth = 2
+	}
+	dist, st, _ := runBFS(t, g, p, []int32{0}, 256, 9)
+	if bad := VerifyAgainstReference(g, []int32{0}, dist, 256); bad != 0 {
+		t.Fatalf("%d mismatches at depth %d", bad, p.Depth)
+	}
+	if len(st.VNets) != p.Depth {
+		t.Fatalf("stack has %d levels, want %d", len(st.VNets), p.Depth)
+	}
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := graph.Path(80)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	srcs := []int32{0, 79}
+	dist, _, _ := runBFS(t, g, p, srcs, 40, 11)
+	if bad := VerifyAgainstReference(g, srcs, dist, 40); bad != 0 {
+		t.Fatalf("%d mismatches", bad)
+	}
+}
+
+func TestRadiusCap(t *testing.T) {
+	g := graph.Path(60)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	dist, _, _ := runBFS(t, g, p, []int32{0}, 20, 13)
+	for v := int32(0); v < 60; v++ {
+		want := v
+		if v > 20 {
+			want = Unreached
+		}
+		if dist[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(40)
+	for v := int32(0); v < 19; v++ {
+		b.AddEdge(v, v+1)
+	}
+	for v := int32(20); v < 39; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.Graph()
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	dist, _, _ := runBFS(t, g, p, []int32{0}, 40, 15)
+	for v := int32(20); v < 40; v++ {
+		if dist[v] != Unreached {
+			t.Fatalf("vertex %d in other component labeled %d", v, dist[v])
+		}
+	}
+	if bad := VerifyAgainstReference(g, []int32{0}, dist, 40); bad != 0 {
+		t.Fatalf("%d mismatches", bad)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.Grid(10, 10)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	d1, _, b1 := runBFS(t, g, p, []int32{0}, 18, 17)
+	d2, _, b2 := runBFS(t, g, p, []int32{0}, 18, 17)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		if b1.LBEnergy(int32(v)) != b2.LBEnergy(int32(v)) {
+			t.Fatal("energy differs across identical seeds")
+		}
+	}
+}
+
+// TestClaims instruments a run and checks Claims 1 and 2: per-vertex X_i
+// participation and per-cluster Special Update counts stay polylogarithmic
+// (far below the stage count).
+func TestClaims(t *testing.T) {
+	g := graph.Cycle(256)
+	p := Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
+	base := lbnet.NewUnitNet(g, 0, 19)
+	st, err := BuildStack(base, p, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Inst = NewInstrumentation()
+	dist := st.BFS([]int32{0}, 128)
+	if bad := VerifyAgainstReference(g, []int32{0}, dist, 128); bad != 0 {
+		t.Fatalf("%d mismatches", bad)
+	}
+	stages := int64(128 / 8)
+	if mx := st.Inst.MaxXi(0); mx == 0 || mx > stages/2+8 {
+		t.Fatalf("Claim 1: max X_i participation = %d out of %d stages", mx, stages)
+	}
+	if ms := st.Inst.MaxSpecial(0); ms == 0 || ms > stages {
+		t.Fatalf("Claim 2: max Special Updates = %d out of %d stages", ms, stages)
+	}
+	if st.Inst.SenderViolations != 0 {
+		t.Fatalf("%d wavefront senders were excluded from X_i", st.Inst.SenderViolations)
+	}
+}
+
+// TestInvariant41 runs the expensive reference check: at every stage, every
+// active cluster's true wavefront distance lies within [L_i, U_i].
+func TestInvariant41(t *testing.T) {
+	for _, gg := range []*graph.Graph{graph.Cycle(128), graph.Grid(11, 11)} {
+		p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+		base := lbnet.NewUnitNet(gg, 0, 23)
+		st, err := BuildStack(base, p, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Inst = NewInstrumentation()
+		st.Inst.CheckInvariant = true
+		d := gg.N() / 2
+		dist := st.BFS([]int32{0}, d)
+		if bad := VerifyAgainstReference(gg, []int32{0}, dist, d); bad != 0 {
+			t.Fatalf("%d mismatches", bad)
+		}
+		if st.Inst.InvariantViolations != 0 {
+			t.Fatalf("Invariant 4.1 violated %d times", st.Inst.InvariantViolations)
+		}
+	}
+}
+
+// TestFigure3Trace reproduces the Figure 3 data series for one cluster.
+func TestFigure3Trace(t *testing.T) {
+	g := graph.Cycle(200)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	base := lbnet.NewUnitNet(g, 0, 29)
+	st, err := BuildStack(base, p, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Inst = NewInstrumentation()
+	// Trace the cluster of the vertex opposite the source.
+	st.Inst.TraceCluster = st.VNets[0].Clustering().ClusterOf[100]
+	st.BFS([]int32{0}, 100)
+	tr := st.Inst.Trace
+	if len(tr) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	for _, pt := range tr {
+		if pt.U < pt.L {
+			t.Fatalf("stage %d: U=%d < L=%d", pt.Stage, pt.U, pt.L)
+		}
+		if pt.TrueDist >= 0 && pt.L < infBound && (pt.TrueDist < pt.L || pt.TrueDist > pt.U) {
+			t.Fatalf("stage %d: true distance %d outside [%d, %d]", pt.Stage, pt.TrueDist, pt.L, pt.U)
+		}
+		if pt.Z < int64(p.Alpha) {
+			t.Fatalf("stage %d: Z tick %d below α", pt.Stage, pt.Z)
+		}
+	}
+	// The true distance must decrease to 0 as the wavefront arrives.
+	last := tr[len(tr)-1]
+	first := tr[0]
+	if first.TrueDist >= 0 && last.TrueDist >= 0 && last.TrueDist > first.TrueDist {
+		t.Fatalf("wavefront distance increased: %d -> %d", first.TrueDist, last.TrueDist)
+	}
+}
+
+// TestEnergySleepers: vertices far behind the wavefront must spend far less
+// energy during the sweep than the paper's baseline would charge. We compare
+// recursive-BFS energy of an early-settled vertex against the always-awake
+// decay baseline's for a late vertex.
+func TestEnergySleeperAsymmetry(t *testing.T) {
+	g := graph.Path(200)
+	p := Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
+	_, _, base := runBFS(t, g, p, []int32{0}, 199, 31)
+	// Vertex 1 settles in stage 0 and deactivates; it must not pay for the
+	// remaining ~24 stages of wavefront advancement (β⁻¹ = 8 LBs each).
+	settledEarly := base.LBEnergy(1)
+	frontierLate := base.LBEnergy(198)
+	if settledEarly >= frontierLate {
+		t.Fatalf("early vertex spent %d >= late vertex %d; sleeping is broken",
+			settledEarly, frontierLate)
+	}
+}
+
+func TestBFSAutoFindsDiameter(t *testing.T) {
+	g := graph.Cycle(96)
+	base := lbnet.NewUnitNet(g, 0, 37)
+	dist, st, err := BFSAuto(base, []int32{0}, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := VerifyAgainstReference(g, []int32{0}, dist, g.N()); bad != 0 {
+		t.Fatalf("%d mismatches", bad)
+	}
+	if st == nil {
+		t.Fatal("no stack returned")
+	}
+}
+
+func TestBFSOnPhysNet(t *testing.T) {
+	// Full integration down to radio physics: smaller graph, w.h.p. params.
+	g := graph.Cycle(48)
+	eng := radio.NewEngine(g)
+	base := lbnet.NewPhysNet(eng, decay.ParamsFor(48, 10), 41)
+	p := Params{InvBeta: 4, Depth: 1, W: 20, Alpha: 4}
+	st, err := BuildStack(base, p, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := st.BFS([]int32{0}, 24)
+	if bad := VerifyAgainstReference(g, []int32{0}, dist, 24); bad != 0 {
+		t.Fatalf("%d mismatches on the physical stack", bad)
+	}
+	if eng.MsgViolations() != 0 {
+		t.Fatalf("RN[O(log n)] budget violated %d times", eng.MsgViolations())
+	}
+	if eng.MaxEnergy() == 0 {
+		t.Fatal("physical meters did not move")
+	}
+}
+
+// TestFailureInjection: with a small LB failure rate the protocol may label
+// some vertices late (or not at all), but must never label them too small —
+// labels remain upper-bounded by true distance + slack in no case below
+// true distance.
+func TestFailureInjectionNeverUnderestimates(t *testing.T) {
+	g := graph.Cycle(100)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	base := lbnet.NewUnitNet(g, 0.02, 43)
+	st, err := BuildStack(base, p, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := st.BFS([]int32{0}, 50)
+	ref := graph.BFS(g, 0)
+	for v := range dist {
+		if dist[v] != Unreached && dist[v] < ref[v] {
+			t.Fatalf("vertex %d labeled %d below true distance %d", v, dist[v], ref[v])
+		}
+	}
+}
+
+func TestBuildStackRejectsBadParams(t *testing.T) {
+	base := lbnet.NewUnitNet(graph.Path(10), 0, 1)
+	if _, err := BuildStack(base, Params{InvBeta: 3, W: 4, Alpha: 4}, 1); err == nil {
+		t.Fatal("expected error for non-power-of-two InvBeta")
+	}
+}
+
+func TestLevelAccessors(t *testing.T) {
+	g := graph.Grid(8, 8)
+	base := lbnet.NewUnitNet(g, 0, 47)
+	p := Params{InvBeta: 4, Depth: 2, W: 18, Alpha: 4}
+	st, err := BuildStack(base, p, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Level(0) != lbnet.Net(base) {
+		t.Fatal("level 0 is not the base")
+	}
+	if st.Level(1).N() != st.VNets[0].N() || st.Level(2).N() != st.VNets[1].N() {
+		t.Fatal("level accessor mismatch")
+	}
+	// Levels shrink monotonically.
+	if st.Level(1).N() > st.Level(0).N() || st.Level(2).N() > st.Level(1).N() {
+		t.Fatal("cluster graphs should not grow")
+	}
+}

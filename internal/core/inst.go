@@ -1,0 +1,179 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// Instrumentation collects the quantities behind the paper's efficiency and
+// correctness arguments. Attach one to a Stack before calling BFS; nil
+// disables all collection. Only the top-level recursion (level 0) is traced
+// for Figure 3; counters cover every level.
+type Instrumentation struct {
+	// XiCount[r][v] counts the stages i at which vertex v of level r was in
+	// X_i (Claim 1: Õ(1) per vertex).
+	XiCount map[int][]int64
+	// SpecialCount[r][c] counts the Special Updates cluster c of level r
+	// participated in (Claim 2: Õ(1) per cluster).
+	SpecialCount map[int][]int64
+	// TrivialCalls[r] counts trivial-BFS invocations at level r.
+	TrivialCalls map[int]int64
+	// SenderViolations counts wavefront senders excluded from X_i — events
+	// Invariant 4.1 promises never happen.
+	SenderViolations int64
+	// CheckInvariant enables the (expensive) reference-based Invariant 4.1
+	// check at level 0.
+	CheckInvariant bool
+	// InvariantViolations counts stages at which some active cluster's true
+	// wavefront distance fell outside [L_i(C), U_i(C)] (= Low + High).
+	InvariantViolations int64
+	// LowViolations counts the dangerous direction — true distance below
+	// L_i(C), which could put a needed vertex to sleep.
+	LowViolations int64
+	// HighViolations counts true distance above U_i(C); U only drives the
+	// Claim 1/2 energy argument, so these are benign for correctness.
+	HighViolations int64
+	// TraceCluster, if >= 0, selects a level-0 cluster whose (L, U, true
+	// distance) evolution is recorded per stage — the data behind Figure 3.
+	TraceCluster int32
+	// Trace holds the recorded points.
+	Trace []TracePoint
+}
+
+// TracePoint is one stage of the Figure 3 time evolution for a fixed
+// cluster: the interval [L, U] maintained by the algorithm, the Z-sequence
+// tick, and the true distance from the wavefront (∞ encoded as -1).
+type TracePoint struct {
+	Stage    int64
+	Z        int64
+	L, U     int64
+	TrueDist int64
+}
+
+// NewInstrumentation returns an empty collector with tracing disabled.
+func NewInstrumentation() *Instrumentation {
+	return &Instrumentation{
+		XiCount:      make(map[int][]int64),
+		SpecialCount: make(map[int][]int64),
+		TrivialCalls: make(map[int]int64),
+		TraceCluster: -1,
+	}
+}
+
+// observeStage records X_i membership, the Figure 3 trace, and (optionally)
+// the Invariant 4.1 reference check at the start of stage i of level r.
+func (in *Instrumentation) observeStage(r int, i int64, s *Stack, active []bool, dist []int32, L, U []int64, z ZSeq, clusterOf []int32, invB int64) {
+	n := len(active)
+	xs := in.XiCount[r]
+	if xs == nil {
+		xs = make([]int64, n)
+		in.XiCount[r] = xs
+	}
+	for v := 0; v < n; v++ {
+		if active[v] && L[clusterOf[v]] <= invB {
+			xs[v]++
+		}
+	}
+	needTrace := r == 0 && in.TraceCluster >= 0
+	if !needTrace && !(in.CheckInvariant && r == 0) {
+		return
+	}
+	// True wavefront distances: multi-source BFS from W_i on the level graph.
+	g := s.Level(r).Graph()
+	var front []int32
+	for v := int32(0); v < int32(n); v++ {
+		if int64(dist[v]) == i*invB && dist[v] >= 0 {
+			front = append(front, v)
+		}
+	}
+	var ref []int32
+	if len(front) > 0 {
+		ref = graph.MultiSourceBFS(g, front)
+	}
+	trueDistOf := func(c int32) int64 {
+		if ref == nil {
+			return -1
+		}
+		td := int64(-1)
+		for v := int32(0); v < int32(n); v++ {
+			if clusterOf[v] != c || ref[v] == graph.Unreachable {
+				continue
+			}
+			if td == -1 || int64(ref[v]) < td {
+				td = int64(ref[v])
+			}
+		}
+		return td
+	}
+	if needTrace {
+		c := in.TraceCluster
+		in.Trace = append(in.Trace, TracePoint{
+			Stage:    i,
+			Z:        int64(z.At(int(i + 1))),
+			L:        L[c],
+			U:        U[c],
+			TrueDist: trueDistOf(c),
+		})
+	}
+	if in.CheckInvariant && r == 0 && ref != nil {
+		// Check every cluster with an active member.
+		nc := len(L)
+		hasActive := make([]bool, nc)
+		for v := 0; v < n; v++ {
+			if active[v] {
+				hasActive[clusterOf[v]] = true
+			}
+		}
+		for c := int32(0); int(c) < nc; c++ {
+			if !hasActive[c] || L[c] >= infBound {
+				continue
+			}
+			td := trueDistOf(c)
+			if td < 0 {
+				continue // cluster unreachable from the current wavefront
+			}
+			if td < L[c] {
+				in.LowViolations++
+				in.InvariantViolations++
+			} else if td > U[c] {
+				in.HighViolations++
+				in.InvariantViolations++
+			}
+		}
+	}
+}
+
+// countSpecial records a Special Update for cluster c of level r.
+func (in *Instrumentation) countSpecial(r int, c int) {
+	sc := in.SpecialCount[r]
+	if sc == nil {
+		in.SpecialCount[r] = make([]int64, 0)
+		sc = in.SpecialCount[r]
+	}
+	for len(sc) <= c {
+		sc = append(sc, 0)
+	}
+	sc[c]++
+	in.SpecialCount[r] = sc
+}
+
+// MaxXi returns the maximum X_i participation count at level r (Claim 1).
+func (in *Instrumentation) MaxXi(r int) int64 {
+	var m int64
+	for _, v := range in.XiCount[r] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxSpecial returns the maximum Special Update count at level r (Claim 2).
+func (in *Instrumentation) MaxSpecial(r int) int64 {
+	var m int64
+	for _, v := range in.SpecialCount[r] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

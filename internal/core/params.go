@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params fixes every tunable of Recursive-BFS. Defaults follow the paper's
+// formulas (§4.3) with log₂ in place of unspecified logarithm bases and
+// explicit multipliers sized for simulable n (DESIGN.md §6).
+type Params struct {
+	// InvBeta is 1/β. The paper sets β = 2^(-√(log D₀ · log log n)).
+	InvBeta int
+	// Depth is the recursion depth L: the number of cluster-graph levels.
+	// Level Depth runs the trivial wavefront BFS. The paper sets
+	// L = √(log D₀ / log log n).
+	Depth int
+	// W is w = Θ(log n), the distance-proxy stretch of Lemmas 2.2/4.1.
+	W int
+	// Alpha is the Z-sequence base α = 4.
+	Alpha int
+	// WMult is the multiplier in W = WMult·⌈log₂ n⌉ used by DefaultParams.
+	WMult int
+}
+
+// log2Ceil returns ⌈log₂ n⌉ for n >= 1 (and 1 for n <= 2).
+func log2Ceil(n int) int {
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	return lg
+}
+
+// DefaultParams derives the paper's parameter choices for an n-vertex
+// network searched to distance D0: β = 2^(-⌈√(lg D₀ · lg lg n)⌉) and
+// L = ⌈√(lg D₀ / lg lg n)⌉, clamped so that β⁻¹ stays below the search
+// radius at every level (below that, recursion cannot pay off and the level
+// is dropped).
+func DefaultParams(n, d0 int) Params {
+	if n < 2 {
+		n = 2
+	}
+	if d0 < 1 {
+		d0 = 1
+	}
+	lgD := log2Ceil(d0)
+	lglgn := log2Ceil(log2Ceil(n) + 1)
+	b := int(math.Ceil(math.Sqrt(float64(lgD * lglgn))))
+	depth := int(math.Ceil(math.Sqrt(float64(lgD) / float64(lglgn))))
+	p := Params{
+		InvBeta: 1 << b,
+		Depth:   depth,
+		W:       3 * log2Ceil(n),
+		Alpha:   4,
+		WMult:   3,
+	}
+	p.clampDepth(d0)
+	return p
+}
+
+// clampDepth keeps only recursion levels that genuinely shrink the search
+// radius: level r searches radius D*, the smallest α·2^j >= w·β·D of the
+// level below. When w·β >= 1/2 a level fails to halve the radius and can
+// only add overhead — the finite-n edge of the paper's observation that the
+// profitable depth is √(log D / log log n). Such levels are dropped.
+func (p *Params) clampDepth(d0 int) {
+	depth := 0
+	d := d0
+	for depth < p.Depth && d > p.InvBeta {
+		next := NewZSeq(p.Alpha, (p.W*d+p.InvBeta-1)/p.InvBeta).DStar
+		if next >= d {
+			break // no shrinkage: recursion cannot pay at this scale
+		}
+		d = next
+		depth++
+	}
+	if depth < p.Depth {
+		p.Depth = depth
+	}
+}
+
+// AutoParams returns parameters tuned for simulable network sizes: the
+// paper's β and depth formulas, with the recursion capped at one level of
+// clustering. Below n ≈ 2^20 the polylogarithmic cast overhead of a second
+// level swamps the radius savings it buys (DESIGN.md §4), so deeper stacks
+// are only worth building for the experiments that study them explicitly.
+func AutoParams(n, d0 int) Params {
+	p := DefaultParams(n, d0)
+	if p.Depth > 1 {
+		p.Depth = 1
+	}
+	return p
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.InvBeta < 1:
+		return fmt.Errorf("core: InvBeta = %d, must be >= 1", p.InvBeta)
+	case p.InvBeta&(p.InvBeta-1) != 0:
+		return fmt.Errorf("core: InvBeta = %d, must be a power of two", p.InvBeta)
+	case p.Depth < 0:
+		return fmt.Errorf("core: negative recursion depth %d", p.Depth)
+	case p.W < 1:
+		return fmt.Errorf("core: W = %d, must be >= 1", p.W)
+	case p.Alpha < 1:
+		return fmt.Errorf("core: Alpha = %d, must be >= 1", p.Alpha)
+	}
+	return nil
+}
+
+// String renders the parameter set for experiment logs.
+func (p Params) String() string {
+	return fmt.Sprintf("beta=1/%d depth=%d w=%d alpha=%d", p.InvBeta, p.Depth, p.W, p.Alpha)
+}

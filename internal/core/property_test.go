@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+	"repro/internal/rng"
+)
+
+// TestPropertyRecursiveBFSMatchesReference fuzzes graph, source, radius and
+// parameters: Recursive-BFS must always reproduce the sequential BFS.
+func TestPropertyRecursiveBFSMatchesReference(t *testing.T) {
+	check := func(seed uint64, rawN, rawSrc, rawD, rawBeta uint8) bool {
+		r := rng.New(seed)
+		n := 24 + int(rawN%96)
+		g := graph.ConnectedGNP(n, 2.5/float64(n), r)
+		src := int32(int(rawSrc) % n)
+		d := 1 + int(rawD)%n
+		invBeta := 2 << (rawBeta % 3) // 2, 4, 8
+		p := Params{InvBeta: invBeta, Depth: 1, W: 24, Alpha: 4}
+		base := lbnet.NewUnitNet(g, 0, seed)
+		st, err := BuildStack(base, p, seed)
+		if err != nil {
+			return false
+		}
+		dist := st.BFS([]int32{src}, d)
+		return VerifyAgainstReference(g, []int32{src}, dist, d) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMonotoneRadius: enlarging the search radius never un-labels a
+// vertex and never changes an existing label.
+func TestPropertyMonotoneRadius(t *testing.T) {
+	check := func(seed uint64, rawD uint8) bool {
+		g := graph.Cycle(80)
+		d1 := 4 + int(rawD)%30
+		d2 := d1 + 10
+		p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+		st1, err := BuildStack(lbnet.NewUnitNet(g, 0, seed), p, seed)
+		if err != nil {
+			return false
+		}
+		st2, err := BuildStack(lbnet.NewUnitNet(g, 0, seed), p, seed)
+		if err != nil {
+			return false
+		}
+		a := st1.BFS([]int32{0}, d1)
+		b := st2.BFS([]int32{0}, d2)
+		for v := range a {
+			if a[v] != Unreached && a[v] != b[v] {
+				return false
+			}
+			if a[v] == Unreached && b[v] != Unreached && int(b[v]) <= d1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGradientOfOutput: any labeling Recursive-BFS emits passes the
+// gradient verifier on an independent network instance.
+func TestPropertyGradientOfOutput(t *testing.T) {
+	check := func(seed uint64, rawSrc uint8) bool {
+		r := rng.New(seed)
+		g := graph.RandomTree(60, r)
+		src := int32(int(rawSrc) % 60)
+		p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+		st, err := BuildStack(lbnet.NewUnitNet(g, 0, seed), p, seed)
+		if err != nil {
+			return false
+		}
+		dist := st.BFS([]int32{src}, 60)
+		verifier := lbnet.NewUnitNet(g, 0, seed+1)
+		return VerifyGradient(verifier, dist, 60).Violations == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySourceInvariance: distances from a multi-source set equal the
+// minimum over per-source runs.
+func TestPropertySourceInvariance(t *testing.T) {
+	check := func(seed uint64, rawA, rawB uint8) bool {
+		g := graph.Grid(8, 8)
+		a := int32(int(rawA) % 64)
+		b := int32(int(rawB) % 64)
+		p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+		st, err := BuildStack(lbnet.NewUnitNet(g, 0, seed), p, seed)
+		if err != nil {
+			return false
+		}
+		multi := st.BFS([]int32{a, b}, 64)
+		ref := graph.MultiSourceBFS(g, []int32{a, b})
+		for v := range multi {
+			if multi[v] != ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+)
+
+// MsgParent is the message kind of the parent-extraction sweep.
+const MsgParent = 0x39
+
+// Parents turns a BFS labeling into explicit tree structure: each vertex
+// with label k > 0 learns the ID of one neighbor labeled k-1 (its parent).
+// One Local-Broadcast per layer; every vertex participates in at most two,
+// so the cost is O(1) energy and O(maxLabel) time — the up-cast/down-cast
+// backbone the paper's §1 dissemination application rests on. Vertices with
+// no delivered parent (unlabeled, or label 0) get -1 (the root keeps -1 so
+// callers can spot it by label).
+func Parents(net lbnet.Net, labels []int32, maxLabel int) []int32 {
+	n := net.N()
+	parent := make([]int32, n)
+	for v := range parent {
+		parent[v] = -1
+	}
+	var senders []radio.TX
+	var receivers []int32
+	got := make([]radio.Msg, n)
+	ok := make([]bool, n)
+	for k := int32(1); int(k) <= maxLabel; k++ {
+		senders, receivers = senders[:0], receivers[:0]
+		for v := int32(0); v < int32(n); v++ {
+			switch labels[v] {
+			case k - 1:
+				senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: MsgParent, A: uint64(v)}})
+			case k:
+				receivers = append(receivers, v)
+			}
+		}
+		if len(senders) == 0 && len(receivers) == 0 {
+			net.SkipLB(1)
+			continue
+		}
+		net.LocalBroadcast(senders, receivers, got[:len(receivers)], ok[:len(receivers)])
+		for j, v := range receivers {
+			if ok[j] && got[j].Kind == MsgParent {
+				parent[v] = int32(got[j].A)
+			}
+		}
+	}
+	return parent
+}
+
+// ValidateParents counts vertices whose parent pointer is inconsistent with
+// the labeling: a labeled non-root vertex must have a parent that is an
+// adjacent vertex exactly one layer closer. For use in tests and examples.
+func ValidateParents(net lbnet.Net, labels, parent []int32) int {
+	g := net.Graph()
+	bad := 0
+	for v := int32(0); int(v) < len(labels); v++ {
+		if labels[v] <= 0 {
+			continue
+		}
+		p := parent[v]
+		if p < 0 || labels[p] != labels[v]-1 || !g.HasEdge(v, p) {
+			bad++
+		}
+	}
+	return bad
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+	"repro/internal/rng"
+)
+
+func TestParentsOnFamilies(t *testing.T) {
+	r := rng.New(3)
+	for _, g := range []*graph.Graph{
+		graph.Path(50), graph.Grid(8, 8), graph.Cycle(40),
+		graph.ConnectedGNP(60, 0.06, r), graph.Star(30),
+	} {
+		labels := graph.BFS(g, 0)
+		net := lbnet.NewUnitNet(g, 0, 5)
+		parent := Parents(net, labels, g.N())
+		if bad := ValidateParents(net, labels, parent); bad != 0 {
+			t.Errorf("n=%d: %d inconsistent parents", g.N(), bad)
+		}
+		if parent[0] != -1 {
+			t.Error("root should have no parent")
+		}
+	}
+}
+
+func TestParentsEnergyConstant(t *testing.T) {
+	g := graph.Path(200)
+	labels := graph.BFS(g, 0)
+	net := lbnet.NewUnitNet(g, 0, 7)
+	Parents(net, labels, 200)
+	for v := int32(0); v < 200; v++ {
+		if e := net.LBEnergy(v); e > 2 {
+			t.Fatalf("vertex %d spent %d LB units; parents must cost O(1)", v, e)
+		}
+	}
+}
+
+func TestParentsPathsLeadToRoot(t *testing.T) {
+	g := graph.Grid(9, 9)
+	labels := graph.BFS(g, 0)
+	net := lbnet.NewUnitNet(g, 0, 9)
+	parent := Parents(net, labels, g.N())
+	// Following parents from any vertex must reach the root in label steps.
+	for v := int32(0); int(v) < g.N(); v++ {
+		cur, steps := v, int32(0)
+		for labels[cur] > 0 {
+			cur = parent[cur]
+			steps++
+			if cur < 0 || steps > labels[v] {
+				t.Fatalf("parent chain from %d broken at step %d", v, steps)
+			}
+		}
+		if steps != labels[v] {
+			t.Fatalf("chain length %d != label %d for vertex %d", steps, labels[v], v)
+		}
+	}
+}
+
+// TestFailureSweep documents robustness: with growing LB failure rates the
+// recursive BFS may leave vertices unlabeled or late, but never labels a
+// vertex below its true distance, and cast divergences stay observable.
+func TestFailureSweep(t *testing.T) {
+	g := graph.Cycle(96)
+	ref := graph.BFS(g, 0)
+	for _, f := range []float64{0, 0.01, 0.05, 0.1} {
+		base := lbnet.NewUnitNet(g, f, 11)
+		st, err := BuildStack(base, Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := st.BFS([]int32{0}, 48)
+		under := 0
+		for v := range dist {
+			if dist[v] != Unreached && dist[v] < ref[v] {
+				under++
+			}
+		}
+		if under != 0 {
+			t.Fatalf("failProb=%v: %d labels below true distance (safety violated)", f, under)
+		}
+		if f == 0 {
+			if bad := VerifyAgainstReference(g, []int32{0}, dist, 48); bad != 0 {
+				t.Fatalf("failProb=0 must be exact; %d mismatches", bad)
+			}
+		}
+	}
+}

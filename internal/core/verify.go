@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+)
+
+// MsgVerify is the message kind of the label-verification sweeps.
+const MsgVerify = 0x38
+
+// VerifyGradientResult reports the outcome of a distributed labeling check.
+type VerifyGradientResult struct {
+	// Violations counts vertices that detected an inconsistency.
+	Violations int
+	// LBCalls is the number of Local-Broadcasts used.
+	LBCalls int64
+}
+
+// VerifyGradient checks, with O(1) Local-Broadcasts of energy per vertex
+// (the paper's §1 remark that a candidate labeling can be verified
+// cheaply), that the labeling is a valid gradient: every vertex with label
+// k > 0 has a neighbor labeled k-1, and the heard label is exactly k-1.
+// This is the property the labelcast application needs — a gradient
+// labeling routes messages to the source along decreasing labels.
+//
+// A gradient labeling certifies dist(u) <= label(u). Certifying the reverse
+// inequality (no "shortcut" edges anywhere) inherently requires listening
+// across all smaller labels; see VerifyExact, which spends O(D) energy.
+// maxLabel bounds the sweep length; labels Unreached are ignored.
+func VerifyGradient(net lbnet.Net, labels []int32, maxLabel int) VerifyGradientResult {
+	n := net.N()
+	var res VerifyGradientResult
+	var senders []radio.TX
+	var receivers []int32
+	got := make([]radio.Msg, n)
+	ok := make([]bool, n)
+	for k := int32(1); int(k) <= maxLabel; k++ {
+		senders, receivers = senders[:0], receivers[:0]
+		for v := int32(0); v < int32(n); v++ {
+			switch labels[v] {
+			case k - 1:
+				senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: MsgVerify, A: uint64(k - 1)}})
+			case k:
+				receivers = append(receivers, v)
+			}
+		}
+		if len(senders) == 0 && len(receivers) == 0 {
+			net.SkipLB(1)
+			continue
+		}
+		net.LocalBroadcast(senders, receivers, got[:len(receivers)], ok[:len(receivers)])
+		res.LBCalls++
+		for j := range receivers {
+			if !ok[j] || got[j].Kind != MsgVerify || got[j].A != uint64(k-1) {
+				res.Violations++
+			}
+		}
+	}
+	return res
+}
+
+// VerifyExact additionally detects shortcut edges — neighbors whose labels
+// differ by two or more — by having every vertex listen through all sweep
+// rounds below its own label. Together with VerifyGradient this certifies
+// label(u) == dist(u) for all u, at Θ(D) energy per vertex (the unavoidable
+// cost of ruling out edges to much-closer vertices; see DESIGN.md).
+func VerifyExact(net lbnet.Net, labels []int32, maxLabel int) VerifyGradientResult {
+	res := VerifyGradient(net, labels, maxLabel)
+	n := net.N()
+	var senders []radio.TX
+	var receivers []int32
+	got := make([]radio.Msg, n)
+	ok := make([]bool, n)
+	for k := int32(0); int(k) <= maxLabel-2; k++ {
+		senders, receivers = senders[:0], receivers[:0]
+		for v := int32(0); v < int32(n); v++ {
+			switch {
+			case labels[v] == k:
+				senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: MsgVerify, A: uint64(k)}})
+			case labels[v] >= k+2:
+				receivers = append(receivers, v)
+			}
+		}
+		if len(senders) == 0 || len(receivers) == 0 {
+			net.SkipLB(1)
+			continue
+		}
+		net.LocalBroadcast(senders, receivers, got[:len(receivers)], ok[:len(receivers)])
+		res.LBCalls++
+		for j := range receivers {
+			// Hearing anything in a round below label-1 exposes a shortcut.
+			if ok[j] {
+				res.Violations++
+			}
+		}
+	}
+	return res
+}

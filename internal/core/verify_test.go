@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+)
+
+func TestVerifyGradientAcceptsTrueLabels(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(50), graph.Grid(8, 8), graph.Cycle(60)} {
+		labels := graph.BFS(g, 0)
+		net := lbnet.NewUnitNet(g, 0, 3)
+		res := VerifyGradient(net, labels, g.N())
+		if res.Violations != 0 {
+			t.Fatalf("true BFS labels rejected: %d violations", res.Violations)
+		}
+	}
+}
+
+func TestVerifyGradientEnergyIsConstant(t *testing.T) {
+	g := graph.Path(200)
+	labels := graph.BFS(g, 0)
+	net := lbnet.NewUnitNet(g, 0, 5)
+	VerifyGradient(net, labels, 200)
+	// Each vertex participates in at most 2 sweeps (sender at its label+1,
+	// receiver at its own) — O(1) energy.
+	for v := int32(0); v < 200; v++ {
+		if e := net.LBEnergy(v); e > 2 {
+			t.Fatalf("vertex %d spent %d LB units verifying; want <= 2", v, e)
+		}
+	}
+}
+
+func TestVerifyGradientDetectsMissingParent(t *testing.T) {
+	g := graph.Path(30)
+	labels := graph.BFS(g, 0)
+	labels[10] = 15 // no neighbor labeled 14
+	net := lbnet.NewUnitNet(g, 0, 7)
+	res := VerifyGradient(net, labels, 40)
+	if res.Violations == 0 {
+		t.Fatal("gap in gradient not detected")
+	}
+}
+
+func TestVerifyGradientMissesShortcut(t *testing.T) {
+	// The counterexample from DESIGN.md: path s-a-b-u plus edge s-u, labeled
+	// as if the shortcut didn't exist. Gradient verification PASSES — this
+	// is exactly why it certifies only dist <= label.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 3) // shortcut
+	g := b.Graph()
+	labels := []int32{0, 1, 2, 3} // wrong: dist(3) = 1
+	net := lbnet.NewUnitNet(g, 0, 9)
+	if res := VerifyGradient(net, labels, 5); res.Violations != 0 {
+		t.Fatalf("gradient check unexpectedly caught the shortcut (%d violations)", res.Violations)
+	}
+	// The exact verifier must catch it.
+	net2 := lbnet.NewUnitNet(g, 0, 11)
+	if res := VerifyExact(net2, labels, 5); res.Violations == 0 {
+		t.Fatal("exact verification missed the shortcut edge")
+	}
+}
+
+func TestVerifyExactAcceptsTrueLabels(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Grid(7, 7), graph.Star(30)} {
+		labels := graph.BFS(g, 0)
+		net := lbnet.NewUnitNet(g, 0, 13)
+		if res := VerifyExact(net, labels, g.N()); res.Violations != 0 {
+			t.Fatalf("true labels rejected by exact verifier: %d", res.Violations)
+		}
+	}
+}
+
+func TestVerifyRecursiveBFSOutput(t *testing.T) {
+	// End-to-end: labels produced by Recursive-BFS pass both verifiers.
+	g := graph.Cycle(80)
+	p := Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+	dist, _, base := runBFS(t, g, p, []int32{0}, 40, 15)
+	res := VerifyGradient(base, dist, 40)
+	if res.Violations != 0 {
+		t.Fatalf("recursive BFS output fails gradient check: %d", res.Violations)
+	}
+}

@@ -1,0 +1,64 @@
+// Package core implements the paper's main contribution (§4): the
+// Recursive-BFS algorithm, which computes a breadth-first labeling of a
+// radio network with sub-polynomial energy 2^O(√(log D log log n)) by
+// recursively running BFS on Miller–Peng–Xu cluster graphs to maintain,
+// at every vertex, lower and upper bounds on its cluster's distance to the
+// advancing wavefront — so that vertices sleep through the stages that
+// cannot affect them.
+package core
+
+// Y returns the largest power of two dividing i (Y[i] of §4.1); i must be
+// positive. Y = (1, 2, 1, 4, 1, 2, 1, 8, ...).
+func Y(i int) int {
+	if i <= 0 {
+		panic("core: Y is defined for positive indices")
+	}
+	return i & (-i)
+}
+
+// ZSeq is the Z-sequence guiding Special Updates (§4.1):
+//
+//	Z[0] = D*, Z[i] = min{D*, α·Y[i]} for i >= 1,
+//
+// where D* is the smallest α·2^j that is at least the required top search
+// radius. Lemma 4.2's periodicity properties are tested exhaustively.
+type ZSeq struct {
+	// Alpha is the paper's α = 4.
+	Alpha int
+	// DStar is Z[0], the radius of the initializing recursive call.
+	DStar int
+}
+
+// NewZSeq builds the Z-sequence for a required radius of at least minD.
+func NewZSeq(alpha, minD int) ZSeq {
+	if alpha < 1 {
+		panic("core: alpha must be positive")
+	}
+	d := alpha
+	for d < minD {
+		d *= 2
+	}
+	return ZSeq{Alpha: alpha, DStar: d}
+}
+
+// At returns Z[i].
+func (z ZSeq) At(i int) int {
+	if i == 0 {
+		return z.DStar
+	}
+	v := z.Alpha * Y(i)
+	if v > z.DStar {
+		return z.DStar
+	}
+	return v
+}
+
+// NextAtLeast returns the smallest index j > i with Z[j] >= b (Lemma 4.2
+// part 1), used by tests and the Claim 1/2 analysis.
+func (z ZSeq) NextAtLeast(i, b int) int {
+	for j := i + 1; ; j++ {
+		if z.At(j) >= b {
+			return j
+		}
+	}
+}

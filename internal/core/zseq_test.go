@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestYSequence(t *testing.T) {
+	want := []int{1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1, 16, 1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1, 32}
+	for i, w := range want {
+		if got := Y(i + 1); got != w {
+			t.Fatalf("Y[%d] = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestYPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Y(0)
+}
+
+func TestYDividesAndIsMaximal(t *testing.T) {
+	check := func(raw uint16) bool {
+		i := int(raw%10000) + 1
+		y := Y(i)
+		return i%y == 0 && (i/y)%2 == 1 // y | i and i/y odd ⇒ y is maximal
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZSeqDefinition(t *testing.T) {
+	z := NewZSeq(4, 50) // D* = min 4·2^j >= 50 = 64
+	if z.DStar != 64 {
+		t.Fatalf("DStar = %d, want 64", z.DStar)
+	}
+	if z.At(0) != 64 {
+		t.Fatalf("Z[0] = %d", z.At(0))
+	}
+	want := []int{4, 8, 4, 16, 4, 8, 4, 32, 4, 8, 4, 16, 4, 8, 4, 64, 4, 8, 4, 16}
+	for i, w := range want {
+		if got := z.At(i + 1); got != w {
+			t.Fatalf("Z[%d] = %d, want %d", i+1, got, w)
+		}
+	}
+	// Truncation at D*: Z[32] would be 4·32=128 > 64.
+	if z.At(32) != 64 {
+		t.Fatalf("Z[32] = %d, want truncated 64", z.At(32))
+	}
+}
+
+func TestZSeqMinimumRadius(t *testing.T) {
+	for _, minD := range []int{1, 3, 4, 5, 63, 64, 65, 1000} {
+		z := NewZSeq(4, minD)
+		if z.DStar < minD || z.DStar < 4 {
+			t.Fatalf("DStar(%d) = %d too small", minD, z.DStar)
+		}
+		if z.DStar > 2*minD && z.DStar != 4 {
+			t.Fatalf("DStar(%d) = %d too large", minD, z.DStar)
+		}
+	}
+}
+
+// TestLemma42Part1: for b >= α, the first index j > i with Z[j] >= b
+// satisfies j - i <= b/α; if additionally b < Z[i] and b is a power-of-two
+// multiple of α, then Z[j] = b and j - i = Z[j]/α. (The paper states
+// "Z[i] = b", a typo for Z[j]; and its proof of Lemma 4.3 only ever invokes
+// this with Z[i] >= 2x > x, i.e. the strict form checked here.)
+func TestLemma42Part1(t *testing.T) {
+	z := NewZSeq(4, 1000) // DStar = 1024
+	for i := 0; i <= 512; i++ {
+		for b := z.Alpha; b <= z.DStar; b *= 2 {
+			j := z.NextAtLeast(i, b)
+			if j-i > b/z.Alpha {
+				t.Fatalf("i=%d b=%d: j-i = %d > b/α = %d", i, b, j-i, b/z.Alpha)
+			}
+			if b < z.At(i) {
+				if z.At(j) != b {
+					t.Fatalf("i=%d b=%d: Z[j]=%d, want b", i, b, z.At(j))
+				}
+				if j-i != z.At(j)/z.Alpha {
+					t.Fatalf("i=%d b=%d: j-i=%d, want Z[j]/α=%d", i, b, j-i, z.At(j)/z.Alpha)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma42Part2: for the smallest j > i with Z[j] > Z[i] or Z[j] = D*,
+// j - i = Z[i]/α and all intermediate Z values are at most Z[i]/2.
+func TestLemma42Part2(t *testing.T) {
+	z := NewZSeq(4, 500) // DStar = 512
+	for i := 1; i <= 256; i++ {
+		zi := z.At(i)
+		j := i + 1
+		for z.At(j) <= zi && z.At(j) != z.DStar {
+			j++
+		}
+		if j-i != zi/z.Alpha {
+			t.Fatalf("i=%d: j-i = %d, want Z[i]/α = %d", i, j-i, zi/z.Alpha)
+		}
+		for k := i + 1; k < j; k++ {
+			if z.At(k) > zi/2 {
+				t.Fatalf("i=%d k=%d: Z[k] = %d > Z[i]/2 = %d", i, k, z.At(k), zi/2)
+			}
+		}
+	}
+}
+
+// TestZFrequency: each value b = α·2^ℓ appears with period 2^ℓ, so among the
+// first m indices it appears at most m/2^ℓ + 1 times — the counting used in
+// the time analysis of Theorem 4.1.
+func TestZFrequency(t *testing.T) {
+	z := NewZSeq(4, 4096)
+	const m = 2048
+	counts := map[int]int{}
+	for i := 1; i <= m; i++ {
+		counts[z.At(i)]++
+	}
+	for b, cnt := range counts {
+		period := b / z.Alpha
+		if cnt > m/period+1 {
+			t.Fatalf("value %d appears %d times in %d indices; period %d", b, cnt, m, period)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{InvBeta: 8, Depth: 2, W: 10, Alpha: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{InvBeta: 0, W: 1, Alpha: 4},
+		{InvBeta: 3, W: 1, Alpha: 4},
+		{InvBeta: 4, Depth: -1, W: 1, Alpha: 4},
+		{InvBeta: 4, W: 0, Alpha: 4},
+		{InvBeta: 4, W: 1, Alpha: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestDefaultParamsShape(t *testing.T) {
+	p := DefaultParams(1024, 512)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth < 1 {
+		t.Fatalf("depth = %d for a 512-radius search", p.Depth)
+	}
+	// Tiny searches degenerate to the trivial algorithm.
+	p2 := DefaultParams(1024, 2)
+	if p2.Depth != 0 {
+		t.Fatalf("depth = %d for a radius-2 search, want 0", p2.Depth)
+	}
+	// β shrinks as D grows.
+	if DefaultParams(4096, 4096).InvBeta < DefaultParams(4096, 16).InvBeta {
+		t.Fatal("InvBeta should grow with D₀")
+	}
+}

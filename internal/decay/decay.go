@@ -1,0 +1,222 @@
+// Package decay implements the Decay protocol of Bar-Yehuda, Goldreich and
+// Itai, in the form the paper uses it: the Local-Broadcast primitive of
+// Lemma 2.4. Given disjoint sender and receiver sets S and R, after one
+// Local-Broadcast every receiver with at least one sender-neighbor has, with
+// probability 1 - f, received some message from one such neighbor.
+//
+// Costs (Lemma 2.4): O(log Δ · log f⁻¹) time; senders spend O(log f⁻¹)
+// energy; receivers that hear a message spend O(log Δ) energy in
+// expectation; receivers that hear nothing spend O(log Δ · log f⁻¹).
+//
+// The package also provides the classic everyone-awake Decay BFS baseline
+// (O(D log² n) time and — crucially for the paper — Θ(D log² n) energy per
+// vertex), the comparator for the energy-efficient Recursive-BFS.
+package decay
+
+import (
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Params fixes the shape of one Local-Broadcast: Passes repetitions of
+// Slots decay steps. Every Local-Broadcast with the same Params takes
+// exactly Duration() rounds, which is what keeps sleeping devices
+// synchronized with active ones.
+type Params struct {
+	Slots  int // slots per pass: ⌈log₂ Δ⌉ + 1, with Δ ≤ n-1
+	Passes int // repetitions: Θ(log f⁻¹)
+}
+
+// ParamsFor returns Local-Broadcast parameters for an n-device network with
+// the given number of passes. Slots is ⌈log₂ n⌉ + 1 so that any neighborhood
+// size is covered.
+func ParamsFor(n, passes int) Params {
+	slots := 1
+	for 1<<slots < n {
+		slots++
+	}
+	if passes < 1 {
+		passes = 1
+	}
+	return Params{Slots: slots + 1, Passes: passes}
+}
+
+// Duration returns the fixed number of physical rounds per Local-Broadcast.
+func (p Params) Duration() int64 {
+	return int64(p.Slots) * int64(p.Passes)
+}
+
+// LocalBroadcast runs one Local-Broadcast on the engine. senders carry their
+// messages; receivers[i]'s result is written to got[i], ok[i]. A receiver
+// stops listening as soon as it hears a message (the energy optimization of
+// Lemma 2.4); senders transmit once per pass in a decay-distributed slot.
+// callSeed must be fresh per call (derive it from a root seed and a call
+// counter). got and ok must have len(receivers).
+func LocalBroadcast(e *radio.Engine, p Params, senders []radio.TX, receivers []int32, callSeed uint64, got []radio.Msg, ok []bool) {
+	if len(got) != len(receivers) || len(ok) != len(receivers) {
+		panic("decay: result slices must match receivers length")
+	}
+	for i := range ok {
+		ok[i] = false
+		got[i] = radio.Msg{}
+	}
+	if len(senders) == 0 && len(receivers) == 0 {
+		e.SkipRounds(p.Duration())
+		return
+	}
+	// active receivers, tracked by index into receivers.
+	active := make([]int32, len(receivers))
+	idx := make([]int, len(receivers)) // idx[j] = original position of active[j]
+	for i, r := range receivers {
+		active[i] = r
+		idx[i] = i
+	}
+	slotOf := make([]int, len(senders))
+	var tx []radio.TX
+	out := make([]radio.RX, len(receivers))
+	for pass := 0; pass < p.Passes; pass++ {
+		// Each sender independently picks its decay slot for this pass.
+		for i := range senders {
+			r := rng.New(rng.Derive(callSeed, uint64(pass), uint64(senders[i].ID)))
+			slotOf[i] = r.GeometricSlot(p.Slots)
+		}
+		for slot := 1; slot <= p.Slots; slot++ {
+			tx = tx[:0]
+			for i := range senders {
+				if slotOf[i] == slot {
+					tx = append(tx, senders[i])
+				}
+			}
+			if len(tx) == 0 && len(active) == 0 {
+				e.SkipRounds(1)
+				continue
+			}
+			e.Step(tx, active, out[:len(active)])
+			// Retire receivers that heard something.
+			w := 0
+			for j := range active {
+				if out[j].OK {
+					got[idx[j]] = out[j].Msg
+					ok[idx[j]] = true
+				} else {
+					active[w], idx[w] = active[j], idx[j]
+					w++
+				}
+			}
+			active, idx = active[:w], idx[:w]
+		}
+	}
+}
+
+// BFSResult carries the outcome of a Decay BFS run.
+type BFSResult struct {
+	Dist     []int32 // hop distance from the source set, -1 where not reached
+	Rounds   int64   // physical rounds consumed
+	LBCalls  int64   // Local-Broadcast invocations
+	MaxDepth int32   // largest assigned label
+}
+
+// BFS runs the classic Decay BFS from srcs: in wavefront step k every vertex
+// labeled k-1 is a sender and every unlabeled vertex listens. Every vertex
+// stays awake until labeled, which is exactly why this baseline costs
+// Θ(D log² n) energy per vertex. The search stops after maxDist wavefront
+// steps or when a step labels nothing.
+func BFS(e *radio.Engine, p Params, srcs []int32, maxDist int, seed uint64) BFSResult {
+	n := e.N()
+	start := e.Round()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	for _, s := range srcs {
+		dist[s] = 0
+	}
+	var res BFSResult
+	frontier := append([]int32(nil), srcs...)
+	unlabeled := make([]int32, 0, n)
+	for v := int32(0); v < int32(n); v++ {
+		if dist[v] == -1 {
+			unlabeled = append(unlabeled, v)
+		}
+	}
+	got := make([]radio.Msg, n)
+	ok := make([]bool, n)
+	senders := make([]radio.TX, 0, n)
+	for k := int32(1); int(k) <= maxDist && len(frontier) > 0 && len(unlabeled) > 0; k++ {
+		senders = senders[:0]
+		for _, v := range frontier {
+			senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: 1, A: uint64(k - 1)}})
+		}
+		LocalBroadcast(e, p, senders, unlabeled, rng.Derive(seed, uint64(k)), got[:len(unlabeled)], ok[:len(unlabeled)])
+		res.LBCalls++
+		frontier = frontier[:0]
+		w := 0
+		for j, v := range unlabeled {
+			if ok[j] {
+				dist[v] = k
+				frontier = append(frontier, v)
+				if k > res.MaxDepth {
+					res.MaxDepth = k
+				}
+			} else {
+				unlabeled[w] = v
+				w++
+			}
+		}
+		unlabeled = unlabeled[:w]
+	}
+	res.Dist = dist
+	res.Rounds = e.Round() - start
+	return res
+}
+
+// Broadcast floods a message from src until it has (w.h.p.) reached every
+// vertex or maxDepth wavefront steps elapse. Vertices transmit only in the
+// step after they first receive, so the schedule matches BFS layers. It
+// returns which vertices received the message.
+func Broadcast(e *radio.Engine, p Params, src int32, msg radio.Msg, maxDepth int, seed uint64) []bool {
+	res := BFS(e, p, []int32{src}, maxDepth, rng.Derive(seed, 0xb70adca57))
+	_ = msg // payload identical at every hop; labels stand in for delivery
+	informed := make([]bool, e.N())
+	for v, d := range res.Dist {
+		informed[v] = d >= 0
+	}
+	return informed
+}
+
+// ReferenceAgainst reports how many labels in dist disagree with a
+// sequential BFS from srcs on g (label -1 compared against unreachable or
+// distance > maxDist). Used by tests and the experiment harness.
+func ReferenceAgainst(g *graph.Graph, srcs []int32, dist []int32, maxDist int) int {
+	ref := graph.MultiSourceBFS(g, srcs)
+	bad := 0
+	for v := range ref {
+		want := ref[v]
+		if want == graph.Unreachable || int(want) > maxDist {
+			want = -1
+		}
+		if dist[v] != want {
+			bad++
+		}
+	}
+	return bad
+}
+
+// Sense implements the paper's footnote 2: even without hardware collision
+// detection, Local-Broadcast lets each receiver differentiate "no
+// transmitter in N(v)" from "at least one" in polylog(n) rounds w.h.p. —
+// senders run the Decay schedule and a receiver declares the channel busy
+// iff it hears any message during the call. busy[i] reports the verdict for
+// receivers[i]. This is why the paper can assume the weakest (no-CD) model
+// at only polylog cost.
+func Sense(e *radio.Engine, p Params, senders []int32, receivers []int32, callSeed uint64) []bool {
+	tx := make([]radio.TX, len(senders))
+	for i, s := range senders {
+		tx[i] = radio.TX{ID: s, Msg: radio.Msg{Kind: 0x5e}}
+	}
+	got := make([]radio.Msg, len(receivers))
+	ok := make([]bool, len(receivers))
+	LocalBroadcast(e, p, tx, receivers, callSeed, got, ok)
+	return ok
+}

@@ -1,0 +1,86 @@
+package diameter
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// MirrorThreeHalves runs the Theorem 5.4 algorithm centrally (sequential
+// BFS instead of radio BFS) so that the ⌊2·diam/3⌋ <= D′ <= diam guarantee
+// can be validated on graphs far larger than the radio simulation reaches.
+// The sampling and selection rules match ThreeHalvesApprox exactly.
+func MirrorThreeHalves(g *graph.Graph, seed uint64) Result {
+	n := g.N()
+	res := Result{Leader: 0}
+	best := int32(0)
+	track := func(dist []int32) {
+		for _, d := range dist {
+			if d > best {
+				best = d
+			}
+		}
+	}
+
+	p := math.Log(float64(n)+1) / math.Sqrt(float64(n))
+	minToS := make([]int32, n)
+	for v := range minToS {
+		minToS[v] = int32(n + 1)
+	}
+	for v := 0; v < n; v++ {
+		if !rng.New(rng.Derive(seed, uint64(v), 0x5a111)).Bernoulli(p) {
+			continue
+		}
+		res.SampleSize++
+		res.BFSRuns++
+		dist := graph.BFS(g, int32(v))
+		track(dist)
+		for u := 0; u < n; u++ {
+			if dist[u] >= 0 && dist[u] < minToS[u] {
+				minToS[u] = dist[u]
+			}
+		}
+	}
+	// v*: maximum distance to S, ties toward larger key (dist·n + id), as in
+	// the radio version's FindMax over composite keys.
+	vStar := int32(0)
+	bestKey := int64(-1)
+	for v := 0; v < n; v++ {
+		key := int64(minToS[v])*int64(n) + int64(v)
+		if key > bestKey {
+			bestKey, vStar = key, int32(v)
+		}
+	}
+	distStar := graph.BFS(g, vStar)
+	res.BFSRuns++
+	track(distStar)
+
+	// R: √n closest to v* by (distance, ID).
+	type pair struct {
+		d int64
+		v int32
+	}
+	var cands []pair
+	for v := 0; v < n; v++ {
+		if distStar[v] >= 0 {
+			cands = append(cands, pair{int64(distStar[v])*int64(n) + int64(v), int32(v)})
+		}
+	}
+	// Selection sort of the √n smallest (n is moderate here).
+	rSize := int(math.Ceil(math.Sqrt(float64(n))))
+	for picked := 0; picked < rSize && picked < len(cands); picked++ {
+		minAt := picked
+		for j := picked + 1; j < len(cands); j++ {
+			if cands[j].d < cands[minAt].d {
+				minAt = j
+			}
+		}
+		cands[picked], cands[minAt] = cands[minAt], cands[picked]
+		res.RSize++
+		res.BFSRuns++
+		track(graph.BFS(g, cands[picked].v))
+	}
+	res.Estimate = best
+	return res
+}

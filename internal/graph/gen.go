@@ -1,0 +1,419 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Path returns the n-vertex path 0—1—…—(n-1). Diameter n-1.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	return b.Graph()
+}
+
+// Cycle returns the n-vertex cycle. Diameter ⌊n/2⌋ for n >= 3.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	if n >= 3 {
+		b.AddEdge(int32(n-1), 0)
+	}
+	return b.Graph()
+}
+
+// Grid returns the rows×cols grid graph. Diameter rows+cols-2.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Torus returns the rows×cols torus (grid with wraparound).
+func Torus(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(((r+rows)%rows)*cols + (c+cols)%cols) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, c+1))
+			b.AddEdge(id(r, c), id(r+1, c))
+		}
+	}
+	return b.Graph()
+}
+
+// Star returns the n-vertex star with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, int32(v))
+	}
+	return b.Graph()
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteMinusEdge returns K_n with the edge {u, v} removed — the diameter-2
+// counterpart of K_n in the Theorem 5.1 lower bound.
+func CompleteMinusEdge(n int, u, v int32) *Graph {
+	b := NewBuilder(n)
+	for x := int32(0); x < int32(n); x++ {
+		for y := x + 1; y < int32(n); y++ {
+			if (x == u && y == v) || (x == v && y == u) {
+				continue
+			}
+			b.AddEdge(x, y)
+		}
+	}
+	return b.Graph()
+}
+
+// BinaryTree returns the complete binary tree on n vertices (heap indexing).
+func BinaryTree(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(int32(v), int32((v-1)/2))
+	}
+	return b.Graph()
+}
+
+// RandomTree returns a uniform-attachment random tree: vertex v attaches to a
+// uniformly random earlier vertex.
+func RandomTree(n int, r *rng.Source) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(int32(v), int32(r.Intn(v)))
+	}
+	return b.Graph()
+}
+
+// Hypercube returns the d-dimensional hypercube (2^d vertices).
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if v < u {
+				b.AddEdge(int32(v), int32(u))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph. It may be disconnected; use
+// ConnectedGNP when connectivity is required.
+func GNP(n int, p float64, r *rng.Source) *Graph {
+	b := NewBuilder(n)
+	if p >= 1 {
+		return Complete(n)
+	}
+	if p <= 0 {
+		return b.Graph()
+	}
+	// Geometric skipping for sparse p: iterate over present edges only.
+	logq := math.Log(1 - p)
+	u, v := int64(0), int64(0)
+	nn := int64(n)
+	for u < nn {
+		skip := int64(math.Log(1-r.Float64())/logq) + 1
+		v += skip
+		for v >= nn && u < nn {
+			u++
+			v = v - nn + u + 1
+		}
+		if u < nn && v > u {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Graph()
+}
+
+// ConnectedGNP returns G(n, p) with a uniform random spanning tree's worth of
+// extra edges added to guarantee connectivity (random-tree augmentation).
+func ConnectedGNP(n int, p float64, r *rng.Source) *Graph {
+	g := GNP(n, p, r)
+	if IsConnected(g) {
+		return g
+	}
+	b := NewBuilder(n)
+	g.Edges(func(u, v int32) { b.AddEdge(u, v) })
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(int32(perm[i]), int32(perm[r.Intn(i)]))
+	}
+	return b.Graph()
+}
+
+// RandomGeometric returns a unit-disk graph: n points uniform in the unit
+// square, vertices adjacent iff within distance radius. If connect is true,
+// disconnected components are stitched together by adding the edge between
+// the closest pair of points in different components (repeatedly), modelling
+// sensors dropped over terrain with a few long-range relays.
+func RandomGeometric(n int, radius float64, r *rng.Source, connect bool) *Graph {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = r.Float64(), r.Float64()
+	}
+	b := NewBuilder(n)
+	// Cell grid for neighbor queries.
+	cell := radius
+	if cell <= 0 {
+		cell = 1
+	}
+	cols := int(1/cell) + 1
+	grid := make(map[int][]int32, n)
+	key := func(x, y float64) int {
+		return int(y/cell)*cols + int(x/cell)
+	}
+	for i := 0; i < n; i++ {
+		k := key(xs[i], ys[i])
+		grid[k] = append(grid[k], int32(i))
+	}
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		cx, cy := int(xs[i]/cell), int(ys[i]/cell)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				for _, j := range grid[(cy+dy)*cols+(cx+dx)] {
+					if j <= int32(i) {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddEdge(int32(i), j)
+					}
+				}
+			}
+		}
+	}
+	g := b.Graph()
+	if !connect {
+		return g
+	}
+	for {
+		comp, k := Components(g)
+		if k <= 1 {
+			return g
+		}
+		// Closest pair across the component containing 0 and the rest.
+		best := -1.0
+		var bu, bv int32
+		for u := 0; u < n; u++ {
+			if comp[u] != comp[0] {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if comp[v] == comp[0] {
+					continue
+				}
+				ddx, ddy := xs[u]-xs[v], ys[u]-ys[v]
+				d2 := ddx*ddx + ddy*ddy
+				if best < 0 || d2 < best {
+					best, bu, bv = d2, int32(u), int32(v)
+				}
+			}
+		}
+		nb := NewBuilder(n)
+		g.Edges(func(u, v int32) { nb.AddEdge(u, v) })
+		nb.AddEdge(bu, bv)
+		g = nb.Graph()
+	}
+}
+
+// DRegular returns a random d-regular simple graph via the configuration
+// model with restarts. n·d must be even and d < n.
+func DRegular(n, d int, r *rng.Source) *Graph {
+	if n*d%2 != 0 || d >= n {
+		panic("graph: invalid d-regular parameters")
+	}
+	for attempt := 0; ; attempt++ {
+		stubs := make([]int32, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, int32(v))
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		seen := make(map[int64]bool, n*d/2)
+		b := NewBuilder(n)
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			k := int64(min32(u, v))<<32 | int64(max32(u, v))
+			if seen[k] {
+				ok = false
+				break
+			}
+			seen[k] = true
+			b.AddEdge(u, v)
+		}
+		if ok {
+			return b.Graph()
+		}
+		if attempt > 200 {
+			panic("graph: d-regular generation failed to converge")
+		}
+	}
+}
+
+// Lollipop returns a clique of size k attached to a path of length tail —
+// a classic high-eccentricity-contrast family for diameter experiments.
+func Lollipop(k, tail int) *Graph {
+	n := k + tail
+	b := NewBuilder(n)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	for v := k - 1; v < n-1; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	return b.Graph()
+}
+
+// Caterpillar returns a spine path of length spine where every spine vertex
+// carries legs pendant vertices.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine * (1 + legs)
+	b := NewBuilder(n)
+	for s := 0; s < spine-1; s++ {
+		b.AddEdge(int32(s), int32(s+1))
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(int32(s), int32(next))
+			next++
+		}
+	}
+	return b.Graph()
+}
+
+// PathWithTrees is the adversarial family for the 3/2-diameter approximation:
+// a long central path with complete binary trees of height h hanging off both
+// endpoints, so that eccentricity-based estimates are stressed.
+func PathWithTrees(pathLen, h int) *Graph {
+	treeN := (1 << (h + 1)) - 1
+	n := pathLen + 2*treeN
+	b := NewBuilder(n)
+	for v := 0; v < pathLen-1; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	attach := func(base int, root int32) {
+		for i := 0; i < treeN; i++ {
+			if i > 0 {
+				b.AddEdge(int32(base+i), int32(base+(i-1)/2))
+			}
+		}
+		b.AddEdge(root, int32(base))
+	}
+	attach(pathLen, 0)
+	attach(pathLen+treeN, int32(pathLen-1))
+	return b.Graph()
+}
+
+// Sorted copy helpers used by generators.
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Named returns a standard test-family graph by name; used by the CLI and
+// experiment harness. Supported: path, cycle, grid, torus, star, complete,
+// tree, gnp, geometric, hypercube, lollipop, caterpillar.
+func Named(name string, n int, seed uint64) (*Graph, bool) {
+	r := rng.New(rng.Derive(seed, 0xfa111e5))
+	switch name {
+	case "path":
+		return Path(n), true
+	case "cycle":
+		return Cycle(n), true
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 1 {
+			side = 1
+		}
+		return Grid(side, side), true
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 2 {
+			side = 2
+		}
+		return Torus(side, side), true
+	case "star":
+		return Star(n), true
+	case "complete":
+		return Complete(n), true
+	case "tree":
+		return RandomTree(n, r), true
+	case "gnp":
+		p := 2 * math.Log(float64(n)) / float64(n)
+		return ConnectedGNP(n, p, r), true
+	case "geometric":
+		radius := 1.8 * math.Sqrt(math.Log(float64(n)+2)/(math.Pi*float64(n)))
+		return RandomGeometric(n, radius, r, true), true
+	case "hypercube":
+		d := 0
+		for 1<<(d+1) <= n {
+			d++
+		}
+		return Hypercube(d), true
+	case "lollipop":
+		return Lollipop(n/2, n-n/2), true
+	case "caterpillar":
+		return Caterpillar(n/4, 3), true
+	}
+	return nil, false
+}
+
+// FamilyNames lists the graph families accepted by Named, sorted.
+func FamilyNames() []string {
+	names := []string{
+		"path", "cycle", "grid", "torus", "star", "complete", "tree",
+		"gnp", "geometric", "hypercube", "lollipop", "caterpillar",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,130 @@
+// Package graph provides the static undirected graphs on which radio networks
+// are simulated: a compact CSR (compressed sparse row) representation, a
+// mutable builder, generators for the workload families used in the
+// experiments, and sequential reference algorithms (BFS, diameter,
+// degeneracy) against which the distributed algorithms are validated.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR form. Vertices are
+// 0..N()-1. Adjacency lists are sorted, self-loop free and duplicate free.
+type Graph struct {
+	offsets   []int32
+	neighbors []int32
+	maxDeg    int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.neighbors) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// MaxDegree returns the maximum degree over all vertices (0 for empty graphs).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int32) bool {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// Edges calls fn once per undirected edge {u, v} with u < v.
+func (g *Graph) Edges(fn func(u, v int32)) {
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are silently dropped when Graph is called.
+type Builder struct {
+	n   int
+	adj [][]int32
+}
+
+// NewBuilder returns a Builder for an n-vertex graph.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge adds the undirected edge {u, v}. Out-of-range endpoints panic;
+// self-loops are ignored.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// Graph finalizes the builder into an immutable Graph.
+func (b *Builder) Graph() *Graph {
+	offsets := make([]int32, b.n+1)
+	total := 0
+	for v := 0; v < b.n; v++ {
+		lst := b.adj[v]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		// Dedupe in place.
+		w := 0
+		for i, x := range lst {
+			if i == 0 || x != lst[i-1] {
+				lst[w] = x
+				w++
+			}
+		}
+		b.adj[v] = lst[:w]
+		total += w
+	}
+	g := &Graph{
+		offsets:   offsets,
+		neighbors: make([]int32, 0, total),
+	}
+	for v := 0; v < b.n; v++ {
+		g.offsets[v] = int32(len(g.neighbors))
+		g.neighbors = append(g.neighbors, b.adj[v]...)
+		if d := len(b.adj[v]); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	g.offsets[b.n] = int32(len(g.neighbors))
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Graph()
+}

@@ -1,0 +1,272 @@
+// Package lbnet defines the abstraction at the heart of the paper's §3: a
+// (possibly virtual) radio network on which algorithms are composed
+// exclusively of collective Local-Broadcast calls. The clustering algorithm,
+// the Up-cast/Down-cast primitives, Recursive-BFS and the diameter
+// algorithms are all written once against the Net interface and run
+// unchanged on:
+//
+//   - PhysNet — a physical RN[O(log n)] network, where each Local-Broadcast
+//     executes the Decay protocol on the radio engine (Lemma 2.4), or
+//   - UnitNet — the paper's own unit of measurement (§4.3: "We use a call to
+//     Local-Broadcast as a unit of measurement of both time and energy"),
+//     where one Local-Broadcast costs one time unit and one energy unit per
+//     participant, with the Lemma 2.4 delivery guarantee taken as given, or
+//   - vnet.VNet — a cluster graph simulated on top of either (Lemma 3.2).
+//
+// Calls carry sparse participant lists, so the cost of a Local-Broadcast is
+// proportional to the number of participants — sleeping vertices are free,
+// in the simulator exactly as in the model.
+//
+// Control flow above this interface is data-independent: the sequence and
+// duration of collective calls depends only on globally known parameters,
+// never on received data, so sleeping vertices stay synchronized for free.
+package lbnet
+
+import (
+	"repro/internal/decay"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Net is a radio network driven by collective Local-Broadcast calls.
+type Net interface {
+	// N returns the number of vertices at this level.
+	N() int
+	// GlobalN returns the physical network size n, the parameter in all
+	// logarithmic factors and failure probabilities.
+	GlobalN() int
+	// LocalBroadcast performs one collective Local-Broadcast: every listed
+	// sender transmits its message; every listed receiver listens. All other
+	// vertices sleep. got[i], ok[i] report the delivery for receivers[i]:
+	// with at least one sending neighbor, a receiver hears some neighbor's
+	// message with probability at least 1-f. Senders and receivers must be
+	// disjoint and duplicate-free. The call advances the clock by exactly
+	// one LB unit regardless of participation.
+	LocalBroadcast(senders []radio.TX, receivers []int32, got []radio.Msg, ok []bool)
+	// SkipLB advances the clock by k LB units with every vertex asleep.
+	SkipLB(k int64)
+	// LBTime returns the number of LB units elapsed, including skipped ones.
+	LBTime() int64
+	// LBEnergy returns how many Local-Broadcasts vertex v has participated
+	// in (as sender or receiver) — the paper's energy measure in LB units.
+	LBEnergy(v int32) int64
+	// Graph returns the reference topology of this level. It exists for
+	// analysis and tests; algorithm code must not use it to communicate.
+	Graph() *graph.Graph
+}
+
+// MaxLBEnergy returns the maximum per-vertex LB-unit energy on net.
+func MaxLBEnergy(net Net) int64 {
+	var m int64
+	for v := int32(0); v < int32(net.N()); v++ {
+		if e := net.LBEnergy(v); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// TotalLBEnergy returns the aggregate LB-unit energy on net.
+func TotalLBEnergy(net Net) int64 {
+	var s int64
+	for v := int32(0); v < int32(net.N()); v++ {
+		s += net.LBEnergy(v)
+	}
+	return s
+}
+
+// meters is the shared accounting embedded by Net implementations.
+type meters struct {
+	lbTime int64
+	energy []int64
+}
+
+func (m *meters) charge(senders []radio.TX, receivers []int32) {
+	for i := range senders {
+		m.energy[senders[i].ID]++
+	}
+	for _, v := range receivers {
+		m.energy[v]++
+	}
+	m.lbTime++
+}
+
+// Delivery selects which sending neighbor a UnitNet receiver hears.
+type Delivery uint8
+
+const (
+	// DeliverMinID delivers the minimum-ID sending neighbor: a legal,
+	// adversarial, fully deterministic resolution of the Lemma 2.4
+	// guarantee. It is the default.
+	DeliverMinID Delivery = iota
+	// DeliverRandom delivers a uniformly random sending neighbor, matching
+	// the symmetry of the Decay protocol. Protocols that flood maxima need
+	// this: under DeliverMinID a low-ID neighbor can permanently shadow the
+	// informative one.
+	DeliverRandom
+)
+
+// UnitNet is an abstract network with ideal Local-Broadcast semantics: a
+// receiver with at least one sending neighbor hears the message of one of
+// them (per the Delivery policy) with probability 1-failProb (default:
+// always). It is fully deterministic for a fixed seed, fast, and is the
+// cost model in which the paper states its headline bounds.
+type UnitNet struct {
+	meters
+	g        *graph.Graph
+	failProb float64
+	rnd      *rng.Source
+	policy   Delivery
+
+	cnt     []int32
+	from    []int32
+	touched []int32
+}
+
+// NewUnitNet builds a UnitNet on g. failProb injects per-receiver delivery
+// failures (0 for exact semantics); seed drives the failure and
+// delivery-choice coin flips.
+func NewUnitNet(g *graph.Graph, failProb float64, seed uint64) *UnitNet {
+	n := g.N()
+	u := &UnitNet{
+		meters:   meters{energy: make([]int64, n)},
+		g:        g,
+		failProb: failProb,
+		rnd:      rng.New(rng.Derive(seed, 0x0417)),
+		cnt:      make([]int32, n),
+		from:     make([]int32, n),
+	}
+	for i := range u.from {
+		u.from[i] = -1
+	}
+	return u
+}
+
+// SetDelivery selects the delivery policy (default DeliverMinID).
+func (u *UnitNet) SetDelivery(p Delivery) { u.policy = p }
+
+// N implements Net.
+func (u *UnitNet) N() int { return u.g.N() }
+
+// GlobalN implements Net.
+func (u *UnitNet) GlobalN() int { return u.g.N() }
+
+// Graph implements Net.
+func (u *UnitNet) Graph() *graph.Graph { return u.g }
+
+// SkipLB implements Net.
+func (u *UnitNet) SkipLB(k int64) {
+	if k < 0 {
+		panic("lbnet: negative skip")
+	}
+	u.lbTime += k
+}
+
+// LBTime implements Net.
+func (u *UnitNet) LBTime() int64 { return u.lbTime }
+
+// LBEnergy implements Net.
+func (u *UnitNet) LBEnergy(v int32) int64 { return u.energy[v] }
+
+// LocalBroadcast implements Net with ideal LB semantics. Delivery choice is
+// the minimum-ID sending neighbor, a legal (adversarial) resolution of the
+// Lemma 2.4 guarantee that keeps runs deterministic.
+func (u *UnitNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio.Msg, ok []bool) {
+	if len(got) != len(receivers) || len(ok) != len(receivers) {
+		panic("lbnet: result slices must match receivers length")
+	}
+	for i := range senders {
+		s := senders[i].ID
+		for _, v := range u.g.Neighbors(s) {
+			if u.cnt[v] == 0 {
+				u.touched = append(u.touched, v)
+			}
+			u.cnt[v]++
+			switch {
+			case u.from[v] == -1:
+				u.from[v] = int32(i)
+			case u.policy == DeliverMinID:
+				if s < senders[u.from[v]].ID {
+					u.from[v] = int32(i)
+				}
+			default: // DeliverRandom: reservoir-sample among senders
+				if u.rnd.Intn(int(u.cnt[v])) == 0 {
+					u.from[v] = int32(i)
+				}
+			}
+		}
+	}
+	for i, v := range receivers {
+		if u.cnt[v] >= 1 && (u.failProb <= 0 || !u.rnd.Bernoulli(u.failProb)) {
+			got[i], ok[i] = senders[u.from[v]].Msg, true
+		} else {
+			got[i], ok[i] = radio.Msg{}, false
+		}
+	}
+	for _, v := range u.touched {
+		u.cnt[v] = 0
+		u.from[v] = -1
+	}
+	u.touched = u.touched[:0]
+	u.charge(senders, receivers)
+}
+
+// PhysNet adapts a radio engine into a Net: each collective Local-Broadcast
+// runs one Decay Local-Broadcast (Lemma 2.4) on the physical channel, so
+// both LB-unit meters (here) and physical round/energy meters (engine) are
+// populated.
+type PhysNet struct {
+	meters
+	eng  *radio.Engine
+	p    decay.Params
+	seed uint64
+}
+
+// NewPhysNet wraps eng. p fixes the Local-Broadcast shape (and hence the
+// LB-unit → rounds conversion factor p.Duration()).
+func NewPhysNet(eng *radio.Engine, p decay.Params, seed uint64) *PhysNet {
+	return &PhysNet{
+		meters: meters{energy: make([]int64, eng.N())},
+		eng:    eng,
+		p:      p,
+		seed:   seed,
+	}
+}
+
+// N implements Net.
+func (p *PhysNet) N() int { return p.eng.N() }
+
+// GlobalN implements Net.
+func (p *PhysNet) GlobalN() int { return p.eng.N() }
+
+// Graph implements Net.
+func (p *PhysNet) Graph() *graph.Graph { return p.eng.Graph() }
+
+// Engine exposes the physical meters.
+func (p *PhysNet) Engine() *radio.Engine { return p.eng }
+
+// Params returns the Local-Broadcast shape.
+func (p *PhysNet) Params() decay.Params { return p.p }
+
+// SkipLB implements Net.
+func (p *PhysNet) SkipLB(k int64) {
+	if k < 0 {
+		panic("lbnet: negative skip")
+	}
+	p.lbTime += k
+	p.eng.SkipRounds(k * p.p.Duration())
+}
+
+// LBTime implements Net.
+func (p *PhysNet) LBTime() int64 { return p.lbTime }
+
+// LBEnergy implements Net.
+func (p *PhysNet) LBEnergy(v int32) int64 { return p.energy[v] }
+
+// LocalBroadcast implements Net by running the Decay protocol.
+func (p *PhysNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio.Msg, ok []bool) {
+	callSeed := rng.Derive(p.seed, uint64(p.lbTime), 0x1b)
+	decay.LocalBroadcast(p.eng, p.p, senders, receivers, callSeed, got, ok)
+	p.charge(senders, receivers)
+}

@@ -1,0 +1,276 @@
+// Package lowerbound builds the executable content of the paper's §5
+// hardness results. Lower bounds cannot be "run", but their witness objects
+// and counting identities can be checked mechanically:
+//
+//   - Theorem 5.1 (distinguishing K_n from K_n−e costs Ω(n) energy): the
+//     good-timestep accounting |X_good| <= 2·(total energy) is verified on
+//     real engine transcripts, and the success probability of natural
+//     budgeted probing protocols is measured as a function of their energy,
+//     exhibiting the linear energy/success trade-off behind the bound.
+//
+//   - Theorem 5.2 ((3/2−ε)-approximation is hard even on sparse graphs):
+//     the set-disjointness graph G(S_A, S_B) is constructed, its
+//     diameter-2 ⟺ disjoint property and O(log n) arboricity are verified,
+//     and the two-party communication accounting of the reduction (bits =
+//     Σ_τ |Z(τ)|·O(log k)) is computed for protocol transcripts.
+package lowerbound
+
+import (
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// GoodPairStats is the Theorem 5.1 accounting for one protocol transcript.
+type GoodPairStats struct {
+	// GoodPairs is |X_good|: unordered pairs {u, v} for which some timestep
+	// was good (1 or 2 transmitters, one of the pair transmitting and the
+	// other listening).
+	GoodPairs int
+	// TotalEnergy is the aggregate energy of the transcript.
+	TotalEnergy int64
+	// Rounds is the transcript length.
+	Rounds int
+}
+
+// BoundHolds reports the proof's identity |X_good| <= 2·TotalEnergy.
+func (s GoodPairStats) BoundHolds() bool {
+	return int64(s.GoodPairs) <= 2*s.TotalEnergy
+}
+
+// Recorder accumulates the good-pair accounting while a protocol runs.
+// Feed it every round's transmitter and listener sets.
+type Recorder struct {
+	n     int
+	good  map[int64]struct{}
+	stats GoodPairStats
+}
+
+// NewRecorder returns a Recorder for an n-vertex network.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{n: n, good: make(map[int64]struct{})}
+}
+
+func (r *Recorder) pairKey(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)*int64(r.n) + int64(v)
+}
+
+// Observe records one timestep.
+func (r *Recorder) Observe(tx []int32, listeners []int32) {
+	r.stats.Rounds++
+	r.stats.TotalEnergy += int64(len(tx)) + int64(len(listeners))
+	if len(tx) == 0 || len(tx) > 2 {
+		return // not good for any pair
+	}
+	for _, t := range tx {
+		for _, l := range listeners {
+			if t != l {
+				r.good[r.pairKey(t, l)] = struct{}{}
+			}
+		}
+	}
+}
+
+// Stats returns the accounting so far.
+func (r *Recorder) Stats() GoodPairStats {
+	s := r.stats
+	s.GoodPairs = len(r.good)
+	return s
+}
+
+// ProbeResult is the outcome of a distinguishing protocol run.
+type ProbeResult struct {
+	// Detected reports whether some vertex observed evidence of the missing
+	// edge (silence in a slot where its partner transmitted alone).
+	Detected bool
+	// Stats is the good-pair accounting of the run.
+	Stats GoodPairStats
+	// MaxEnergy is the per-vertex energy cost of the protocol.
+	MaxEnergy int64
+}
+
+// RoundRobinProbe is the natural Θ(n)-energy protocol that distinguishes
+// K_n from K_n−e deterministically: in slot t, vertex t announces itself and
+// everyone else listens. On K_n every listener hears every slot; on K_n−e
+// the endpoints of e observe silence in each other's slots.
+func RoundRobinProbe(g *graph.Graph) ProbeResult {
+	n := g.N()
+	eng := radio.NewEngine(g)
+	rec := NewRecorder(n)
+	listeners := make([]int32, 0, n-1)
+	out := make([]radio.RX, n-1)
+	detected := false
+	for t := int32(0); t < int32(n); t++ {
+		listeners = listeners[:0]
+		for v := int32(0); v < int32(n); v++ {
+			if v != t {
+				listeners = append(listeners, v)
+			}
+		}
+		tx := []radio.TX{{ID: t, Msg: radio.Msg{A: uint64(t)}}}
+		eng.Step(tx, listeners, out[:len(listeners)])
+		rec.Observe([]int32{t}, listeners)
+		for _, rx := range out[:len(listeners)] {
+			if !rx.OK {
+				detected = true // a clique listener must hear the lone transmitter
+			}
+		}
+	}
+	return ProbeResult{Detected: detected, Stats: rec.Stats(), MaxEnergy: eng.MaxEnergy()}
+}
+
+// BudgetedProbe runs the same round-robin schedule but gives every vertex a
+// listening budget of only `budget` slots, sampled privately at random. On
+// K_n−e the missing edge is detected only if an endpoint happens to sample
+// its partner's slot, so the success probability scales like
+// 1−(1−budget/n)² ≈ 2·budget/n — the energy/success trade-off of
+// Theorem 5.1.
+func BudgetedProbe(g *graph.Graph, budget int, seed uint64) ProbeResult {
+	n := g.N()
+	eng := radio.NewEngine(g)
+	rec := NewRecorder(n)
+	if budget > n-1 {
+		budget = n - 1
+	}
+	// Each vertex samples `budget` distinct slots (not its own).
+	listenAt := make([][]int32, n) // slot -> listeners
+	for v := 0; v < n; v++ {
+		r := rng.New(rng.Derive(seed, uint64(v), 0xb7d6e7))
+		perm := r.Perm(n - 1)
+		for i := 0; i < budget; i++ {
+			slot := perm[i]
+			if slot >= v {
+				slot++ // skip own slot
+			}
+			listenAt[slot] = append(listenAt[slot], int32(v))
+		}
+	}
+	detected := false
+	var out []radio.RX
+	for t := int32(0); t < int32(n); t++ {
+		listeners := listenAt[t]
+		if cap(out) < len(listeners) {
+			out = make([]radio.RX, len(listeners))
+		}
+		tx := []radio.TX{{ID: t, Msg: radio.Msg{A: uint64(t)}}}
+		eng.Step(tx, listeners, out[:len(listeners)])
+		rec.Observe([]int32{t}, listeners)
+		for _, rx := range out[:len(listeners)] {
+			if !rx.OK {
+				detected = true
+			}
+		}
+	}
+	return ProbeResult{Detected: detected, Stats: rec.Stats(), MaxEnergy: eng.MaxEnergy()}
+}
+
+// DisjointnessGraph is the Theorem 5.2 lower-bound construction for an
+// instance (S_A, S_B) of set-disjointness over {0, ..., 2^ℓ - 1}.
+type DisjointnessGraph struct {
+	G *graph.Graph
+	// Index layout.
+	VA, VB, VC, VD []int32
+	UStar, VStar   int32
+	// Ell is ℓ = log₂(k), the bit width.
+	Ell int
+}
+
+// BuildDisjointness constructs G(S_A, S_B): u_i connects to w_j for
+// j ∈ Ones(a_i) and x_j for j ∈ Zeros(a_i); v_i symmetric with roles of
+// ones/zeros swapped; u* spans V_A ∪ V_C ∪ V_D and v* spans V_B ∪ V_C ∪ V_D.
+// diam(G) = 2 iff S_A ∩ S_B = ∅, and 3 otherwise.
+func BuildDisjointness(sa, sb []uint64, ell int) *DisjointnessGraph {
+	alpha, beta := len(sa), len(sb)
+	n := alpha + beta + 2*ell + 2
+	b := graph.NewBuilder(n)
+	d := &DisjointnessGraph{Ell: ell}
+	next := int32(0)
+	take := func(k int) []int32 {
+		out := make([]int32, k)
+		for i := range out {
+			out[i] = next
+			next++
+		}
+		return out
+	}
+	d.VA, d.VB, d.VC, d.VD = take(alpha), take(beta), take(ell), take(ell)
+	d.UStar = next
+	d.VStar = next + 1
+
+	for i, a := range sa {
+		for j := 0; j < ell; j++ {
+			if a&(1<<j) != 0 {
+				b.AddEdge(d.VA[i], d.VC[j])
+			} else {
+				b.AddEdge(d.VA[i], d.VD[j])
+			}
+		}
+	}
+	for i, bv := range sb {
+		for j := 0; j < ell; j++ {
+			if bv&(1<<j) == 0 {
+				b.AddEdge(d.VB[i], d.VC[j])
+			} else {
+				b.AddEdge(d.VB[i], d.VD[j])
+			}
+		}
+	}
+	for _, u := range d.VA {
+		b.AddEdge(d.UStar, u)
+	}
+	for _, v := range d.VB {
+		b.AddEdge(d.VStar, v)
+	}
+	for j := 0; j < ell; j++ {
+		b.AddEdge(d.UStar, d.VC[j])
+		b.AddEdge(d.UStar, d.VD[j])
+		b.AddEdge(d.VStar, d.VC[j])
+		b.AddEdge(d.VStar, d.VD[j])
+	}
+	d.G = b.Graph()
+	return d
+}
+
+// Disjoint reports whether two sets (as sorted-or-not slices) intersect.
+func Disjoint(sa, sb []uint64) bool {
+	seen := make(map[uint64]struct{}, len(sa))
+	for _, a := range sa {
+		seen[a] = struct{}{}
+	}
+	for _, b := range sb {
+		if _, hit := seen[b]; hit {
+			return false
+		}
+	}
+	return true
+}
+
+// ReductionBits accounts the two-party simulation cost of a transcript in
+// the modified model M′: each round costs O(|Z(τ)|·log k) bits, where Z(τ)
+// is the set of listening vertices among V_C ∪ V_D ∪ {u*, v*}. The closure
+// over rounds is Σ|Z(τ)|·(2·log k + 4) bits (each player sends one of
+// {"0", ">=2", (id, msg)} per listener).
+func (d *DisjointnessGraph) ReductionBits(listenersPerRound [][]int32) int64 {
+	special := make(map[int32]struct{}, 2*d.Ell+2)
+	for _, w := range d.VC {
+		special[w] = struct{}{}
+	}
+	for _, x := range d.VD {
+		special[x] = struct{}{}
+	}
+	special[d.UStar] = struct{}{}
+	special[d.VStar] = struct{}{}
+	perListener := int64(2*d.Ell + 4)
+	var bits int64
+	for _, ls := range listenersPerRound {
+		for _, l := range ls {
+			if _, hit := special[l]; hit {
+				bits += perListener
+			}
+		}
+	}
+	return bits
+}

@@ -1,0 +1,199 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestRoundRobinDistinguishes(t *testing.T) {
+	n := 40
+	onKn := RoundRobinProbe(graph.Complete(n))
+	if onKn.Detected {
+		t.Fatal("false positive on K_n")
+	}
+	onKnMinus := RoundRobinProbe(graph.CompleteMinusEdge(n, 3, 17))
+	if !onKnMinus.Detected {
+		t.Fatal("missed the removed edge on K_n - e")
+	}
+	// Θ(n) energy: every vertex listens in n-1 slots and transmits once.
+	if onKn.MaxEnergy != int64(n) {
+		t.Fatalf("round-robin max energy = %d, want %d", onKn.MaxEnergy, n)
+	}
+}
+
+func TestGoodPairBoundOnTranscripts(t *testing.T) {
+	// The |X_good| <= 2·energy identity must hold for every protocol.
+	for _, res := range []ProbeResult{
+		RoundRobinProbe(graph.Complete(30)),
+		BudgetedProbe(graph.Complete(30), 5, 7),
+		BudgetedProbe(graph.CompleteMinusEdge(30, 0, 1), 3, 9),
+	} {
+		if !res.Stats.BoundHolds() {
+			t.Fatalf("good-pair bound violated: %d pairs vs energy %d",
+				res.Stats.GoodPairs, res.Stats.TotalEnergy)
+		}
+	}
+}
+
+func TestRoundRobinCoversAllPairs(t *testing.T) {
+	// With full budgets the round-robin transcript makes every pair good,
+	// saturating the counting bound up to the factor 2.
+	n := 25
+	res := RoundRobinProbe(graph.Complete(n))
+	want := n * (n - 1) / 2
+	if res.Stats.GoodPairs != want {
+		t.Fatalf("good pairs = %d, want all %d", res.Stats.GoodPairs, want)
+	}
+}
+
+// TestBudgetedSuccessScaling measures the Theorem 5.1 trade-off: detection
+// probability grows linearly with the per-vertex energy budget.
+func TestBudgetedSuccessScaling(t *testing.T) {
+	n := 48
+	r := rng.New(11)
+	success := func(budget int) float64 {
+		hits := 0
+		const trials = 60
+		for trial := 0; trial < trials; trial++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			for v == u {
+				v = int32(r.Intn(n))
+			}
+			res := BudgetedProbe(graph.CompleteMinusEdge(n, u, v), budget, rng.Derive(13, uint64(trial), uint64(budget)))
+			if res.Detected {
+				hits++
+			}
+		}
+		return float64(hits) / trials
+	}
+	low := success(2)
+	high := success(24)
+	if high <= low {
+		t.Fatalf("success did not grow with budget: %.2f -> %.2f", low, high)
+	}
+	// budget 24 of 47 slots: expected ~1-(1-24/47)^2 ≈ 0.76.
+	if high < 0.5 {
+		t.Fatalf("high-budget success %.2f too low", high)
+	}
+	// budget 2 of 47: expected ~2*2/47 ≈ 0.085.
+	if low > 0.35 {
+		t.Fatalf("low-budget success %.2f too high", low)
+	}
+}
+
+func TestBudgetedProbeNeverFalsePositive(t *testing.T) {
+	for _, budget := range []int{1, 5, 20} {
+		res := BudgetedProbe(graph.Complete(32), budget, uint64(budget))
+		if res.Detected {
+			t.Fatalf("budget %d: false positive on K_n", budget)
+		}
+		if res.MaxEnergy > int64(budget)+1 {
+			t.Fatalf("budget %d: max energy %d exceeds budget+1", budget, res.MaxEnergy)
+		}
+	}
+}
+
+func TestDisjointnessDiameterExhaustive(t *testing.T) {
+	// All non-empty subsets of {0..7} (ℓ = 3): diam = 2 iff disjoint else 3.
+	const ell = 3
+	for maskA := uint(1); maskA < 256; maskA += 17 { // stride to keep runtime sane
+		for maskB := uint(1); maskB < 256; maskB += 13 {
+			var sa, sb []uint64
+			for b := uint(0); b < 8; b++ {
+				if maskA&(1<<b) != 0 {
+					sa = append(sa, uint64(b))
+				}
+				if maskB&(1<<b) != 0 {
+					sb = append(sb, uint64(b))
+				}
+			}
+			d := BuildDisjointness(sa, sb, ell)
+			diam := graph.Diameter(d.G)
+			want := int32(3)
+			if Disjoint(sa, sb) {
+				want = 2
+			}
+			if diam != want {
+				t.Fatalf("S_A=%v S_B=%v: diam = %d, want %d", sa, sb, diam, want)
+			}
+		}
+	}
+}
+
+func TestDisjointnessDiameterRandomLarge(t *testing.T) {
+	r := rng.New(17)
+	const ell = 7 // universe {0..127}
+	for trial := 0; trial < 20; trial++ {
+		var sa, sb []uint64
+		for x := uint64(0); x < 128; x++ {
+			if r.Bernoulli(0.3) {
+				sa = append(sa, x)
+			}
+			if r.Bernoulli(0.3) {
+				sb = append(sb, x)
+			}
+		}
+		if len(sa) == 0 || len(sb) == 0 {
+			continue
+		}
+		d := BuildDisjointness(sa, sb, ell)
+		diam := graph.Diameter(d.G)
+		want := int32(3)
+		if Disjoint(sa, sb) {
+			want = 2
+		}
+		if diam != want {
+			t.Fatalf("trial %d: diam = %d, want %d", trial, diam, want)
+		}
+	}
+}
+
+func TestDisjointnessSparsity(t *testing.T) {
+	// Arboricity (bounded by degeneracy) must be O(log k) = O(ℓ).
+	r := rng.New(23)
+	const ell = 8
+	var sa, sb []uint64
+	for x := uint64(0); x < 256; x++ {
+		if r.Bernoulli(0.5) {
+			sa = append(sa, x)
+		}
+		if r.Bernoulli(0.5) {
+			sb = append(sb, x)
+		}
+	}
+	d := BuildDisjointness(sa, sb, ell)
+	if deg := graph.Degeneracy(d.G); deg > 4*ell {
+		t.Fatalf("degeneracy %d is not O(ℓ = %d)", deg, ell)
+	}
+	n := d.G.N()
+	if n != len(sa)+len(sb)+2*ell+2 {
+		t.Fatalf("vertex count %d wrong", n)
+	}
+}
+
+func TestReductionBitsAccounting(t *testing.T) {
+	d := BuildDisjointness([]uint64{1, 2}, []uint64{4, 5}, 3)
+	// Two rounds: first only u* listens; second a V_A vertex (not charged)
+	// and one V_C vertex.
+	rounds := [][]int32{
+		{d.UStar},
+		{d.VA[0], d.VC[1]},
+	}
+	got := d.ReductionBits(rounds)
+	want := int64(2) * (2*3 + 4) // two special listeners charged
+	if got != want {
+		t.Fatalf("reduction bits = %d, want %d", got, want)
+	}
+}
+
+func TestDisjointEmptyIntersection(t *testing.T) {
+	if !Disjoint([]uint64{1, 2}, []uint64{3, 4}) {
+		t.Fatal("disjoint sets reported intersecting")
+	}
+	if Disjoint([]uint64{1, 2}, []uint64{2, 9}) {
+		t.Fatal("intersecting sets reported disjoint")
+	}
+}

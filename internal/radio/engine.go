@@ -1,0 +1,269 @@
+// Package radio implements the RN[b] radio network model of the paper
+// (§1.1): synchronized discrete timesteps on an unknown undirected graph
+// where, each step, a device idles (free), listens (1 energy) or transmits
+// (1 energy), and a listener receives a message iff exactly one of its
+// neighbors transmits. There is no collision detection: a listener cannot
+// distinguish silence from a collision.
+//
+// The package provides two front-ends over one physics core:
+//
+//   - Engine: a vectorized step API used by the protocol layers. It is
+//     activity-proportional — the cost of a step is O(Σ deg(transmitters) +
+//     #listeners), and rounds in which nobody is awake are skipped in O(1).
+//     This mirrors the paper's central concern: sleeping radios are free.
+//
+//   - Sim/Device: a goroutine-per-device blocking API (Listen, Transmit,
+//     Idle) on which free-form protocols can be written as ordinary
+//     sequential Go code.
+//
+// Energy is metered per device exactly as the paper defines it: the number of
+// timesteps spent listening or transmitting.
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Msg is a radio message. The paper's algorithms need only a handful of
+// small integer fields, so messages are fixed-shape rather than raw bytes;
+// Bits reports the size charged against the RN[b] message budget.
+type Msg struct {
+	Kind uint8  // protocol-level tag
+	A    uint64 // primary field (IDs, labels, distances)
+	B    uint64 // secondary field
+	C    uint64 // tertiary field (seeds)
+	// Hdr is the transport header used by the cluster-graph simulation
+	// (§3): each virtual level pushes its O(log n)-bit cluster ID so that
+	// cast receivers can filter out messages from foreign clusters. Levels
+	// stack by shifting, so the whole stack costs O(depth · log n) bits.
+	Hdr uint64
+}
+
+// Bits returns the encoded size of m in bits: an 8-bit kind plus a varint-
+// style charge for each field. This is the quantity checked against the
+// RN[O(log n)] message-size budget.
+func (m Msg) Bits() int {
+	return 8 + uintBits(m.A) + uintBits(m.B) + uintBits(m.C) + uintBits(m.Hdr)
+}
+
+func uintBits(x uint64) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// TX is a transmission request: device ID plus message.
+type TX struct {
+	ID  int32
+	Msg Msg
+}
+
+// RX is a delivery result for a listener.
+type RX struct {
+	Msg Msg
+	OK  bool // true iff exactly one neighbor transmitted
+	// Noise is set only on engines with receiver-side collision detection
+	// (WithCollisionDetection): it distinguishes two-or-more transmitters
+	// (noise) from zero (silence). Without CD both cases read as
+	// OK == false, Noise == false — the paper's default model (§1.1,
+	// footnote 2). The §5 lower bounds hold even with CD.
+	Noise bool
+}
+
+// Engine simulates the physics of one radio network. It is not safe for
+// concurrent use; the Sim front-end serializes access.
+type Engine struct {
+	g     *graph.Graph
+	round int64
+
+	energy    []int64
+	listens   []int64
+	transmits []int64
+
+	maxMsgBits    int
+	msgViolations int64
+	cd            bool
+
+	// scratch for Step, sized n, reset between calls via touched list.
+	cnt     []int32
+	from    []int32
+	touched []int32
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMaxMsgBits sets the RN[b] message budget in bits. Oversized messages
+// are still delivered (so simulations proceed) but counted; tests assert the
+// violation counter stays zero. Zero disables the check (RN[∞]).
+func WithMaxMsgBits(b int) Option {
+	return func(e *Engine) { e.maxMsgBits = b }
+}
+
+// DefaultMsgBits returns the default RN[O(log n)] budget used by protocol
+// code: 8·⌈log₂(n+1)⌉ + 80 bits, enough for a kind tag, three O(log n)-bit
+// fields and one 64-bit shared-randomness seed.
+func DefaultMsgBits(n int) int {
+	lg := 1
+	for 1<<lg <= n {
+		lg++
+	}
+	return 8*lg + 80
+}
+
+// WithCollisionDetection enables receiver-side CD: listeners can
+// distinguish noise (>= 2 transmitting neighbors) from silence. The paper's
+// algorithms do not need it (Local-Broadcast recovers the same power within
+// polylog factors, §1.1), but the §5 lower bounds are stated to survive it,
+// which the lowerbound package exercises.
+func WithCollisionDetection() Option {
+	return func(e *Engine) { e.cd = true }
+}
+
+// NewEngine builds an engine over graph g.
+func NewEngine(g *graph.Graph, opts ...Option) *Engine {
+	n := g.N()
+	e := &Engine{
+		g:          g,
+		energy:     make([]int64, n),
+		listens:    make([]int64, n),
+		transmits:  make([]int64, n),
+		maxMsgBits: DefaultMsgBits(n),
+		cnt:        make([]int32, n),
+		from:       make([]int32, n),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Graph returns the underlying topology.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// N returns the number of devices.
+func (e *Engine) N() int { return e.g.N() }
+
+// Round returns the current global time.
+func (e *Engine) Round() int64 { return e.round }
+
+// SkipRounds advances the clock by k rounds in which every device idles.
+func (e *Engine) SkipRounds(k int64) {
+	if k < 0 {
+		panic("radio: negative round skip")
+	}
+	e.round += k
+}
+
+// Energy returns the energy spent so far by device v.
+func (e *Engine) Energy(v int32) int64 { return e.energy[v] }
+
+// Listens returns the number of listen steps of device v.
+func (e *Engine) Listens(v int32) int64 { return e.listens[v] }
+
+// Transmits returns the number of transmit steps of device v.
+func (e *Engine) Transmits(v int32) int64 { return e.transmits[v] }
+
+// MaxEnergy returns the maximum per-device energy — the paper's energy cost
+// of an algorithm.
+func (e *Engine) MaxEnergy() int64 {
+	var m int64
+	for _, v := range e.energy {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TotalEnergy returns the aggregate energy over all devices.
+func (e *Engine) TotalEnergy() int64 {
+	var s int64
+	for _, v := range e.energy {
+		s += v
+	}
+	return s
+}
+
+// EnergySnapshot copies the per-device energy vector.
+func (e *Engine) EnergySnapshot() []int64 {
+	out := make([]int64, len(e.energy))
+	copy(out, e.energy)
+	return out
+}
+
+// ResetMeters zeroes energy counters and the clock (topology unchanged).
+func (e *Engine) ResetMeters() {
+	for i := range e.energy {
+		e.energy[i], e.listens[i], e.transmits[i] = 0, 0, 0
+	}
+	e.round = 0
+	e.msgViolations = 0
+}
+
+// MsgViolations returns how many transmitted messages exceeded the RN[b]
+// budget. Protocol tests assert this is zero.
+func (e *Engine) MsgViolations() int64 { return e.msgViolations }
+
+// Step executes one physical round. tx lists the transmitting devices with
+// their messages; listeners lists the listening devices. All other devices
+// idle. Results are written to out (which must have len(listeners)):
+// out[i] corresponds to listeners[i] and has OK set iff exactly one neighbor
+// of that listener transmitted. A device must not both transmit and listen
+// in the same round, and must not appear twice in tx; both are programming
+// errors that panic. Listeners must be duplicate-free (caller contract).
+func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
+	if len(out) != len(listeners) {
+		panic(fmt.Sprintf("radio: out length %d != listeners length %d", len(out), len(listeners)))
+	}
+	// Mark transmissions into neighbor counters.
+	for i := range tx {
+		t := &tx[i]
+		if e.cnt[t.ID] == -1 {
+			panic(fmt.Sprintf("radio: device %d transmits twice in round %d", t.ID, e.round))
+		}
+		if e.maxMsgBits > 0 && t.Msg.Bits() > e.maxMsgBits {
+			e.msgViolations++
+		}
+		e.energy[t.ID]++
+		e.transmits[t.ID]++
+		for _, u := range e.g.Neighbors(t.ID) {
+			if e.cnt[u] >= 0 {
+				e.cnt[u]++
+				e.from[u] = int32(i)
+			}
+		}
+		e.touched = append(e.touched, t.ID)
+		e.cnt[t.ID] = -1 // transmitter marker; also catches transmit+listen
+	}
+	for i, v := range listeners {
+		c := e.cnt[v]
+		if c == -1 {
+			panic(fmt.Sprintf("radio: device %d both transmits and listens in round %d", v, e.round))
+		}
+		e.energy[v]++
+		e.listens[v]++
+		switch {
+		case c == 1:
+			out[i] = RX{Msg: tx[e.from[v]].Msg, OK: true}
+		case c >= 2 && e.cd:
+			out[i] = RX{Noise: true} // collision detected
+		default:
+			out[i] = RX{} // silence, or collision without CD: no feedback
+		}
+	}
+	// Reset scratch: counters touched by transmissions.
+	for _, t := range e.touched {
+		e.cnt[t] = 0
+		for _, u := range e.g.Neighbors(t) {
+			e.cnt[u] = 0
+		}
+	}
+	e.touched = e.touched[:0]
+	e.round++
+}

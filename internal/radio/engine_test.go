@@ -1,0 +1,253 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func step(e *Engine, tx []TX, listeners []int32) []RX {
+	out := make([]RX, len(listeners))
+	e.Step(tx, listeners, out)
+	return out
+}
+
+func TestSingleTransmitterDelivers(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	e := NewEngine(g)
+	out := step(e, []TX{{ID: 1, Msg: Msg{Kind: 7, A: 42}}}, []int32{0, 2})
+	for i, rx := range out {
+		if !rx.OK || rx.Msg.A != 42 || rx.Msg.Kind != 7 {
+			t.Fatalf("listener %d: got %+v", i, rx)
+		}
+	}
+}
+
+func TestCollisionSilence(t *testing.T) {
+	g := graph.Path(3) // 0 and 2 both neighbors of 1
+	e := NewEngine(g)
+	out := step(e, []TX{{ID: 0, Msg: Msg{A: 1}}, {ID: 2, Msg: Msg{A: 2}}}, []int32{1})
+	if out[0].OK {
+		t.Fatalf("collision delivered a message: %+v", out[0])
+	}
+}
+
+func TestNoTransmitterSilence(t *testing.T) {
+	e := NewEngine(graph.Cycle(4))
+	out := step(e, nil, []int32{0, 1, 2, 3})
+	for _, rx := range out {
+		if rx.OK {
+			t.Fatal("silence delivered a message")
+		}
+	}
+}
+
+func TestNonNeighborNotHeard(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	e := NewEngine(g)
+	out := step(e, []TX{{ID: 0, Msg: Msg{A: 9}}}, []int32{2, 3})
+	if out[0].OK || out[1].OK {
+		t.Fatal("message crossed more than one hop")
+	}
+}
+
+func TestTwoDisjointTransmissions(t *testing.T) {
+	g := graph.Path(6) // 0-1-2-3-4-5
+	e := NewEngine(g)
+	out := step(e, []TX{{ID: 0, Msg: Msg{A: 10}}, {ID: 5, Msg: Msg{A: 50}}}, []int32{1, 4})
+	if !out[0].OK || out[0].Msg.A != 10 {
+		t.Fatalf("listener 1: %+v", out[0])
+	}
+	if !out[1].OK || out[1].Msg.A != 50 {
+		t.Fatalf("listener 4: %+v", out[1])
+	}
+}
+
+func TestTransmitterHearsNothing(t *testing.T) {
+	// A transmitter that is also adjacent to another transmitter does not
+	// receive; transmitters get no feedback in this model, and marking them
+	// must not corrupt neighbor counters.
+	g := graph.Complete(3)
+	e := NewEngine(g)
+	out := step(e, []TX{{ID: 0, Msg: Msg{A: 1}}, {ID: 1, Msg: Msg{A: 2}}}, []int32{2})
+	if out[0].OK {
+		t.Fatal("listener 2 should see a collision")
+	}
+	// Next round: only 0 transmits; 2 should hear it cleanly.
+	out = step(e, []TX{{ID: 0, Msg: Msg{A: 3}}}, []int32{2})
+	if !out[0].OK || out[0].Msg.A != 3 {
+		t.Fatalf("scratch state leaked across rounds: %+v", out[0])
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	g := graph.Path(3)
+	e := NewEngine(g)
+	step(e, []TX{{ID: 1, Msg: Msg{}}}, []int32{0})
+	step(e, []TX{{ID: 1, Msg: Msg{}}}, []int32{0, 2})
+	if e.Energy(1) != 2 || e.Transmits(1) != 2 || e.Listens(1) != 0 {
+		t.Fatalf("transmitter energy: E=%d T=%d L=%d", e.Energy(1), e.Transmits(1), e.Listens(1))
+	}
+	if e.Energy(0) != 2 || e.Listens(0) != 2 {
+		t.Fatalf("listener 0 energy: %d", e.Energy(0))
+	}
+	if e.Energy(2) != 1 {
+		t.Fatalf("listener 2 energy: %d", e.Energy(2))
+	}
+	if e.MaxEnergy() != 2 || e.TotalEnergy() != 5 {
+		t.Fatalf("aggregate energy: max=%d total=%d", e.MaxEnergy(), e.TotalEnergy())
+	}
+}
+
+func TestIdleIsFree(t *testing.T) {
+	e := NewEngine(graph.Cycle(5))
+	e.SkipRounds(1000)
+	step(e, nil, nil)
+	if e.Round() != 1001 {
+		t.Fatalf("round = %d", e.Round())
+	}
+	if e.TotalEnergy() != 0 {
+		t.Fatal("idle rounds cost energy")
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine(graph.Path(2))
+	for i := 0; i < 5; i++ {
+		step(e, nil, []int32{0})
+	}
+	if e.Round() != 5 {
+		t.Fatalf("round = %d", e.Round())
+	}
+}
+
+func TestResetMeters(t *testing.T) {
+	e := NewEngine(graph.Path(2))
+	step(e, []TX{{ID: 0, Msg: Msg{}}}, []int32{1})
+	e.ResetMeters()
+	if e.TotalEnergy() != 0 || e.Round() != 0 {
+		t.Fatal("ResetMeters incomplete")
+	}
+}
+
+func TestDoubleTransmitPanics(t *testing.T) {
+	e := NewEngine(graph.Path(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate transmitter")
+		}
+	}()
+	step(e, []TX{{ID: 0}, {ID: 0}}, nil)
+}
+
+func TestTransmitAndListenPanics(t *testing.T) {
+	e := NewEngine(graph.Path(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on transmit+listen")
+		}
+	}()
+	step(e, []TX{{ID: 0}}, []int32{0})
+}
+
+func TestMsgBitsAccounting(t *testing.T) {
+	if b := (Msg{}).Bits(); b != 8 {
+		t.Fatalf("empty msg bits = %d", b)
+	}
+	if b := (Msg{A: 1}).Bits(); b != 9 {
+		t.Fatalf("1-bit msg = %d", b)
+	}
+	m := Msg{Kind: 1, A: 1 << 40, B: 3, C: 255}
+	if b := m.Bits(); b != 8+41+2+8 {
+		t.Fatalf("bits = %d", b)
+	}
+}
+
+func TestMsgViolationCounter(t *testing.T) {
+	e := NewEngine(graph.Path(2), WithMaxMsgBits(16))
+	step(e, []TX{{ID: 0, Msg: Msg{A: ^uint64(0)}}}, []int32{1})
+	if e.MsgViolations() != 1 {
+		t.Fatalf("violations = %d", e.MsgViolations())
+	}
+	// RN[∞]: no limit.
+	e2 := NewEngine(graph.Path(2), WithMaxMsgBits(0))
+	step(e2, []TX{{ID: 0, Msg: Msg{A: ^uint64(0)}}}, []int32{1})
+	if e2.MsgViolations() != 0 {
+		t.Fatalf("RN[inf] violations = %d", e2.MsgViolations())
+	}
+}
+
+func TestDefaultMsgBits(t *testing.T) {
+	if b := DefaultMsgBits(1024); b != 8*11+80 {
+		t.Fatalf("DefaultMsgBits(1024) = %d", b)
+	}
+	if DefaultMsgBits(1) >= DefaultMsgBits(1<<20) {
+		t.Fatal("budget should grow with n")
+	}
+}
+
+func TestManyListenersDenseGraph(t *testing.T) {
+	n := 50
+	g := graph.Complete(n)
+	e := NewEngine(g)
+	listeners := make([]int32, 0, n-1)
+	for v := 1; v < n; v++ {
+		listeners = append(listeners, int32(v))
+	}
+	out := step(e, []TX{{ID: 0, Msg: Msg{A: 5}}}, listeners)
+	for i, rx := range out {
+		if !rx.OK || rx.Msg.A != 5 {
+			t.Fatalf("clique listener %d missed broadcast", i)
+		}
+	}
+}
+
+func TestEnergySnapshotIsolated(t *testing.T) {
+	e := NewEngine(graph.Path(2))
+	snap := e.EnergySnapshot()
+	snap[0] = 999
+	if e.Energy(0) != 0 {
+		t.Fatal("snapshot aliases internal state")
+	}
+}
+
+func BenchmarkStepSparse(b *testing.B) {
+	g := graph.Grid(64, 64)
+	e := NewEngine(g)
+	tx := []TX{{ID: 2000, Msg: Msg{A: 1}}}
+	listeners := []int32{2001, 2002, 2064}
+	out := make([]RX, len(listeners))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step(tx, listeners, out)
+	}
+}
+
+func TestCollisionDetection(t *testing.T) {
+	g := graph.Star(4) // center 0; leaves 1,2,3
+	e := NewEngine(g, WithCollisionDetection())
+	// Two transmitters: noise.
+	out := step(e, []TX{{ID: 1, Msg: Msg{A: 1}}, {ID: 2, Msg: Msg{A: 2}}}, []int32{0})
+	if out[0].OK || !out[0].Noise {
+		t.Fatalf("CD listener should detect noise: %+v", out[0])
+	}
+	// Zero transmitters: silence.
+	out = step(e, nil, []int32{0})
+	if out[0].OK || out[0].Noise {
+		t.Fatalf("CD listener should read silence: %+v", out[0])
+	}
+	// One transmitter: clean delivery, no noise flag.
+	out = step(e, []TX{{ID: 3, Msg: Msg{A: 3}}}, []int32{0})
+	if !out[0].OK || out[0].Noise || out[0].Msg.A != 3 {
+		t.Fatalf("CD delivery wrong: %+v", out[0])
+	}
+}
+
+func TestNoCollisionDetectionByDefault(t *testing.T) {
+	g := graph.Star(4)
+	e := NewEngine(g)
+	out := step(e, []TX{{ID: 1}, {ID: 2}}, []int32{0})
+	if out[0].Noise {
+		t.Fatal("noise reported without CD enabled")
+	}
+}

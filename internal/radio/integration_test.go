@@ -1,0 +1,71 @@
+package radio
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSimDecayProtocol writes the Decay transmission schedule directly on
+// the goroutine Device API: leaves of a star contend, the center listens,
+// and w.h.p. one pass isolates a sender — the same physics the vectorized
+// decay package exercises, reached through the other front-end.
+func TestSimDecayProtocol(t *testing.T) {
+	const leaves = 32
+	const slots = 6
+	const passes = 8
+	misses := 0
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Star(leaves + 1)
+		eng := NewEngine(g)
+		sim := NewSim(eng, uint64(trial))
+		var heard atomic.Bool
+		sim.Run(func(d *Device) {
+			if d.ID() == 0 {
+				// Center: listen through all slots until something arrives.
+				for p := 0; p < passes; p++ {
+					for s := 1; s <= slots; s++ {
+						if _, ok := d.Listen(); ok {
+							heard.Store(true)
+							return
+						}
+					}
+				}
+				return
+			}
+			// Leaf: per pass, transmit in one decay-distributed slot.
+			for p := 0; p < passes; p++ {
+				slot := d.Rand().GeometricSlot(slots)
+				d.Idle(int64(slot - 1))
+				d.Transmit(Msg{A: uint64(d.ID())})
+				d.Idle(int64(slots - slot))
+			}
+		})
+		if !heard.Load() {
+			misses++
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("decay-on-Sim failed %d/20 trials", misses)
+	}
+}
+
+// TestSimCollisionDetectionAPI: with CD enabled at the engine, the Sim API
+// still reports only OK (noise is engine-level information the blocking API
+// does not surface), and energy accounting is unchanged.
+func TestSimCollisionDetectionAPI(t *testing.T) {
+	g := graph.Star(3)
+	eng := NewEngine(g, WithCollisionDetection())
+	sim := NewSim(eng, 5)
+	sim.Run(func(d *Device) {
+		if d.ID() == 0 {
+			d.Listen()
+			return
+		}
+		d.Transmit(Msg{A: uint64(d.ID())})
+	})
+	if eng.Energy(0) != 1 || eng.Energy(1) != 1 {
+		t.Fatal("energy accounting changed under CD")
+	}
+}

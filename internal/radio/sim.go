@@ -1,0 +1,204 @@
+package radio
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Sim runs one goroutine per device over an Engine, letting protocols be
+// written as plain sequential Go. Devices interact with the channel through
+// blocking calls on their Device handle; a coordinator resolves each round
+// conservatively (it waits until every live device has committed its next
+// action before delivering any messages), which makes runs deterministic for
+// a fixed seed regardless of goroutine scheduling.
+type Sim struct {
+	eng  *Engine
+	seed uint64
+}
+
+// NewSim wraps an engine for goroutine-per-device execution. seed derives
+// every device's private randomness.
+func NewSim(eng *Engine, seed uint64) *Sim {
+	return &Sim{eng: eng, seed: seed}
+}
+
+// Engine returns the underlying physics engine (for meters).
+func (s *Sim) Engine() *Engine { return s.eng }
+
+type actKind uint8
+
+const (
+	actNone actKind = iota
+	actListen
+	actTransmit
+	actHalt
+)
+
+type pending struct {
+	kind  actKind
+	round int64 // round at which the action occurs
+	msg   Msg   // for transmit
+	reply chan RX
+}
+
+// Device is the per-goroutine handle for one radio device.
+type Device struct {
+	id   int32
+	sim  *Sim
+	rnd  *rng.Source
+	now  int64 // device-local clock
+	req  chan<- reqMsg
+	resp chan RX
+}
+
+type reqMsg struct {
+	id int32
+	p  pending
+}
+
+// ID returns the device's identifier (its vertex in the graph).
+func (d *Device) ID() int32 { return d.id }
+
+// N returns the number of devices in the network.
+func (d *Device) N() int { return d.sim.eng.N() }
+
+// Now returns the device's local clock (the round of its next action).
+func (d *Device) Now() int64 { return d.now }
+
+// Rand returns the device's private randomness source.
+func (d *Device) Rand() *rng.Source { return d.rnd }
+
+// Idle sleeps for k rounds at zero energy cost.
+func (d *Device) Idle(k int64) {
+	if k < 0 {
+		panic("radio: negative idle")
+	}
+	d.now += k
+}
+
+// IdleUntil sleeps until the device-local clock reaches round r (no-op if
+// already past).
+func (d *Device) IdleUntil(r int64) {
+	if r > d.now {
+		d.now = r
+	}
+}
+
+// Listen spends one round listening; it returns the received message if
+// exactly one neighbor transmitted in that round.
+func (d *Device) Listen() (Msg, bool) {
+	d.req <- reqMsg{d.id, pending{kind: actListen, round: d.now, reply: d.resp}}
+	rx := <-d.resp
+	d.now++
+	return rx.Msg, rx.OK
+}
+
+// Transmit spends one round transmitting m.
+func (d *Device) Transmit(m Msg) {
+	d.req <- reqMsg{d.id, pending{kind: actTransmit, round: d.now, msg: m, reply: d.resp}}
+	<-d.resp
+	d.now++
+}
+
+// Run executes body once per device, each in its own goroutine, and returns
+// when all devices have halted (their body returned). It may be called again
+// to run another protocol on the same network; meters accumulate.
+func (s *Sim) Run(body func(d *Device)) {
+	n := s.eng.N()
+	req := make(chan reqMsg, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		d := &Device{
+			id:   int32(v),
+			sim:  s,
+			rnd:  rng.New(rng.Derive(s.seed, uint64(v), 0xdef1ce)),
+			now:  s.eng.Round(),
+			req:  req,
+			resp: make(chan RX, 1),
+		}
+		go func() {
+			defer wg.Done()
+			body(d)
+			req <- reqMsg{d.id, pending{kind: actHalt, round: d.now}}
+		}()
+	}
+
+	coordDone := make(chan struct{})
+	go s.coordinate(n, req, coordDone)
+	wg.Wait()
+	close(req)
+	<-coordDone
+}
+
+// coordinate implements the conservative round loop: collect one pending
+// action from every live device, then resolve the earliest round.
+func (s *Sim) coordinate(live int, req <-chan reqMsg, done chan<- struct{}) {
+	defer close(done)
+	waiting := make(map[int32]pending, live)
+	var tx []TX
+	var listeners []int32
+	var out []RX
+	var batch []int32
+	for live > 0 {
+		// Fill: block until every live device has an outstanding action.
+		for len(waiting) < live {
+			r, ok := <-req
+			if !ok {
+				return
+			}
+			if r.p.kind == actHalt {
+				live--
+				continue
+			}
+			waiting[r.id] = r.p
+		}
+		if live == 0 {
+			break
+		}
+		// Find the earliest action round.
+		var minRound int64 = -1
+		for _, p := range waiting {
+			if minRound < 0 || p.round < minRound {
+				minRound = p.round
+			}
+		}
+		// Batch all devices acting at minRound, in ID order for determinism.
+		batch = batch[:0]
+		for id, p := range waiting {
+			if p.round == minRound {
+				batch = append(batch, id)
+			}
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+		tx, listeners, out = tx[:0], listeners[:0], out[:0]
+		for _, id := range batch {
+			p := waiting[id]
+			switch p.kind {
+			case actTransmit:
+				tx = append(tx, TX{ID: id, Msg: p.msg})
+			case actListen:
+				listeners = append(listeners, id)
+				out = append(out, RX{})
+			}
+		}
+		if gap := minRound - s.eng.Round(); gap > 0 {
+			s.eng.SkipRounds(gap)
+		}
+		s.eng.Step(tx, listeners, out)
+		// Reply: transmitters get a zero RX, listeners their delivery.
+		li := 0
+		for _, id := range batch {
+			p := waiting[id]
+			delete(waiting, id)
+			if p.kind == actListen {
+				p.reply <- out[li]
+				li++
+			} else {
+				p.reply <- RX{}
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package radio
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSimPingAcrossEdge(t *testing.T) {
+	e := NewEngine(graph.Path(2))
+	sim := NewSim(e, 1)
+	var got atomic.Int64
+	sim.Run(func(d *Device) {
+		if d.ID() == 0 {
+			d.Transmit(Msg{A: 77})
+		} else {
+			m, ok := d.Listen()
+			if ok {
+				got.Store(int64(m.A))
+			}
+		}
+	})
+	if got.Load() != 77 {
+		t.Fatalf("device 1 heard %d, want 77", got.Load())
+	}
+}
+
+func TestSimCollision(t *testing.T) {
+	e := NewEngine(graph.Star(3)) // 0 center; 1,2 leaves
+	sim := NewSim(e, 2)
+	var heard atomic.Bool
+	sim.Run(func(d *Device) {
+		switch d.ID() {
+		case 0:
+			if _, ok := d.Listen(); ok {
+				heard.Store(true)
+			}
+		default:
+			d.Transmit(Msg{A: uint64(d.ID())})
+		}
+	})
+	if heard.Load() {
+		t.Fatal("center heard through a collision")
+	}
+}
+
+func TestSimIdleAlignment(t *testing.T) {
+	// Device 1 idles 5 rounds then transmits; device 0 idles 5 then listens.
+	// The conservative coordinator must line the two up at round 5.
+	e := NewEngine(graph.Path(2))
+	sim := NewSim(e, 3)
+	var got atomic.Int64
+	sim.Run(func(d *Device) {
+		d.Idle(5)
+		if d.ID() == 1 {
+			d.Transmit(Msg{A: 9})
+		} else if m, ok := d.Listen(); ok {
+			got.Store(int64(m.A))
+		}
+	})
+	if got.Load() != 9 {
+		t.Fatal("idle-skewed transmit/listen failed to align")
+	}
+	if e.Round() != 6 {
+		t.Fatalf("engine round = %d, want 6", e.Round())
+	}
+	if e.TotalEnergy() != 2 {
+		t.Fatalf("energy = %d, want 2", e.TotalEnergy())
+	}
+}
+
+func TestSimMisalignedRoundsDoNotDeliver(t *testing.T) {
+	e := NewEngine(graph.Path(2))
+	sim := NewSim(e, 4)
+	var ok0 atomic.Bool
+	sim.Run(func(d *Device) {
+		if d.ID() == 1 {
+			d.Idle(1)
+			d.Transmit(Msg{A: 1}) // round 1
+		} else {
+			_, ok := d.Listen() // round 0: nobody transmits
+			ok0.Store(ok)
+		}
+	})
+	if ok0.Load() {
+		t.Fatal("listener heard a transmission from a different round")
+	}
+}
+
+func TestSimFloodReachesEveryone(t *testing.T) {
+	// A synchronous flood on a path: vertex 0 starts with the token; each
+	// round, exactly the newest holder transmits. Everyone should learn the
+	// token in order.
+	n := 16
+	e := NewEngine(graph.Path(n))
+	sim := NewSim(e, 5)
+	when := make([]int64, n)
+	sim.Run(func(d *Device) {
+		if d.ID() == 0 {
+			d.Transmit(Msg{A: 123})
+			when[0] = 0
+			return
+		}
+		for {
+			m, ok := d.Listen()
+			if ok && m.A == 123 {
+				when[d.ID()] = d.Now() - 1
+				d.Transmit(m)
+				return
+			}
+		}
+	})
+	for v := 1; v < n; v++ {
+		if when[v] != int64(v-1) {
+			t.Fatalf("vertex %d got token at round %d, want %d", v, when[v], v-1)
+		}
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(graph.Cycle(8))
+		sim := NewSim(e, 42)
+		sim.Run(func(d *Device) {
+			for i := 0; i < 10; i++ {
+				if d.Rand().Bernoulli(0.5) {
+					d.Transmit(Msg{A: uint64(d.ID())})
+				} else {
+					d.Listen()
+				}
+			}
+		})
+		return e.EnergySnapshot()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic energy at device %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimRandDiffersAcrossDevices(t *testing.T) {
+	e := NewEngine(graph.Path(4))
+	sim := NewSim(e, 7)
+	vals := make([]uint64, 4)
+	sim.Run(func(d *Device) {
+		vals[d.ID()] = d.Rand().Uint64()
+	})
+	seen := map[uint64]bool{}
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatal("two devices share identical private randomness")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSimSequentialRuns(t *testing.T) {
+	e := NewEngine(graph.Path(2))
+	sim := NewSim(e, 9)
+	sim.Run(func(d *Device) {
+		if d.ID() == 0 {
+			d.Transmit(Msg{A: 1})
+		} else {
+			d.Listen()
+		}
+	})
+	r1 := e.Round()
+	sim.Run(func(d *Device) {
+		if d.ID() == 1 {
+			d.Transmit(Msg{A: 2})
+		} else {
+			d.Listen()
+		}
+	})
+	if e.Round() != r1+1 {
+		t.Fatalf("second run did not resume the clock: %d -> %d", r1, e.Round())
+	}
+	if e.Energy(0) != 2 || e.Energy(1) != 2 {
+		t.Fatal("meters did not accumulate across runs")
+	}
+}
+
+func TestSimHaltWithoutActing(t *testing.T) {
+	// Devices that halt immediately must not wedge the coordinator.
+	e := NewEngine(graph.Cycle(6))
+	sim := NewSim(e, 11)
+	sim.Run(func(d *Device) {
+		if d.ID()%2 == 0 {
+			return // halt instantly
+		}
+		d.Listen()
+	})
+	if e.TotalEnergy() != 3 {
+		t.Fatalf("energy = %d, want 3", e.TotalEnergy())
+	}
+}

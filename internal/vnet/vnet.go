@@ -1,0 +1,490 @@
+// Package vnet simulates the cluster graph G* = cluster(G, β) as a radio
+// network in its own right, implementing the paper's §3. Virtual vertices
+// are clusters; the communication primitives are:
+//
+//   - Downcast (Lemma 3.1): cluster centers disseminate a message to all
+//     members, layer by layer, using the shared-subset collision-avoidance
+//     schedule — stage i, step j has the layer-(i-1) members of clusters
+//     with j ∈ S_C send to the layer-i members of those clusters.
+//   - Upcast (Lemma 3.1): the reverse — the center learns one message held
+//     by some member.
+//   - LocalBroadcast (Lemma 3.2): one Local-Broadcast on G*, implemented as
+//     Downcast + one parent-level Local-Broadcast + Upcast, plus a final
+//     result Downcast so that every member learns what its cluster received
+//     (a constant-factor deviation recorded in DESIGN.md that keeps the
+//     replicated per-cluster state of Invariant 4.1 consistent).
+//
+// A VNet implements lbnet.Net, so clustering and Recursive-BFS run on it
+// unchanged — including building a further VNet on top of it, which is the
+// recursion of §4. Every operation has a fixed duration in parent LB units,
+// determined only by the clustering parameters, so non-participating
+// clusters sleep through it at zero energy.
+package vnet
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+)
+
+// MsgCast is the message kind used inside casts.
+const MsgCast = 0x20
+
+// VNet is the cluster graph of a parent network, usable as an lbnet.Net.
+type VNet struct {
+	parent lbnet.Net
+	cl     *cluster.Clustering
+	g      *graph.Graph // cluster graph (reference topology)
+
+	// Precomputed schedule data.
+	membersAtLayer [][][]int32 // [cluster][layer] -> member vertices
+	maxLayerOf     []int32     // [cluster] -> deepest member layer
+	subsets        [][]int32   // [cluster] -> sorted subset slots
+	hdrBits        uint        // bits pushed per wrap
+
+	lbTime int64
+	energy []int64 // per cluster, LB units at this level
+
+	// castFailures counts w.h.p.-zero divergence events: a participating
+	// member that missed a Downcast, or a center that missed an Upcast some
+	// member sent into. Tests assert it stays zero under default parameters.
+	castFailures int64
+
+	// Scratch (parent-sized and cluster-sized).
+	memberMsg   []radio.Msg
+	memberHas   []bool
+	phase2Got   []radio.Msg
+	phase2Ok    []bool
+	partScratch []bool
+	slotBucket  [][]int32
+	slotUsed    []bool
+	txScratch   []radio.TX
+	rxScratch   []int32
+	gotScratch  []radio.Msg
+	okScratch   []bool
+	active      []int32
+}
+
+// New builds the virtual network for clustering cl of the parent net.
+func New(parent lbnet.Net, cl *cluster.Clustering) *VNet {
+	pn := parent.N()
+	nc := cl.NumClusters()
+	v := &VNet{
+		parent:     parent,
+		cl:         cl,
+		g:          cl.ClusterGraph(parent.Graph()),
+		maxLayerOf: make([]int32, nc),
+		subsets:    make([][]int32, nc),
+		energy:     make([]int64, nc),
+
+		memberMsg:   make([]radio.Msg, pn),
+		memberHas:   make([]bool, pn),
+		phase2Got:   make([]radio.Msg, pn),
+		phase2Ok:    make([]bool, pn),
+		partScratch: make([]bool, nc),
+		slotBucket:  make([][]int32, cl.Cfg.SubsetLen),
+		slotUsed:    make([]bool, cl.Cfg.SubsetLen),
+		gotScratch:  make([]radio.Msg, pn),
+		okScratch:   make([]bool, pn),
+	}
+	v.membersAtLayer = make([][][]int32, nc)
+	for c := 0; c < nc; c++ {
+		v.subsets[c] = cl.Subset(int32(c))
+	}
+	for u := int32(0); u < int32(pn); u++ {
+		c := cl.ClusterOf[u]
+		l := cl.Layer[u]
+		if l > v.maxLayerOf[c] {
+			v.maxLayerOf[c] = l
+		}
+	}
+	for c := 0; c < nc; c++ {
+		v.membersAtLayer[c] = make([][]int32, v.maxLayerOf[c]+1)
+	}
+	for u := int32(0); u < int32(pn); u++ {
+		c := cl.ClusterOf[u]
+		l := cl.Layer[u]
+		v.membersAtLayer[c][l] = append(v.membersAtLayer[c][l], u)
+	}
+	v.hdrBits = 1
+	for 1<<v.hdrBits < nc+1 {
+		v.hdrBits++
+	}
+	return v
+}
+
+// Clustering returns the clustering this level is built on.
+func (v *VNet) Clustering() *cluster.Clustering { return v.cl }
+
+// Parent returns the network this level is simulated on.
+func (v *VNet) Parent() lbnet.Net { return v.parent }
+
+// CastFailures returns the number of cast divergence events so far.
+func (v *VNet) CastFailures() int64 { return v.castFailures }
+
+// N implements lbnet.Net: the number of clusters.
+func (v *VNet) N() int { return v.cl.NumClusters() }
+
+// GlobalN implements lbnet.Net: the physical network size.
+func (v *VNet) GlobalN() int { return v.parent.GlobalN() }
+
+// Graph implements lbnet.Net: the cluster graph (analysis only).
+func (v *VNet) Graph() *graph.Graph { return v.g }
+
+// LBTime implements lbnet.Net.
+func (v *VNet) LBTime() int64 { return v.lbTime }
+
+// LBEnergy implements lbnet.Net.
+func (v *VNet) LBEnergy(c int32) int64 { return v.energy[c] }
+
+// CastLBs returns the fixed duration of one cast in parent LB units:
+// TMax stages of SubsetLen steps.
+func (v *VNet) CastLBs() int64 {
+	return int64(v.cl.Cfg.TMax) * int64(v.cl.Cfg.SubsetLen)
+}
+
+// VLBCost returns the fixed duration of one virtual Local-Broadcast in
+// parent LB units: three casts plus one parent Local-Broadcast.
+func (v *VNet) VLBCost() int64 { return 3*v.CastLBs() + 1 }
+
+// SkipLB implements lbnet.Net.
+func (v *VNet) SkipLB(k int64) {
+	if k < 0 {
+		panic("vnet: negative skip")
+	}
+	v.lbTime += k
+	v.parent.SkipLB(k * v.VLBCost())
+}
+
+// wrap pushes this level's cluster ID onto the transport header.
+func (v *VNet) wrap(m radio.Msg, c int32) radio.Msg {
+	m.Hdr = m.Hdr<<v.hdrBits | uint64(c+1)
+	return m
+}
+
+// unwrap pops this level's cluster ID; ok is false for foreign messages.
+func (v *VNet) unwrap(m radio.Msg, want int32) (radio.Msg, bool) {
+	c := int64(m.Hdr&(1<<v.hdrBits-1)) - 1
+	m.Hdr >>= v.hdrBits
+	return m, c == int64(want)
+}
+
+// Downcast delivers clusterMsg[c] from the center of every participating
+// cluster c (part[c] && has[c]) to all of c's members. Results land in
+// memberGot/memberOk, indexed by parent vertex; entries of members of
+// non-participating clusters are zeroed. Members of participating clusters
+// without a message (has[c] false) still listen on schedule. The call always
+// consumes CastLBs() parent LB units.
+func (v *VNet) Downcast(part, has []bool, clusterMsg []radio.Msg, memberGot []radio.Msg, memberOk []bool) {
+	v.cast(part, castDown{v: v, has: has, clusterMsg: clusterMsg, memberGot: memberGot, memberOk: memberOk})
+}
+
+// Upcast delivers, for every participating cluster with at least one member
+// holding a message (memberHas), one such message to the cluster center.
+// Results land in clusterGot/clusterOk indexed by cluster. The call always
+// consumes CastLBs() parent LB units.
+func (v *VNet) Upcast(part []bool, memberHas []bool, memberMsg []radio.Msg, clusterGot []radio.Msg, clusterOk []bool) {
+	v.cast(part, castUp{v: v, memberHas: memberHas, memberMsg: memberMsg, clusterGot: clusterGot, clusterOk: clusterOk})
+}
+
+// castDirection abstracts the two cast directions over one schedule.
+type castDirection interface {
+	// stages returns the stage indices in execution order.
+	stageSeq(maxStage int32) (from, to, step int32)
+	// senderLayer maps a stage to the layer that transmits in it.
+	senderLayer(stage int32) int32
+	// recvLayer maps a stage to the layer that listens in it.
+	recvLayer(stage int32) int32
+	// init prepares per-member state before the stages run.
+	init()
+	// senderMsg returns the message member u of cluster c sends, if any.
+	senderMsg(u, c int32) (radio.Msg, bool)
+	// wantsListen reports whether member u of cluster c should listen.
+	wantsListen(u, c int32) bool
+	// deliver records a successful reception at member u of cluster c.
+	deliver(u, c int32, m radio.Msg)
+	// finish runs after the stages to tally failures.
+	finish(part []bool)
+}
+
+type castDown struct {
+	v          *VNet
+	has        []bool
+	clusterMsg []radio.Msg
+	memberGot  []radio.Msg
+	memberOk   []bool
+}
+
+func (d castDown) stageSeq(maxStage int32) (int32, int32, int32) { return 1, maxStage, 1 }
+func (d castDown) senderLayer(stage int32) int32                 { return stage - 1 }
+func (d castDown) recvLayer(stage int32) int32                   { return stage }
+
+func (d castDown) init() {
+	for i := range d.memberGot {
+		d.memberGot[i], d.memberOk[i] = radio.Msg{}, false
+	}
+	for c, center := range d.v.cl.Center {
+		if d.has != nil && !d.has[c] {
+			continue
+		}
+		d.memberGot[center] = d.clusterMsg[c]
+		d.memberOk[center] = true
+	}
+}
+
+func (d castDown) senderMsg(u, c int32) (radio.Msg, bool) {
+	if d.memberOk[u] {
+		return d.memberGot[u], true
+	}
+	return radio.Msg{}, false
+}
+
+func (d castDown) wantsListen(u, c int32) bool { return !d.memberOk[u] }
+
+func (d castDown) deliver(u, c int32, m radio.Msg) {
+	d.memberGot[u] = m
+	d.memberOk[u] = true
+}
+
+func (d castDown) finish(part []bool) {
+	// A member of a participating cluster whose center had a message but
+	// who didn't receive it is a divergence event.
+	for c := range part {
+		if !part[c] || (d.has != nil && !d.has[c]) {
+			continue
+		}
+		for _, layerMembers := range d.v.membersAtLayer[c] {
+			for _, u := range layerMembers {
+				if !d.memberOk[u] {
+					d.v.castFailures++
+				}
+			}
+		}
+	}
+}
+
+type castUp struct {
+	v          *VNet
+	memberHas  []bool
+	memberMsg  []radio.Msg
+	clusterGot []radio.Msg
+	clusterOk  []bool
+}
+
+func (u castUp) stageSeq(maxStage int32) (int32, int32, int32) { return maxStage, 1, -1 }
+func (u castUp) senderLayer(stage int32) int32                 { return stage }
+func (u castUp) recvLayer(stage int32) int32                   { return stage - 1 }
+
+func (u castUp) init() {
+	v := u.v
+	copy(v.memberMsg, u.memberMsg)
+	copy(v.memberHas, u.memberHas)
+	for c := range u.clusterGot {
+		u.clusterGot[c], u.clusterOk[c] = radio.Msg{}, false
+	}
+}
+
+func (u castUp) senderMsg(m, c int32) (radio.Msg, bool) {
+	if u.v.memberHas[m] {
+		return u.v.memberMsg[m], true
+	}
+	return radio.Msg{}, false
+}
+
+func (u castUp) wantsListen(m, c int32) bool { return !u.v.memberHas[m] }
+
+func (u castUp) deliver(m, c int32, msg radio.Msg) {
+	u.v.memberMsg[m] = msg
+	u.v.memberHas[m] = true
+}
+
+func (u castUp) finish(part []bool) {
+	v := u.v
+	for c := range part {
+		if !part[c] {
+			continue
+		}
+		center := v.cl.Center[c]
+		if v.memberHas[center] {
+			u.clusterGot[c] = v.memberMsg[center]
+			u.clusterOk[c] = true
+			continue
+		}
+		// If any member held a message and the center never got it, the
+		// Upcast diverged.
+	scan:
+		for _, layerMembers := range v.membersAtLayer[c] {
+			for _, m := range layerMembers {
+				if u.memberHas[m] {
+					v.castFailures++
+					break scan
+				}
+			}
+		}
+	}
+}
+
+// cast runs the shared stage/step schedule of Lemma 3.1 for either
+// direction. It always consumes exactly CastLBs() parent LB units.
+func (v *VNet) cast(part []bool, dir castDirection) {
+	cfg := v.cl.Cfg
+	dir.init()
+	executed := int64(0)
+	from, to, stepDir := dir.stageSeq(int32(cfg.TMax))
+
+	// Active clusters: participating, with any members at all relevant
+	// layers. Rebuilt cheaply per stage from the participating list.
+	v.active = v.active[:0]
+	for c := int32(0); c < int32(v.N()); c++ {
+		if part[c] {
+			v.active = append(v.active, c)
+		}
+	}
+	for stage := from; ; stage += stepDir {
+		if (stepDir > 0 && stage > to) || (stepDir < 0 && stage < to) {
+			break
+		}
+		sLayer, rLayer := dir.senderLayer(stage), dir.recvLayer(stage)
+		// Collect clusters relevant to this stage and bucket them by slot.
+		var steps []int32
+		for _, c := range v.active {
+			if sLayer > v.maxLayerOf[c] && rLayer > v.maxLayerOf[c] {
+				continue
+			}
+			for _, j := range v.subsets[c] {
+				if !v.slotUsed[j] {
+					v.slotUsed[j] = true
+					steps = append(steps, j)
+				}
+				v.slotBucket[j] = append(v.slotBucket[j], c)
+			}
+		}
+		sort.Slice(steps, func(a, b int) bool { return steps[a] < steps[b] })
+		for _, j := range steps {
+			v.txScratch = v.txScratch[:0]
+			v.rxScratch = v.rxScratch[:0]
+			for _, c := range v.slotBucket[j] {
+				if sLayer >= 0 && sLayer <= v.maxLayerOf[c] {
+					for _, u := range v.membersAtLayer[c][sLayer] {
+						if m, sok := dir.senderMsg(u, c); sok {
+							v.txScratch = append(v.txScratch, radio.TX{ID: u, Msg: v.wrap(m, c)})
+						}
+					}
+				}
+				if rLayer >= 0 && rLayer <= v.maxLayerOf[c] {
+					for _, u := range v.membersAtLayer[c][rLayer] {
+						if dir.wantsListen(u, c) {
+							v.rxScratch = append(v.rxScratch, u)
+						}
+					}
+				}
+			}
+			if len(v.txScratch) == 0 && len(v.rxScratch) == 0 {
+				continue // schedule slot with nothing to do; skipped below
+			}
+			got := v.gotScratch[:len(v.rxScratch)]
+			ok := v.okScratch[:len(v.rxScratch)]
+			v.parent.LocalBroadcast(v.txScratch, v.rxScratch, got, ok)
+			executed++
+			for i, u := range v.rxScratch {
+				if !ok[i] {
+					continue
+				}
+				// Filter by transport header: foreign clusters' messages in
+				// the same slot are discarded (the receiver retries in its
+				// next subset slot).
+				if m, mine := v.unwrap(got[i], v.cl.ClusterOf[u]); mine {
+					dir.deliver(u, v.cl.ClusterOf[u], m)
+				}
+			}
+		}
+		for _, j := range steps {
+			v.slotUsed[j] = false
+			v.slotBucket[j] = v.slotBucket[j][:0]
+		}
+	}
+	if skip := v.CastLBs() - executed; skip > 0 {
+		v.parent.SkipLB(skip)
+	}
+	dir.finish(part)
+}
+
+// LocalBroadcast implements lbnet.Net on the cluster graph (Lemma 3.2):
+// sending clusters' messages reach, w.h.p., every receiving cluster adjacent
+// to a sender in G*. The result is also downcast to every member of each
+// receiving cluster, keeping replicated cluster state consistent.
+func (v *VNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio.Msg, ok []bool) {
+	if len(got) != len(receivers) || len(ok) != len(receivers) {
+		panic("vnet: result slices must match receivers length")
+	}
+	nc := v.N()
+	partS := v.partScratch
+	for i := range partS {
+		partS[i] = false
+	}
+	clusterMsg := make([]radio.Msg, nc)
+	hasMsg := make([]bool, nc)
+	for i := range senders {
+		partS[senders[i].ID] = true
+		hasMsg[senders[i].ID] = true
+		clusterMsg[senders[i].ID] = senders[i].Msg
+	}
+	// Phase 1: Downcast sender payloads to sender-cluster members.
+	v.Downcast(partS, hasMsg, clusterMsg, v.memberMsg, v.memberHas)
+	memberPayload := append([]radio.Msg(nil), v.memberMsg...)
+	memberHasPayload := append([]bool(nil), v.memberHas...)
+
+	// Phase 2: one parent Local-Broadcast from all sender-cluster members to
+	// all receiver-cluster members. Participant lists are built from member
+	// lists so the cost stays proportional to participation.
+	v.txScratch = v.txScratch[:0]
+	for i := range senders {
+		for _, layerMembers := range v.membersAtLayer[senders[i].ID] {
+			for _, u := range layerMembers {
+				if memberHasPayload[u] {
+					v.txScratch = append(v.txScratch, radio.TX{ID: u, Msg: memberPayload[u]})
+				}
+			}
+		}
+	}
+	partR := make([]bool, nc)
+	v.rxScratch = v.rxScratch[:0]
+	for _, c := range receivers {
+		if partS[c] {
+			panic("vnet: cluster is both sender and receiver")
+		}
+		partR[c] = true
+		for _, layerMembers := range v.membersAtLayer[c] {
+			v.rxScratch = append(v.rxScratch, layerMembers...)
+		}
+	}
+	got2 := v.gotScratch[:len(v.rxScratch)]
+	ok2 := v.okScratch[:len(v.rxScratch)]
+	v.parent.LocalBroadcast(v.txScratch, v.rxScratch, got2, ok2)
+	for i, u := range v.rxScratch {
+		v.phase2Got[u], v.phase2Ok[u] = got2[i], ok2[i]
+	}
+
+	// Phase 3: Upcast one received message per receiving cluster.
+	clusterGot := make([]radio.Msg, nc)
+	clusterOk := make([]bool, nc)
+	v.Upcast(partR, v.phase2Ok, v.phase2Got, clusterGot, clusterOk)
+
+	// Phase 4: Downcast the result so every member learns it.
+	v.Downcast(partR, clusterOk, clusterGot, v.memberMsg, v.memberHas)
+
+	for i, c := range receivers {
+		got[i], ok[i] = clusterGot[c], clusterOk[c]
+	}
+	// Meters: every sender or receiver cluster participated in one virtual LB.
+	for i := range senders {
+		v.energy[senders[i].ID]++
+	}
+	for _, c := range receivers {
+		v.energy[c]++
+	}
+	v.lbTime++
+}

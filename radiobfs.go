@@ -1,0 +1,248 @@
+// Package repro is an executable reproduction of "The Energy Complexity of
+// BFS in Radio Networks" (Yi-Jun Chang, Varsha Dani, Thomas P. Hayes, Seth
+// Pettie; PODC 2020, arXiv:2007.09816).
+//
+// It provides a radio-network simulator faithful to the paper's RN[b] model
+// and full implementations of the paper's algorithms:
+//
+//   - Recursive-BFS (§4), the sub-polynomial-energy breadth-first search
+//     built on Miller–Peng–Xu cluster graphs,
+//   - the Decay BFS baseline (Θ(D log² n) energy),
+//   - the diameter approximations of §5.1 (2-approximation and nearly
+//     3/2-approximation),
+//   - BFS-labeling verification and the duty-cycled dissemination
+//     application that motivates the paper,
+//   - the lower-bound constructions of §5 (see internal/lowerbound).
+//
+// The Network type is the high-level entry point; the packages under
+// internal/ expose every layer (radio physics, Decay, clustering, virtual
+// cluster-graph networks) for finer-grained use by the examples, the
+// experiment harness (cmd/experiments) and the benchmarks.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/diameter"
+	"repro/internal/graph"
+	"repro/internal/labelcast"
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Graph re-exports the CSR graph type used throughout.
+type Graph = graph.Graph
+
+// NewGraph builds a named workload graph (see graph.FamilyNames) with n
+// vertices and the given seed. It returns an error for unknown families.
+func NewGraph(family string, n int, seed uint64) (*Graph, error) {
+	g, ok := graph.Named(family, n, seed)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown graph family %q (known: %v)", family, graph.FamilyNames())
+	}
+	return g, nil
+}
+
+// CostModel selects how Local-Broadcasts are charged.
+type CostModel int
+
+const (
+	// CostUnit charges one unit of time per Local-Broadcast and one unit of
+	// energy per participant — the paper's unit of measurement (§4.3).
+	CostUnit CostModel = iota
+	// CostPhysical runs every Local-Broadcast as a Decay protocol on the
+	// simulated radio channel, charging real listen/transmit slots
+	// (Lemma 2.4 makes the two differ by an O(log Δ · log f⁻¹) factor).
+	CostPhysical
+)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithCostModel selects the cost model (default CostUnit).
+func WithCostModel(m CostModel) Option {
+	return func(nw *Network) { nw.model = m }
+}
+
+// WithDecayPasses sets the Decay repetition count used in CostPhysical mode
+// (default ⌈log₂ n⌉, giving per-call failure 1/poly(n)).
+func WithDecayPasses(p int) Option {
+	return func(nw *Network) { nw.passes = p }
+}
+
+// WithParams overrides the Recursive-BFS parameters (default: the paper's
+// formulas via core.DefaultParams for each search radius).
+func WithParams(p core.Params) Option {
+	return func(nw *Network) { nw.params = &p }
+}
+
+// Network is a radio network ready to run the paper's algorithms. Meters
+// accumulate across calls; use Reset or a fresh Network to separate runs.
+type Network struct {
+	g      *Graph
+	seed   uint64
+	model  CostModel
+	passes int
+	params *core.Params
+
+	base lbnet.Net
+	eng  *radio.Engine
+}
+
+// NewNetwork wraps g as a radio network. seed determines every random
+// choice; identical seeds give identical runs.
+func NewNetwork(g *Graph, seed uint64, opts ...Option) *Network {
+	nw := &Network{g: g, seed: seed}
+	for _, o := range opts {
+		o(nw)
+	}
+	if nw.passes == 0 {
+		nw.passes = log2ceil(g.N())
+	}
+	nw.Reset()
+	return nw
+}
+
+func log2ceil(n int) int {
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	return lg
+}
+
+// Reset replaces the underlying network, zeroing all meters.
+func (nw *Network) Reset() {
+	switch nw.model {
+	case CostPhysical:
+		nw.eng = radio.NewEngine(nw.g)
+		nw.base = lbnet.NewPhysNet(nw.eng, decay.ParamsFor(nw.g.N(), nw.passes), rng.Derive(nw.seed, 0xba5e))
+	default:
+		nw.eng = nil
+		nw.base = lbnet.NewUnitNet(nw.g, 0, rng.Derive(nw.seed, 0xba5e))
+	}
+}
+
+// Base exposes the underlying lbnet.Net for advanced use.
+func (nw *Network) Base() lbnet.Net { return nw.base }
+
+// Report is a cost summary of everything run on the network so far.
+type Report struct {
+	// MaxLBEnergy is the paper's energy measure in Local-Broadcast units:
+	// the maximum, over devices, of the number of LBs participated in.
+	MaxLBEnergy int64
+	// TotalLBEnergy sums LB participations over all devices.
+	TotalLBEnergy int64
+	// LBTime is elapsed time in Local-Broadcast units.
+	LBTime int64
+	// MaxPhysEnergy and PhysRounds are the physical-slot meters
+	// (CostPhysical only; zero otherwise).
+	MaxPhysEnergy int64
+	PhysRounds    int64
+	// MsgViolations counts messages exceeding the RN[O(log n)] budget
+	// (CostPhysical only); it should always be zero.
+	MsgViolations int64
+}
+
+// Report snapshots the meters.
+func (nw *Network) Report() Report {
+	r := Report{
+		MaxLBEnergy:   lbnet.MaxLBEnergy(nw.base),
+		TotalLBEnergy: lbnet.TotalLBEnergy(nw.base),
+		LBTime:        nw.base.LBTime(),
+	}
+	if nw.eng != nil {
+		r.MaxPhysEnergy = nw.eng.MaxEnergy()
+		r.PhysRounds = nw.eng.Round()
+		r.MsgViolations = nw.eng.MsgViolations()
+	}
+	return r
+}
+
+// BFS computes BFS labels from source with the paper's Recursive-BFS,
+// searching to radius maxDist (pass g.N() when unknown). Labels are hop
+// distances; -1 marks vertices beyond maxDist.
+func (nw *Network) BFS(source int32, maxDist int) ([]int32, error) {
+	p := core.AutoParams(nw.g.N(), maxDist)
+	if nw.params != nil {
+		p = *nw.params
+	}
+	st, err := core.BuildStack(nw.base, p, rng.Derive(nw.seed, 0xbf5))
+	if err != nil {
+		return nil, err
+	}
+	return st.BFS([]int32{source}, maxDist), nil
+}
+
+// BFSBaseline computes the same labels with the classic everyone-awake
+// Decay BFS — the Θ(D log² n)-energy comparator. It always runs on the
+// physical channel: in CostPhysical mode it shares the network's meters; in
+// CostUnit mode it uses a throwaway engine (run CostPhysical to meter it).
+func (nw *Network) BFSBaseline(source int32, maxDist int) []int32 {
+	eng := nw.eng
+	if eng == nil {
+		eng = radio.NewEngine(nw.g)
+	}
+	res := decay.BFS(eng, decay.ParamsFor(nw.g.N(), nw.passes), []int32{source}, maxDist, rng.Derive(nw.seed, 0xd3ca))
+	return res.Dist
+}
+
+// VerifyLabeling checks a candidate labeling with the cheap gradient sweep
+// (O(1) energy per vertex); it returns the number of violations.
+func (nw *Network) VerifyLabeling(labels []int32, maxLabel int) int {
+	return core.VerifyGradient(nw.base, labels, maxLabel).Violations
+}
+
+// Diameter2Approx returns D′ with diam/2 <= D′ <= diam (Theorem 5.3).
+func (nw *Network) Diameter2Approx() (int32, error) {
+	p := core.AutoParams(nw.g.N(), nw.g.N())
+	if nw.params != nil {
+		p = *nw.params
+	}
+	st, err := core.BuildStack(nw.base, p, rng.Derive(nw.seed, 0xd1a2))
+	if err != nil {
+		return 0, err
+	}
+	res := diameter.TwoApprox(st, diameter.Designated(), nw.g.N())
+	return res.Estimate, nil
+}
+
+// Diameter32Approx returns D′ with ⌊2·diam/3⌋ <= D′ <= diam (Theorem 5.4),
+// at n^(1/2+o(1)) energy.
+func (nw *Network) Diameter32Approx() (int32, error) {
+	p := core.AutoParams(nw.g.N(), nw.g.N())
+	if nw.params != nil {
+		p = *nw.params
+	}
+	st, err := core.BuildStack(nw.base, p, rng.Derive(nw.seed, 0xd32))
+	if err != nil {
+		return 0, err
+	}
+	res := diameter.ThreeHalvesApprox(st, diameter.Designated(), nw.g.N(), rng.Derive(nw.seed, 0x5eed))
+	return res.Estimate, nil
+}
+
+// Poll runs the duty-cycled dissemination of §1 over an existing labeling:
+// one message from the label-0 vertex with polling period period. It
+// returns delivery latency in slots and whether everyone was reached.
+func (nw *Network) Poll(labels []int32, period int) (latency int64, deliveredAll bool) {
+	res := labelcast.Broadcast(nw.base, labels, period, int64(nw.g.N())*int64(period+2)*4)
+	return res.MaxLatency, res.DeliveredAll
+}
+
+// Alarm runs the full §1 scenario over an existing labeling: a message
+// raised at origin climbs the BFS gradient to the label-0 vertex and is then
+// disseminated to everyone, all on the polling schedule. It returns the
+// total latency in slots and whether the round trip completed.
+func (nw *Network) Alarm(labels []int32, origin int32, period int) (latency int64, completed bool) {
+	budget := int64(nw.g.N()) * int64(period+2) * 4
+	up := labelcast.ToSource(nw.base, labels, origin, period, 3, budget)
+	if !up.Reached {
+		return up.Slots, false
+	}
+	down := labelcast.Broadcast(nw.base, labels, period, budget)
+	return up.Slots + down.MaxLatency, down.DeliveredAll
+}

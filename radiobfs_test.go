@@ -1,0 +1,221 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestNewGraphFamilies(t *testing.T) {
+	g, err := NewGraph("grid", 64, 1)
+	if err != nil || g.N() == 0 {
+		t.Fatalf("grid: %v", err)
+	}
+	if _, err := NewGraph("bogus", 10, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestNetworkBFSUnitModel(t *testing.T) {
+	g, _ := NewGraph("cycle", 96, 5)
+	nw := NewNetwork(g, 5)
+	labels, err := nw.BFS(0, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := graph.BFS(g, 0)
+	for v := range ref {
+		if labels[v] != ref[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, labels[v], ref[v])
+		}
+	}
+	rep := nw.Report()
+	if rep.MaxLBEnergy == 0 || rep.LBTime == 0 {
+		t.Fatalf("meters did not move: %+v", rep)
+	}
+	if rep.MaxPhysEnergy != 0 {
+		t.Fatal("unit model reported physical energy")
+	}
+}
+
+func TestNetworkBFSPhysicalModel(t *testing.T) {
+	g, _ := NewGraph("cycle", 48, 7)
+	nw := NewNetwork(g, 7, WithCostModel(CostPhysical))
+	labels, err := nw.BFS(0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := graph.BFS(g, 0)
+	bad := 0
+	for v := range ref {
+		if labels[v] != ref[v] {
+			bad++
+		}
+	}
+	if bad != 0 {
+		t.Fatalf("%d mislabeled on physical channel", bad)
+	}
+	rep := nw.Report()
+	if rep.MaxPhysEnergy == 0 || rep.PhysRounds == 0 {
+		t.Fatalf("physical meters did not move: %+v", rep)
+	}
+	if rep.MsgViolations != 0 {
+		t.Fatalf("RN[O(log n)] violations: %d", rep.MsgViolations)
+	}
+}
+
+func TestNetworkBaselineAgrees(t *testing.T) {
+	g, _ := NewGraph("grid", 49, 9)
+	nw := NewNetwork(g, 9)
+	labels := nw.BFSBaseline(0, 49)
+	ref := graph.BFS(g, 0)
+	for v := range ref {
+		if labels[v] != ref[v] {
+			t.Fatalf("baseline label[%d] = %d, want %d", v, labels[v], ref[v])
+		}
+	}
+}
+
+func TestNetworkVerifyLabeling(t *testing.T) {
+	g, _ := NewGraph("path", 40, 11)
+	nw := NewNetwork(g, 11)
+	labels, err := nw.BFS(0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := nw.VerifyLabeling(labels, 40); v != 0 {
+		t.Fatalf("true labels rejected: %d violations", v)
+	}
+	labels[20] = 35
+	if v := nw.VerifyLabeling(labels, 40); v == 0 {
+		t.Fatal("corrupted labels accepted")
+	}
+}
+
+func TestNetworkDiameterApproximations(t *testing.T) {
+	g, _ := NewGraph("path", 60, 13)
+	nw := NewNetwork(g, 13)
+	d2, err := nw.Diameter2Approx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 < 59/2 || d2 > 59 {
+		t.Fatalf("2-approx %d outside [29, 59]", d2)
+	}
+	nw.Reset()
+	d32, err := nw.Diameter32Approx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d32 < 59*2/3 || d32 > 59 {
+		t.Fatalf("3/2-approx %d outside [39, 59]", d32)
+	}
+}
+
+func TestNetworkPoll(t *testing.T) {
+	g, _ := NewGraph("grid", 36, 15)
+	nw := NewNetwork(g, 15)
+	labels, err := nw.BFS(0, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latency, all := nw.Poll(labels, 4)
+	if !all {
+		t.Fatal("polled broadcast incomplete")
+	}
+	if latency <= 0 {
+		t.Fatalf("latency = %d", latency)
+	}
+}
+
+func TestNetworkReset(t *testing.T) {
+	g, _ := NewGraph("cycle", 32, 17)
+	nw := NewNetwork(g, 17)
+	if _, err := nw.BFS(0, 32); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Report().LBTime == 0 {
+		t.Fatal("meters empty after a run")
+	}
+	nw.Reset()
+	if nw.Report().LBTime != 0 {
+		t.Fatal("Reset did not clear meters")
+	}
+}
+
+func TestWithParamsOverride(t *testing.T) {
+	g, _ := NewGraph("cycle", 64, 19)
+	nw := NewNetwork(g, 19, WithParams(coreParamsForTest()))
+	labels, err := nw.BFS(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := graph.BFS(g, 0)
+	for v := range ref {
+		want := ref[v]
+		if want > 32 {
+			want = -1
+		}
+		if labels[v] != want {
+			t.Fatalf("label[%d] = %d, want %d", v, labels[v], want)
+		}
+	}
+}
+
+func coreParamsForTest() core.Params {
+	return core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+}
+
+func TestNetworkAlarm(t *testing.T) {
+	g, _ := NewGraph("grid", 49, 21)
+	nw := NewNetwork(g, 21)
+	labels, err := nw.BFS(0, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latency, completed := nw.Alarm(labels, 48, 4)
+	if !completed {
+		t.Fatal("alarm round trip failed")
+	}
+	if latency <= 0 {
+		t.Fatalf("latency = %d", latency)
+	}
+	// An unlabeled origin cannot raise an alarm.
+	labels2 := append([]int32(nil), labels...)
+	labels2[48] = -1
+	if _, ok := nw.Alarm(labels2, 48, 4); ok {
+		t.Fatal("alarm from unlabeled origin should fail")
+	}
+}
+
+// TestEndToEndDeterminism: the entire public pipeline — graph generation,
+// BFS, verification, diameter estimate, alarm — is a pure function of the
+// root seed.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() (int64, int32, int64) {
+		g, err := NewGraph("geometric", 120, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := NewNetwork(g, 77)
+		labels, err := nw.BFS(0, g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := nw.Diameter2Approx()
+		if err != nil {
+			t.Fatal(err)
+		}
+		latency, ok := nw.Alarm(labels, int32(g.N()-1), 4)
+		if !ok {
+			t.Fatal("alarm failed")
+		}
+		return nw.Report().MaxLBEnergy, d2, latency
+	}
+	e1, d1, l1 := run()
+	e2, d2, l2 := run()
+	if e1 != e2 || d1 != d2 || l1 != l2 {
+		t.Fatalf("pipeline not deterministic: (%d,%d,%d) vs (%d,%d,%d)", e1, d1, l1, e2, d2, l2)
+	}
+}
