@@ -1,9 +1,14 @@
-package repro
+package repro_test
 
-// Benchmarks: one per experiment table of DESIGN.md §5. Each reports, beyond
-// wall time, the paper's own cost metrics via b.ReportMetric — energy in
-// Local-Broadcast units (LB/vertex) and time in LB calls — so `go test
-// -bench` regenerates the quantitative shape of every claim.
+// Benchmarks: one per experiment table of the reproduction. Each reports,
+// beyond wall time, the paper's own cost metrics via b.ReportMetric —
+// energy in Local-Broadcast units (LB/vertex) and time in LB calls — so
+// `go test -bench` regenerates the quantitative shape of every claim.
+//
+// Workloads are declared as harness.Scenario values — the same declarative
+// form cmd/experiments and `radiobfs sweep` use — and every iteration
+// executes one harness trial, with the iteration counter as the trial
+// index, so each iteration draws fresh derived randomness.
 
 import (
 	"fmt"
@@ -14,7 +19,7 @@ import (
 	"repro/internal/decay"
 	"repro/internal/diameter"
 	"repro/internal/graph"
-	"repro/internal/labelcast"
+	"repro/internal/harness"
 	"repro/internal/lbnet"
 	"repro/internal/lowerbound"
 	"repro/internal/radio"
@@ -22,50 +27,65 @@ import (
 	"repro/internal/vnet"
 )
 
+// execTrial runs trial i of one scenario instance through the harness and
+// fails the benchmark on any trial error.
+func execTrial(b *testing.B, sc *harness.Scenario, inst harness.Instance, i int) harness.Result {
+	b.Helper()
+	res := harness.Execute(sc, harness.TrialFor(sc, inst, i, 1))
+	if res.Err != "" {
+		b.Fatal(res.Err)
+	}
+	return res
+}
+
+// requireExact fails the benchmark when a trial mislabeled any vertex.
+func requireExact(b *testing.B, r harness.Result) {
+	b.Helper()
+	if bad := r.Metrics["mislabeled"]; bad != 0 {
+		b.Fatalf("%v mislabeled", bad)
+	}
+}
+
 // BenchmarkE1RecursiveBFS measures Theorem 4.1's algorithm end to end with
 // fixed machinery (β = 1/8, one clustering level) so the scaling across n is
 // apples-to-apples; BenchmarkAblationDepth/Beta sweep the design choices.
 func BenchmarkE1RecursiveBFS(b *testing.B) {
-	for _, n := range []int{128, 256, 512} {
-		g := graph.Cycle(n)
-		d := n / 2
-		p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
-		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
-			var maxLB, lbTime int64
+	p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
+	sc := &harness.Scenario{
+		Name:      "bench-E1-rec",
+		Instances: harness.Cross([]string{"cycle"}, []int{128, 256, 512}, func(_ string, n int) int { return n / 2 }),
+		Algo:      harness.AlgoRecursive,
+		Params:    &p,
+	}
+	for _, inst := range sc.Instances {
+		b.Run(fmt.Sprintf("%s/n=%d", inst.Family, inst.N), func(b *testing.B) {
+			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				base := lbnet.NewUnitNet(g, 0, uint64(i))
-				st, err := core.BuildStack(base, p, uint64(i))
-				if err != nil {
-					b.Fatal(err)
-				}
-				dist := st.BFS([]int32{0}, d)
-				if bad := core.VerifyAgainstReference(g, []int32{0}, dist, d); bad != 0 {
-					b.Fatalf("%d mislabeled", bad)
-				}
-				maxLB, lbTime = lbnet.MaxLBEnergy(base), base.LBTime()
+				last = execTrial(b, sc, inst, i)
+				requireExact(b, last)
 			}
-			b.ReportMetric(float64(maxLB), "LBenergy/vtx")
-			b.ReportMetric(float64(lbTime), "LBtime")
+			b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
+			b.ReportMetric(last.Metrics["timeLB"], "LBtime")
 		})
 	}
 }
 
 // BenchmarkE1DecayBFS is the Θ(D log² n)-energy baseline on real radio slots.
 func BenchmarkE1DecayBFS(b *testing.B) {
-	for _, n := range []int{128, 256, 512} {
-		g := graph.Cycle(n)
-		p := decay.ParamsFor(n, 8)
-		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
-			var maxE int64
+	sc := &harness.Scenario{
+		Name:      "bench-E1-decay",
+		Instances: harness.Cross([]string{"cycle"}, []int{128, 256, 512}, nil),
+		Algo:      harness.AlgoDecay,
+		Passes:    8, // fixed across n so the scaling is apples-to-apples
+	}
+	for _, inst := range sc.Instances {
+		b.Run(fmt.Sprintf("%s/n=%d", inst.Family, inst.N), func(b *testing.B) {
+			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				eng := radio.NewEngine(g)
-				res := decay.BFS(eng, p, []int32{0}, n, uint64(i))
-				if bad := decay.ReferenceAgainst(g, []int32{0}, res.Dist, n); bad != 0 {
-					b.Fatalf("%d mislabeled", bad)
-				}
-				maxE = eng.MaxEnergy()
+				last = execTrial(b, sc, inst, i)
+				requireExact(b, last)
 			}
-			b.ReportMetric(float64(maxE), "slots/vtx")
+			b.ReportMetric(last.Metrics["physMax"], "slots/vtx")
 		})
 	}
 }
@@ -73,6 +93,8 @@ func BenchmarkE1DecayBFS(b *testing.B) {
 // BenchmarkE2LocalBroadcast measures Lemma 2.4 under heavy contention.
 func BenchmarkE2LocalBroadcast(b *testing.B) {
 	for _, deg := range []int{16, 128} {
+		// Graph and sender list are trial-invariant: build once per
+		// sub-benchmark so each trial times only the Local-Broadcast.
 		g := graph.Star(deg + 1)
 		p := decay.ParamsFor(deg+1, 8)
 		senders := make([]radio.TX, 0, deg)
@@ -81,12 +103,20 @@ func BenchmarkE2LocalBroadcast(b *testing.B) {
 		}
 		got := make([]radio.Msg, 1)
 		ok := make([]bool, 1)
+		sc := &harness.Scenario{
+			Name:      fmt.Sprintf("bench-E2-deg%d", deg),
+			Instances: []harness.Instance{{Family: "star", N: deg + 1}},
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				eng := radio.NewEngine(g)
+				decay.LocalBroadcast(eng, p, senders, []int32{0}, rng.Derive(tr.Seed, 0xb2), got, ok)
+				return harness.Metrics{"ok": harness.BoolMetric(ok[0])}, nil
+			},
+		}
+		inst := sc.Instances[0]
 		b.Run(fmt.Sprintf("deg=%d", deg), func(b *testing.B) {
 			miss := 0
 			for i := 0; i < b.N; i++ {
-				eng := radio.NewEngine(g)
-				decay.LocalBroadcast(eng, p, senders, []int32{0}, uint64(i), got, ok)
-				if !ok[0] {
+				if execTrial(b, sc, inst, i).Metrics["ok"] != 1 {
 					miss++
 				}
 			}
@@ -100,15 +130,23 @@ func BenchmarkE3Cluster(b *testing.B) {
 	for _, n := range []int{256, 1024} {
 		g, _ := graph.Named("grid", n, 1)
 		cfg := cluster.DefaultConfig(g.N(), 8)
+		sc := &harness.Scenario{
+			Name:      fmt.Sprintf("bench-E3-n%d", n),
+			Instances: []harness.Instance{{Family: "grid", N: n}},
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				base := lbnet.NewUnitNet(g, 0, tr.Seed)
+				cl := cluster.Build(base, cfg, tr.Seed)
+				return harness.Metrics{"radius": float64(cl.Radius()), "TMax": float64(cfg.TMax)}, nil
+			},
+		}
+		inst := sc.Instances[0]
 		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
-			var radius int32
+			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				base := lbnet.NewUnitNet(g, 0, uint64(i))
-				cl := cluster.Build(base, cfg, uint64(i))
-				radius = cl.Radius()
+				last = execTrial(b, sc, inst, i)
 			}
-			b.ReportMetric(float64(radius), "radius")
-			b.ReportMetric(float64(cfg.TMax), "TMax")
+			b.ReportMetric(last.Metrics["radius"], "radius")
+			b.ReportMetric(last.Metrics["TMax"], "TMax")
 		})
 	}
 }
@@ -117,15 +155,25 @@ func BenchmarkE3Cluster(b *testing.B) {
 // plus cluster-graph BFS).
 func BenchmarkE4DistanceProxy(b *testing.B) {
 	g := graph.Path(2048)
+	sc := &harness.Scenario{
+		Name:      "bench-E4",
+		Instances: []harness.Instance{{Family: "path", N: g.N()}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			ideal := cluster.BuildIdeal(g, 8, tr.Seed)
+			cg := cluster.ClusterGraphOf(g, ideal.ClusterOf, len(ideal.Center))
+			graph.BFS(cg, ideal.ClusterOf[0])
+			return harness.Metrics{"clusters": float64(len(ideal.Center))}, nil
+		},
+	}
+	inst := sc.Instances[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ideal := cluster.BuildIdeal(g, 8, uint64(i))
-		cg := cluster.ClusterGraphOf(g, ideal.ClusterOf, len(ideal.Center))
-		graph.BFS(cg, ideal.ClusterOf[0])
+		execTrial(b, sc, inst, i)
 	}
 }
 
-// BenchmarkE5Casts measures one full Downcast (Lemma 3.1).
+// BenchmarkE5Casts measures one full Downcast (Lemma 3.1) on a prebuilt
+// virtual network: the setup is shared, each trial is a single Downcast.
 func BenchmarkE5Casts(b *testing.B) {
 	g, _ := graph.Named("grid", 400, 1)
 	base := lbnet.NewUnitNet(g, 0, 1)
@@ -140,11 +188,21 @@ func BenchmarkE5Casts(b *testing.B) {
 	}
 	memberGot := make([]radio.Msg, g.N())
 	memberOk := make([]bool, g.N())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		vn.Downcast(part, has, msgs, memberGot, memberOk)
+	sc := &harness.Scenario{
+		Name:      "bench-E5-cast",
+		Instances: []harness.Instance{{Family: "grid", N: g.N()}},
+		Run: func(harness.Trial) (harness.Metrics, error) {
+			vn.Downcast(part, has, msgs, memberGot, memberOk)
+			return harness.Metrics{"parentLBs": float64(vn.CastLBs())}, nil
+		},
 	}
-	b.ReportMetric(float64(vn.CastLBs()), "parentLBs")
+	inst := sc.Instances[0]
+	b.ResetTimer()
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = execTrial(b, sc, inst, i)
+	}
+	b.ReportMetric(last.Metrics["parentLBs"], "parentLBs")
 }
 
 // BenchmarkE5VirtualLB measures one simulated Local-Broadcast on G*
@@ -161,47 +219,86 @@ func BenchmarkE5VirtualLB(b *testing.B) {
 	receivers := []int32{1}
 	got := make([]radio.Msg, 1)
 	ok := make([]bool, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		vn.LocalBroadcast(senders, receivers, got, ok)
+	sc := &harness.Scenario{
+		Name:      "bench-E5-vlb",
+		Instances: []harness.Instance{{Family: "grid", N: g.N()}},
+		Run: func(harness.Trial) (harness.Metrics, error) {
+			vn.LocalBroadcast(senders, receivers, got, ok)
+			return harness.Metrics{"parentLBs": float64(vn.VLBCost())}, nil
+		},
 	}
-	b.ReportMetric(float64(vn.VLBCost()), "parentLBs")
+	inst := sc.Instances[0]
+	b.ResetTimer()
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = execTrial(b, sc, inst, i)
+	}
+	b.ReportMetric(last.Metrics["parentLBs"], "parentLBs")
 }
 
 // BenchmarkE7Claims measures the instrumented Recursive-BFS used for the
 // Claim 1/2 counters.
 func BenchmarkE7Claims(b *testing.B) {
 	g := graph.Cycle(256)
-	p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
-	var xi, sp int64
-	for i := 0; i < b.N; i++ {
-		base := lbnet.NewUnitNet(g, 0, uint64(i))
-		st, _ := core.BuildStack(base, p, uint64(i))
-		st.Inst = core.NewInstrumentation()
-		st.BFS([]int32{0}, 128)
-		xi, sp = st.Inst.MaxXi(0), st.Inst.MaxSpecial(0)
+	sc := &harness.Scenario{
+		Name:      "bench-E7",
+		Instances: []harness.Instance{{Family: "cycle", N: g.N(), MaxDist: 128}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			base := lbnet.NewUnitNet(g, 0, tr.Seed)
+			st, err := core.BuildStack(base, core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}, tr.Seed)
+			if err != nil {
+				return nil, err
+			}
+			st.Inst = core.NewInstrumentation()
+			st.BFS([]int32{0}, tr.MaxDist)
+			return harness.Metrics{
+				"maxXi":      float64(st.Inst.MaxXi(0)),
+				"maxSpecial": float64(st.Inst.MaxSpecial(0)),
+			}, nil
+		},
 	}
-	b.ReportMetric(float64(xi), "maxXi")
-	b.ReportMetric(float64(sp), "maxSpecial")
+	inst := sc.Instances[0]
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = execTrial(b, sc, inst, i)
+	}
+	b.ReportMetric(last.Metrics["maxXi"], "maxXi")
+	b.ReportMetric(last.Metrics["maxSpecial"], "maxSpecial")
 }
 
 // BenchmarkE10GoodPairs measures the Theorem 5.1 probing protocols.
 func BenchmarkE10GoodPairs(b *testing.B) {
-	g := graph.CompleteMinusEdge(64, 1, 2)
+	inst := harness.Instance{Family: "complete-e", N: 64}
+	g := graph.CompleteMinusEdge(inst.N, 1, 2)
 	b.Run("roundrobin", func(b *testing.B) {
-		var e int64
-		for i := 0; i < b.N; i++ {
-			res := lowerbound.RoundRobinProbe(g)
-			if !res.Detected {
-				b.Fatal("missed edge")
-			}
-			e = res.MaxEnergy
+		sc := &harness.Scenario{
+			Name:      "bench-E10-rr",
+			Instances: []harness.Instance{inst},
+			Run: func(harness.Trial) (harness.Metrics, error) {
+				res := lowerbound.RoundRobinProbe(g)
+				if !res.Detected {
+					return nil, fmt.Errorf("missed edge")
+				}
+				return harness.Metrics{"maxEnergy": float64(res.MaxEnergy)}, nil
+			},
 		}
-		b.ReportMetric(float64(e), "slots/vtx")
+		var last harness.Result
+		for i := 0; i < b.N; i++ {
+			last = execTrial(b, sc, inst, i)
+		}
+		b.ReportMetric(last.Metrics["maxEnergy"], "slots/vtx")
 	})
 	b.Run("budget=8", func(b *testing.B) {
+		sc := &harness.Scenario{
+			Name:      "bench-E10-budget",
+			Instances: []harness.Instance{inst},
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				lowerbound.BudgetedProbe(g, 8, tr.Seed)
+				return harness.Metrics{}, nil
+			},
+		}
 		for i := 0; i < b.N; i++ {
-			lowerbound.BudgetedProbe(g, 8, uint64(i))
+			execTrial(b, sc, inst, i)
 		}
 	})
 }
@@ -216,97 +313,123 @@ func BenchmarkE11Disjointness(b *testing.B) {
 			odds = append(odds, uint64(x))
 		}
 	}
+	sc := &harness.Scenario{
+		Name:      "bench-E11",
+		Instances: []harness.Instance{{Family: "setdisj", N: 128, MaxDist: 7}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			d := lowerbound.BuildDisjointness(evens, odds, tr.MaxDist)
+			if graph.Diameter(d.G) != 2 {
+				return nil, fmt.Errorf("diameter property violated")
+			}
+			return harness.Metrics{}, nil
+		},
+	}
+	inst := sc.Instances[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := lowerbound.BuildDisjointness(evens, odds, 7)
-		if graph.Diameter(d.G) != 2 {
-			b.Fatal("diameter property violated")
-		}
+		execTrial(b, sc, inst, i)
 	}
 }
 
 // BenchmarkE12TwoApprox measures Theorem 5.3's 2-approximation.
 func BenchmarkE12TwoApprox(b *testing.B) {
-	g := graph.Cycle(128)
 	p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
-	var est int32
-	var e int64
-	for i := 0; i < b.N; i++ {
-		base := lbnet.NewUnitNet(g, 0, uint64(i))
-		st, _ := core.BuildStack(base, p, uint64(i))
-		res := diameter.TwoApprox(st, diameter.Designated(), 128)
-		est, e = res.Estimate, lbnet.MaxLBEnergy(base)
+	sc := &harness.Scenario{
+		Name:      "bench-E12",
+		Instances: []harness.Instance{{Family: "cycle", N: 128}},
+		Algo:      harness.AlgoDiam2,
+		Params:    &p,
 	}
-	b.ReportMetric(float64(est), "estimate")
-	b.ReportMetric(float64(e), "LBenergy/vtx")
+	inst := sc.Instances[0]
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = execTrial(b, sc, inst, i)
+	}
+	b.ReportMetric(last.Metrics["estimate"], "estimate")
+	b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
 }
 
 // BenchmarkE13ThreeHalves measures Theorem 5.4 (radio at n=48, mirror at
 // n=1024).
 func BenchmarkE13ThreeHalves(b *testing.B) {
 	b.Run("radio/n=48", func(b *testing.B) {
-		g := graph.Path(48)
 		p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
+		sc := &harness.Scenario{
+			Name:      "bench-E13-radio",
+			Instances: []harness.Instance{{Family: "path", N: 48}},
+			Algo:      harness.AlgoDiam32,
+			Params:    &p,
+		}
+		inst := sc.Instances[0]
 		for i := 0; i < b.N; i++ {
-			base := lbnet.NewUnitNet(g, 0, uint64(i))
-			st, _ := core.BuildStack(base, p, uint64(i))
-			diameter.ThreeHalvesApprox(st, diameter.Designated(), 48, uint64(i))
+			execTrial(b, sc, inst, i)
 		}
 	})
 	b.Run("mirror/n=1024", func(b *testing.B) {
 		g := graph.Cycle(1024)
+		sc := &harness.Scenario{
+			Name:      "bench-E13-mirror",
+			Instances: []harness.Instance{{Family: "cycle", N: g.N()}},
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				res := diameter.MirrorThreeHalves(g, tr.Seed)
+				if res.Estimate > 512 || res.Estimate < 341 {
+					return nil, fmt.Errorf("estimate %d out of band", res.Estimate)
+				}
+				return harness.Metrics{}, nil
+			},
+		}
+		inst := sc.Instances[0]
 		for i := 0; i < b.N; i++ {
-			res := diameter.MirrorThreeHalves(g, uint64(i))
-			if res.Estimate > 512 || res.Estimate < 341 {
-				b.Fatalf("estimate %d out of band", res.Estimate)
-			}
+			execTrial(b, sc, inst, i)
 		}
 	})
 }
 
-// BenchmarkE14LabelCast measures the duty-cycled dissemination trade-off.
+// BenchmarkE14LabelCast measures the duty-cycled dissemination trade-off
+// through the harness's built-in poll workload.
 func BenchmarkE14LabelCast(b *testing.B) {
-	g, _ := graph.Named("geometric", 256, 1)
-	labels := graph.BFS(g, 0)
 	for _, period := range []int{1, 8} {
+		sc := &harness.Scenario{
+			Name:      fmt.Sprintf("bench-E14-P%d", period),
+			Instances: []harness.Instance{{Family: "geometric", N: 256}},
+			Algo:      harness.AlgoPoll,
+			Period:    period,
+		}
+		inst := sc.Instances[0]
 		b.Run(fmt.Sprintf("P=%d", period), func(b *testing.B) {
-			var e int64
+			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				net := lbnet.NewUnitNet(g, 0, uint64(i))
-				res := labelcast.Broadcast(net, labels, period, int64(g.N())*int64(period+2)*4)
-				if !res.DeliveredAll {
+				last = execTrial(b, sc, inst, i)
+				if last.Metrics["delivered"] != 1 {
 					b.Fatal("not delivered")
 				}
-				e = lbnet.MaxLBEnergy(net)
 			}
-			b.ReportMetric(float64(e), "LBenergy/vtx")
+			b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
 		})
 	}
 }
 
-// BenchmarkAblationDepth sweeps the recursion depth at fixed n — the design
-// choice DESIGN.md §3 calls out: each level multiplies overhead by polylog
-// factors while dividing the effective radius, so at simulable n the energy
-// rises with depth even though the asymptotics eventually reverse it.
+// BenchmarkAblationDepth sweeps the recursion depth at fixed n — each level
+// multiplies overhead by polylog factors while dividing the effective
+// radius, so at simulable n the energy rises with depth even though the
+// asymptotics eventually reverse it.
 func BenchmarkAblationDepth(b *testing.B) {
-	g := graph.Cycle(128)
 	for _, depth := range []int{0, 1, 2} {
 		p := core.Params{InvBeta: 8, Depth: depth, W: 21, Alpha: 4}
+		sc := &harness.Scenario{
+			Name:      fmt.Sprintf("bench-ablation-depth%d", depth),
+			Instances: []harness.Instance{{Family: "cycle", N: 128, MaxDist: 64}},
+			Algo:      harness.AlgoRecursive,
+			Params:    &p,
+		}
+		inst := sc.Instances[0]
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			var e int64
+			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				base := lbnet.NewUnitNet(g, 0, uint64(i))
-				st, err := core.BuildStack(base, p, uint64(i))
-				if err != nil {
-					b.Fatal(err)
-				}
-				dist := st.BFS([]int32{0}, 64)
-				if bad := core.VerifyAgainstReference(g, []int32{0}, dist, 64); bad != 0 {
-					b.Fatalf("%d mislabeled", bad)
-				}
-				e = lbnet.MaxLBEnergy(base)
+				last = execTrial(b, sc, inst, i)
+				requireExact(b, last)
 			}
-			b.ReportMetric(float64(e), "LBenergy/vtx")
+			b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
 		})
 	}
 }
@@ -314,38 +437,50 @@ func BenchmarkAblationDepth(b *testing.B) {
 // BenchmarkAblationBeta sweeps 1/β at one clustering level: small β means
 // few, large clusters (cheap stages, expensive casts); large β the reverse.
 func BenchmarkAblationBeta(b *testing.B) {
-	g := graph.Cycle(256)
 	for _, invB := range []int{2, 4, 8, 16, 32} {
 		p := core.Params{InvBeta: invB, Depth: 1, W: 24, Alpha: 4}
+		sc := &harness.Scenario{
+			Name:      fmt.Sprintf("bench-ablation-beta%d", invB),
+			Instances: []harness.Instance{{Family: "cycle", N: 256, MaxDist: 128}},
+			Algo:      harness.AlgoRecursive,
+			Params:    &p,
+		}
+		inst := sc.Instances[0]
 		b.Run(fmt.Sprintf("invBeta=%d", invB), func(b *testing.B) {
-			var e int64
+			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				base := lbnet.NewUnitNet(g, 0, uint64(i))
-				st, err := core.BuildStack(base, p, uint64(i))
-				if err != nil {
-					b.Fatal(err)
-				}
-				dist := st.BFS([]int32{0}, 128)
-				if bad := core.VerifyAgainstReference(g, []int32{0}, dist, 128); bad != 0 {
-					b.Fatalf("%d mislabeled", bad)
-				}
-				e = lbnet.MaxLBEnergy(base)
+				last = execTrial(b, sc, inst, i)
+				requireExact(b, last)
 			}
-			b.ReportMetric(float64(e), "LBenergy/vtx")
+			b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
 		})
 	}
 }
 
-// BenchmarkEngineStep measures the physics core itself.
+// BenchmarkEngineStep measures the physics core itself: the engine is built
+// once and each trial is a single slot step.
 func BenchmarkEngineStep(b *testing.B) {
 	g := graph.Grid(64, 64)
 	eng := radio.NewEngine(g)
 	tx := []radio.TX{{ID: 2000, Msg: radio.Msg{A: 1}}}
 	listeners := []int32{2001, 2064, 1936}
 	out := make([]radio.RX, len(listeners))
+	sc := &harness.Scenario{
+		Name:      "bench-engine-step",
+		Instances: []harness.Instance{{Family: "grid", N: g.N()}},
+		Run: func(harness.Trial) (harness.Metrics, error) {
+			eng.Step(tx, listeners, out)
+			return harness.Metrics{}, nil
+		},
+	}
+	// The step is ~µs-scale and seed-independent: precompute the trial so
+	// each iteration times Execute + Step, not seed derivation.
+	tr := harness.TrialFor(sc, sc.Instances[0], 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.Step(tx, listeners, out)
+		if res := harness.Execute(sc, tr); res.Err != "" {
+			b.Fatal(res.Err)
+		}
 	}
 }
 
@@ -353,12 +488,19 @@ func BenchmarkEngineStep(b *testing.B) {
 func BenchmarkVerifyGradient(b *testing.B) {
 	g := graph.Cycle(512)
 	labels := graph.BFS(g, 0)
-	var viol int
-	for i := 0; i < b.N; i++ {
-		net := lbnet.NewUnitNet(g, 0, rng.Derive(7, uint64(i)))
-		viol = core.VerifyGradient(net, labels, 512).Violations
+	sc := &harness.Scenario{
+		Name:      "bench-verify-gradient",
+		Instances: []harness.Instance{{Family: "cycle", N: 512}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			net := lbnet.NewUnitNet(g, 0, tr.Seed)
+			if viol := core.VerifyGradient(net, labels, tr.N).Violations; viol != 0 {
+				return nil, fmt.Errorf("%d violations", viol)
+			}
+			return harness.Metrics{}, nil
+		},
 	}
-	if viol != 0 {
-		b.Fatalf("%d violations", viol)
+	inst := sc.Instances[0]
+	for i := 0; i < b.N; i++ {
+		execTrial(b, sc, inst, i)
 	}
 }

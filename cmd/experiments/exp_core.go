@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/decay"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/lbnet"
 	"repro/internal/radio"
 	"repro/internal/rng"
@@ -15,86 +16,137 @@ import (
 	"repro/internal/vnet"
 )
 
+// trialKey indexes a result by its coordinates for table formatting.
+func trialKey(scenario, family string, n, index int) string {
+	return fmt.Sprintf("%s|%s|%d|%d", scenario, family, n, index)
+}
+
+// byTrial maps results by (scenario, family, n, trial index).
+func byTrial(results []harness.Result) map[string]harness.Result {
+	m := make(map[string]harness.Result, len(results))
+	for _, r := range results {
+		m[trialKey(r.Scenario, r.Family, r.N, r.Index)] = r
+	}
+	return m
+}
+
 // runE1 measures Theorem 4.1: Recursive-BFS labels are exact, and its
 // energy/time are reported against the everyone-awake baseline in both cost
-// models. The paper's asymptotic crossover lies beyond simulable n (see
-// DESIGN.md §4); what is checked here is correctness, the LB-unit scaling
-// fit, and the baseline's strictly linear-in-D energy.
+// models. The paper's asymptotic crossover lies beyond simulable n; what is
+// checked here is correctness, the LB-unit scaling fit, and the baseline's
+// strictly linear-in-D energy.
 func runE1(cfg config) {
-	tbl := stats.NewTable("Recursive-BFS vs Decay baseline (unit-cost LBs)",
-		"family", "n", "D", "params", "rec maxLB", "rec time(LB)", "base maxLB", "base time(LB)", "mislabeled", "castFail")
-	type inst struct {
-		family string
-		n, d   int
-	}
-	insts := []inst{
-		{"cycle", 128, 64}, {"cycle", 256, 128}, {"cycle", 512, 256},
-		{"grid", 256, 30}, {"geometric", 256, 256},
+	insts := []harness.Instance{
+		{Family: "cycle", N: 128, MaxDist: 64}, {Family: "cycle", N: 256, MaxDist: 128}, {Family: "cycle", N: 512, MaxDist: 256},
+		{Family: "grid", N: 256, MaxDist: 30}, {Family: "geometric", N: 256, MaxDist: 256},
 	}
 	if !cfg.quick {
-		insts = append(insts, inst{"cycle", 1024, 512}, inst{"grid", 1024, 62}, inst{"geometric", 1024, 1024})
+		insts = append(insts,
+			harness.Instance{Family: "cycle", N: 1024, MaxDist: 512},
+			harness.Instance{Family: "grid", N: 1024, MaxDist: 62},
+			harness.Instance{Family: "geometric", N: 1024, MaxDist: 1024})
 	}
+	// Both scenarios run on the same graphs (seeded from the root), so the
+	// recursive/baseline rows are an apples-to-apples pairing.
+	graphSeed := rng.Derive(cfg.seed, 0xe1)
+	stackRun := func(params func(n, d int) core.Params) harness.TrialFunc {
+		return func(tr harness.Trial) (harness.Metrics, error) {
+			g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+			base := lbnet.NewUnitNet(g, 0, tr.Seed)
+			st, err := core.BuildStack(base, params(g.N(), tr.MaxDist), tr.Seed)
+			if err != nil {
+				return nil, err
+			}
+			dist := st.BFS([]int32{0}, tr.MaxDist)
+			return harness.Metrics{
+				"mislabeled": float64(core.VerifyAgainstReference(g, []int32{0}, dist, tr.MaxDist)),
+				"castFail":   float64(st.CastFailures()),
+				"maxLB":      float64(lbnet.MaxLBEnergy(base)),
+				"timeLB":     float64(base.LBTime()),
+			}, nil
+		}
+	}
+	recSc := &harness.Scenario{Name: "E1-recursive", Instances: insts, Run: stackRun(core.DefaultParams)}
+	// Baseline: trivial wavefront BFS (depth 0) = one LB per hop with
+	// every unlabeled vertex listening (the Decay baseline in LB units).
+	baseSc := &harness.Scenario{Name: "E1-wavefront", Instances: insts,
+		Run: stackRun(func(int, int) core.Params { return core.Params{InvBeta: 1, Depth: 0, W: 1, Alpha: 4} })}
+	// Physical-channel spot check: the full stack down to radio slots.
+	physSc := &harness.Scenario{Name: "E1-physical",
+		Instances: []harness.Instance{{Family: "cycle", N: 64, MaxDist: 32}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+			eng := radio.NewEngine(g)
+			phys := lbnet.NewPhysNet(eng, decay.ParamsFor(tr.N, 10), tr.Seed)
+			st, err := core.BuildStack(phys, core.Params{InvBeta: 4, Depth: 1, W: 20, Alpha: 4}, tr.Seed)
+			if err != nil {
+				return nil, err
+			}
+			dist := st.BFS([]int32{0}, tr.MaxDist)
+			return harness.Metrics{
+				"mislabeled":    float64(core.VerifyAgainstReference(g, []int32{0}, dist, tr.MaxDist)),
+				"physMax":       float64(eng.MaxEnergy()),
+				"physRounds":    float64(eng.Round()),
+				"msgViolations": float64(eng.MsgViolations()),
+			}, nil
+		}}
+	results := byTrial(cfg.runAll(recSc, baseSc, physSc))
+
+	tbl := stats.NewTable("Recursive-BFS vs Decay baseline (unit-cost LBs)",
+		"family", "n", "D", "params", "rec maxLB", "rec time(LB)", "base maxLB", "base time(LB)", "mislabeled", "castFail")
 	var ds, recE, baseE []float64
 	for _, in := range insts {
-		g, _ := graph.Named(in.family, in.n, cfg.seed)
-		p := core.DefaultParams(g.N(), in.d)
-		base := lbnet.NewUnitNet(g, 0, cfg.seed)
-		st, err := core.BuildStack(base, p, cfg.seed)
-		if err != nil {
-			fmt.Fprintln(cfg.out, "error:", err)
+		rec := results[trialKey("E1-recursive", in.Family, in.N, 0)]
+		bas := results[trialKey("E1-wavefront", in.Family, in.N, 0)]
+		if rec.Err != "" || bas.Err != "" {
+			fmt.Fprintln(cfg.out, "error:", rec.Err, bas.Err)
 			return
 		}
-		dist := st.BFS([]int32{0}, in.d)
-		bad := core.VerifyAgainstReference(g, []int32{0}, dist, in.d)
-		recMax, recTime := lbnet.MaxLBEnergy(base), base.LBTime()
-
-		// Baseline: trivial wavefront BFS (depth 0) = one LB per hop with
-		// every unlabeled vertex listening (the Decay baseline in LB units).
-		base2 := lbnet.NewUnitNet(g, 0, cfg.seed)
-		st2, _ := core.BuildStack(base2, core.Params{InvBeta: 1, Depth: 0, W: 1, Alpha: 4}, cfg.seed)
-		st2.BFS([]int32{0}, in.d)
-		tbl.AddRowf(in.family, in.n, in.d, p.String(), recMax, recTime,
-			lbnet.MaxLBEnergy(base2), base2.LBTime(), bad, st.CastFailures())
-		if in.family == "cycle" {
-			ds = append(ds, float64(in.d))
-			recE = append(recE, float64(recMax))
-			baseE = append(baseE, float64(lbnet.MaxLBEnergy(base2)))
+		p := core.DefaultParams(in.N, in.MaxDist)
+		tbl.AddRowf(in.Family, in.N, in.MaxDist, p.String(),
+			rec.Get("maxLB"), rec.Get("timeLB"), bas.Get("maxLB"), bas.Get("timeLB"),
+			rec.Get("mislabeled"), rec.Get("castFail"))
+		if in.Family == "cycle" {
+			ds = append(ds, float64(in.MaxDist))
+			recE = append(recE, rec.Get("maxLB"))
+			baseE = append(baseE, bas.Get("maxLB"))
 		}
 	}
 	tbl.Render(cfg.out)
 	eRec, _ := stats.FitPowerLaw(ds, recE)
 	eBase, _ := stats.FitPowerLaw(ds, baseE)
 	fmt.Fprintf(cfg.out, "cycle-family scaling fits (energy ~ D^e): recursive e=%.2f, baseline e=%.2f\n", eRec, eBase)
-	fmt.Fprintf(cfg.out, "baseline is Θ(D); recursive carries large polylog constants at these n (see DESIGN.md §4)\n\n")
+	fmt.Fprintf(cfg.out, "baseline is Θ(D); recursive carries large polylog constants at these n (crossover beyond simulable sizes)\n\n")
 
-	// Physical-channel spot check: the full stack down to radio slots.
-	g, _ := graph.Named("cycle", 64, cfg.seed)
-	eng := radio.NewEngine(g)
-	phys := lbnet.NewPhysNet(eng, decay.ParamsFor(64, 10), cfg.seed)
-	stp, _ := core.BuildStack(phys, core.Params{InvBeta: 4, Depth: 1, W: 20, Alpha: 4}, cfg.seed)
-	dist := stp.BFS([]int32{0}, 32)
-	bad := core.VerifyAgainstReference(g, []int32{0}, dist, 32)
-	fmt.Fprintf(cfg.out, "physical channel (n=64, D=32): mislabeled=%d, max slot energy=%d, rounds=%d, msg violations=%d\n\n",
-		bad, eng.MaxEnergy(), eng.Round(), eng.MsgViolations())
+	phys := results[trialKey("E1-physical", "cycle", 64, 0)]
+	fmt.Fprintf(cfg.out, "physical channel (n=64, D=32): mislabeled=%.0f, max slot energy=%.0f, rounds=%.0f, msg violations=%.0f\n\n",
+		phys.Get("mislabeled"), phys.Get("physMax"), phys.Get("physRounds"), phys.Get("msgViolations"))
 }
 
 // runE2 measures Lemma 2.4's Local-Broadcast: success probability under
 // contention, sender energy O(passes), hearing-receiver energy O(log Δ).
 func runE2(cfg config) {
-	tbl := stats.NewTable("Local-Broadcast under contention (star center listening)",
-		"degree", "passes", "success", "sender E", "rx-hear E(mean)", "duration(slots)")
 	trials := 400
 	if cfg.quick {
 		trials = 120
 	}
-	for _, deg := range []int{2, 8, 64, 255} {
-		n := deg + 1
-		g := graph.Star(n)
-		for _, passes := range []int{2, 4, 8} {
-			p := decay.ParamsFor(n, passes)
-			okCount, hearE := 0, 0.0
-			var senderE int64
-			for trial := 0; trial < trials; trial++ {
+	degs := []int{2, 8, 64, 255}
+	passesAxis := []int{2, 4, 8}
+	insts := make([]harness.Instance, 0, len(degs))
+	for _, deg := range degs {
+		insts = append(insts, harness.Instance{Family: "star", N: deg + 1})
+	}
+	var scs []*harness.Scenario
+	for _, passes := range passesAxis {
+		passes := passes
+		scs = append(scs, &harness.Scenario{
+			Name:      fmt.Sprintf("E2-p%d", passes),
+			Instances: insts,
+			Trials:    trials,
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				deg := tr.N - 1
+				g := graph.Star(tr.N)
+				p := decay.ParamsFor(tr.N, passes)
 				eng := radio.NewEngine(g)
 				senders := make([]radio.TX, 0, deg)
 				for v := 1; v <= deg; v++ {
@@ -102,19 +154,29 @@ func runE2(cfg config) {
 				}
 				got := make([]radio.Msg, 1)
 				ok := make([]bool, 1)
-				decay.LocalBroadcast(eng, p, senders, []int32{0}, rng.Derive(cfg.seed, uint64(deg), uint64(passes), uint64(trial)), got, ok)
+				decay.LocalBroadcast(eng, p, senders, []int32{0}, rng.Derive(tr.Seed, 0xe2), got, ok)
+				m := harness.Metrics{"ok": harness.BoolMetric(ok[0]), "senderE": float64(eng.Energy(1))}
 				if ok[0] {
-					okCount++
-					hearE += float64(eng.Energy(0))
+					// Conditional metric: mean hearing energy over the
+					// trials in which the center actually heard.
+					m["hearE"] = float64(eng.Energy(0))
 				}
-				senderE = eng.Energy(1)
-			}
-			success := float64(okCount) / float64(trials)
-			mean := 0.0
-			if okCount > 0 {
-				mean = hearE / float64(okCount)
-			}
-			tbl.AddRowf(deg, passes, success, senderE, mean, p.Duration())
+				return m, nil
+			},
+		})
+	}
+	sums := harness.Aggregate(cfg.runAll(scs...))
+	cellOf := map[string]harness.Summary{}
+	for _, s := range sums {
+		cellOf[fmt.Sprintf("%s|%d", s.Scenario, s.N)] = s
+	}
+	tbl := stats.NewTable("Local-Broadcast under contention (star center listening)",
+		"degree", "passes", "success", "sender E", "rx-hear E(mean)", "duration(slots)")
+	for _, deg := range degs {
+		for _, passes := range passesAxis {
+			s := cellOf[fmt.Sprintf("E2-p%d|%d", passes, deg+1)]
+			tbl.AddRowf(deg, passes, s.Metrics["ok"].Mean, s.Metrics["senderE"].Mean,
+				s.Metrics["hearE"].Mean, decay.ParamsFor(deg+1, passes).Duration())
 		}
 	}
 	tbl.Render(cfg.out)
@@ -123,86 +185,121 @@ func runE2(cfg config) {
 // runE3 measures Lemma 2.5: clustering runs in TMax Local-Broadcasts with
 // O(TMax) energy, radius < TMax, and an O(β) cut fraction.
 func runE3(cfg config) {
-	tbl := stats.NewTable("MPX clustering (Lemma 2.5)",
-		"family", "n", "1/β", "TMax", "clusters", "radius", "cut frac", "β", "maxLB E", "time(LB)")
 	n := 1024
 	if cfg.quick {
 		n = 256
 	}
-	for _, family := range []string{"cycle", "grid", "gnp"} {
-		g, _ := graph.Named(family, n, cfg.seed)
-		for _, invBeta := range []int{4, 8, 16} {
-			cl0 := cluster.DefaultConfig(g.N(), invBeta)
-			base := lbnet.NewUnitNet(g, 0, cfg.seed)
-			cl := cluster.Build(base, cl0, cfg.seed)
-			tbl.AddRowf(family, g.N(), invBeta, cl0.TMax, cl.NumClusters(), cl.Radius(),
-				cluster.CutFraction(g, cl.ClusterOf), 1.0/float64(invBeta),
-				lbnet.MaxLBEnergy(base), base.LBTime())
+	families := []string{"cycle", "grid", "gnp"}
+	invBetas := []int{4, 8, 16}
+	graphSeed := rng.Derive(cfg.seed, 0xe3)
+	var scs []*harness.Scenario
+	for _, invBeta := range invBetas {
+		invBeta := invBeta
+		scs = append(scs, &harness.Scenario{
+			Name:      fmt.Sprintf("E3-b%d", invBeta),
+			Instances: harness.Cross(families, []int{n}, nil),
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+				cl0 := cluster.DefaultConfig(g.N(), invBeta)
+				base := lbnet.NewUnitNet(g, 0, tr.Seed)
+				cl := cluster.Build(base, cl0, tr.Seed)
+				return harness.Metrics{
+					"clusters": float64(cl.NumClusters()),
+					"radius":   float64(cl.Radius()),
+					"cutFrac":  cluster.CutFraction(g, cl.ClusterOf),
+					"maxLB":    float64(lbnet.MaxLBEnergy(base)),
+					"timeLB":   float64(base.LBTime()),
+				}, nil
+			},
+		})
+	}
+	results := byTrial(cfg.runAll(scs...))
+	tbl := stats.NewTable("MPX clustering (Lemma 2.5)",
+		"family", "n", "1/β", "TMax", "clusters", "radius", "cut frac", "β", "maxLB E", "time(LB)")
+	for _, family := range families {
+		// graph.Named may round n (e.g. grid side); recover the real size.
+		g, _ := graph.Named(family, n, graphSeed)
+		for _, invBeta := range invBetas {
+			r := results[trialKey(fmt.Sprintf("E3-b%d", invBeta), family, n, 0)]
+			tbl.AddRowf(family, g.N(), invBeta, cluster.DefaultConfig(g.N(), invBeta).TMax,
+				r.Get("clusters"), r.Get("radius"), r.Get("cutFrac"), 1.0/float64(invBeta),
+				r.Get("maxLB"), r.Get("timeLB"))
 		}
 	}
 	tbl.Render(cfg.out)
 }
 
-// runE4 measures Lemmas 2.1-2.3 on the ideal (fractional) MPX process.
+// runE4 measures Lemmas 2.1-2.3 on the ideal (fractional) MPX process. The
+// analysis is one deep trial; its structured tables are captured through
+// the closure (single-trial scenario, so there is no write race).
 func runE4(cfg config) {
 	n := 2048
 	if cfg.quick {
 		n = 512
 	}
 	invBeta := 8
-	g := graph.Path(n)
-	ideal := cluster.BuildIdeal(g, invBeta, cfg.seed)
-	cg := cluster.ClusterGraphOf(g, ideal.ClusterOf, len(ideal.Center))
+	var tails, ratios *stats.Table
+	sc := &harness.Scenario{
+		Name:      "E4",
+		Instances: []harness.Instance{{Family: "path", N: n}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			g := graph.Path(tr.N)
+			ideal := cluster.BuildIdeal(g, invBeta, tr.Seed)
+			cg := cluster.ClusterGraphOf(g, ideal.ClusterOf, len(ideal.Center))
 
-	// Lemma 2.1: tail of #clusters intersecting Ball(v, 1).
-	counts := stats.I64s(intsTo64(cluster.BallClusterCounts(g, ideal.ClusterOf, 1)))
-	beta := 1 / float64(invBeta)
-	q := 1 - math.Exp(-2*beta)
-	tbl := stats.NewTable(fmt.Sprintf("Lemma 2.1 tail on path n=%d, 1/β=%d (bound q=%.3f)", n, invBeta, q),
-		"j", "P(count > j) observed", "bound q^j")
-	for j := 1; j <= 6; j++ {
-		exceed := 0
-		for _, c := range counts {
-			if c > float64(j) {
-				exceed++
+			// Lemma 2.1: tail of #clusters intersecting Ball(v, 1).
+			counts := stats.I64s(intsTo64(cluster.BallClusterCounts(g, ideal.ClusterOf, 1)))
+			beta := 1 / float64(invBeta)
+			q := 1 - math.Exp(-2*beta)
+			tails = stats.NewTable(fmt.Sprintf("Lemma 2.1 tail on path n=%d, 1/β=%d (bound q=%.3f)", tr.N, invBeta, q),
+				"j", "P(count > j) observed", "bound q^j")
+			for j := 1; j <= 6; j++ {
+				exceed := 0
+				for _, c := range counts {
+					if c > float64(j) {
+						exceed++
+					}
+				}
+				tails.AddRowf(j, float64(exceed)/float64(len(counts)), math.Pow(q, float64(j)))
 			}
-		}
-		tbl.AddRowf(j, float64(exceed)/float64(len(counts)), math.Pow(q, float64(j)))
-	}
-	tbl.Render(cfg.out)
 
-	// Lemmas 2.2/2.3: ratio dist_G*(Cl(0), Cl(v)) / (β·dist_G(0, v)).
-	distStar := graph.BFS(cg, ideal.ClusterOf[0])
-	rt := stats.NewTable("Lemmas 2.2/2.3 distance-proxy ratio dist*/(β·d) on the path",
-		"d bucket", "samples", "min ratio", "mean ratio", "max ratio", "2.2 band", "2.3 band (large d)")
-	lg := math.Log2(float64(n))
-	for _, bucket := range [][2]int{{8, 32}, {32, 128}, {128, 512}, {512, n - 1}} {
-		lo, hi := bucket[0], bucket[1]
-		if lo >= n {
-			continue
-		}
-		var ratios []float64
-		for v := lo; v < hi && v < n; v += 3 {
-			d := float64(v)
-			ds := float64(distStar[ideal.ClusterOf[v]])
-			ratios = append(ratios, ds/(beta*d))
-		}
-		if len(ratios) == 0 {
-			continue
-		}
-		minR, maxR := ratios[0], ratios[0]
-		for _, r := range ratios {
-			minR = math.Min(minR, r)
-			maxR = math.Max(maxR, r)
-		}
-		band22 := fmt.Sprintf("[%.3f, %.1f]", 1/(8*lg), 8*lg)
-		band23 := "-"
-		if lo >= invBeta*int(lg*lg) {
-			band23 = "O(1) factor"
-		}
-		rt.AddRowf(fmt.Sprintf("[%d,%d)", lo, hi), len(ratios), minR, stats.Mean(ratios), maxR, band22, band23)
+			// Lemmas 2.2/2.3: ratio dist_G*(Cl(0), Cl(v)) / (β·dist_G(0, v)).
+			distStar := graph.BFS(cg, ideal.ClusterOf[0])
+			ratios = stats.NewTable("Lemmas 2.2/2.3 distance-proxy ratio dist*/(β·d) on the path",
+				"d bucket", "samples", "min ratio", "mean ratio", "max ratio", "2.2 band", "2.3 band (large d)")
+			lg := math.Log2(float64(tr.N))
+			for _, bucket := range [][2]int{{8, 32}, {32, 128}, {128, 512}, {512, tr.N - 1}} {
+				lo, hi := bucket[0], bucket[1]
+				if lo >= tr.N {
+					continue
+				}
+				var rs []float64
+				for v := lo; v < hi && v < tr.N; v += 3 {
+					d := float64(v)
+					ds := float64(distStar[ideal.ClusterOf[v]])
+					rs = append(rs, ds/(beta*d))
+				}
+				if len(rs) == 0 {
+					continue
+				}
+				minR, maxR := rs[0], rs[0]
+				for _, r := range rs {
+					minR = math.Min(minR, r)
+					maxR = math.Max(maxR, r)
+				}
+				band22 := fmt.Sprintf("[%.3f, %.1f]", 1/(8*lg), 8*lg)
+				band23 := "-"
+				if lo >= invBeta*int(lg*lg) {
+					band23 = "O(1) factor"
+				}
+				ratios.AddRowf(fmt.Sprintf("[%d,%d)", lo, hi), len(rs), minR, stats.Mean(rs), maxR, band22, band23)
+			}
+			return harness.Metrics{"clusters": float64(len(ideal.Center))}, nil
+		},
 	}
-	rt.Render(cfg.out)
+	cfg.runAll(sc)
+	tails.Render(cfg.out)
+	ratios.Render(cfg.out)
 	fmt.Fprintln(cfg.out, "Lemma 2.2 predicts ratios within a Θ(log n) band for all d; Lemma 2.3 tightens")
 	fmt.Fprintln(cfg.out, "it to a constant band once d = Ω(β⁻¹·log² n) — visible as shrinking spread above.")
 	fmt.Fprintln(cfg.out)
@@ -222,38 +319,59 @@ func runE5(cfg config) {
 	if cfg.quick {
 		n = 144
 	}
-	g, _ := graph.Named("grid", n, cfg.seed)
-	base := lbnet.NewUnitNet(g, 0, cfg.seed)
-	cl0 := cluster.DefaultConfig(g.N(), 4)
-	cl := cluster.Build(base, cl0, cfg.seed)
-	vn := vnet.New(base, cl)
-	nc := vn.N()
+	sc := &harness.Scenario{
+		Name:      "E5",
+		Instances: []harness.Instance{{Family: "grid", N: n}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			g, _ := graph.Named(tr.Family, tr.N, tr.Seed)
+			base := lbnet.NewUnitNet(g, 0, tr.Seed)
+			cl0 := cluster.DefaultConfig(g.N(), 4)
+			cl := cluster.Build(base, cl0, tr.Seed)
+			vn := vnet.New(base, cl)
+			nc := vn.N()
 
+			// One full Downcast: per-vertex participation vs O(log n).
+			pre := snapshot(base)
+			part := make([]bool, nc)
+			has := make([]bool, nc)
+			msgs := make([]radio.Msg, nc)
+			for c := range part {
+				part[c], has[c] = true, true
+			}
+			vn.Downcast(part, has, msgs, make([]radio.Msg, g.N()), make([]bool, g.N()))
+			spent := make([]float64, g.N())
+			for v := int32(0); int(v) < g.N(); v++ {
+				spent[v] = float64(base.LBEnergy(v) - pre[v])
+			}
+			return harness.Metrics{
+				"clusters":    float64(nc),
+				"contention":  float64(cl0.C),
+				"subsetLen":   float64(cl0.SubsetLen),
+				"castLBs":     float64(vn.CastLBs()),
+				"vlbCost":     float64(vn.VLBCost()),
+				"downMean":    stats.Mean(spent),
+				"downMax":     stats.Max(spent),
+				"subsetFails": float64(cluster.SubsetProperty(g, cl)),
+				"castFails":   float64(vn.CastFailures()),
+			}, nil
+		},
+	}
+	res := cfg.runAll(sc)[0]
+	if res.Err != "" {
+		fmt.Fprintln(cfg.out, "error:", res.Err)
+		return
+	}
 	tbl := stats.NewTable("Cast and virtual-LB costs (Lemmas 3.1, 3.2)",
 		"quantity", "value", "paper bound")
-	tbl.AddRowf("clusters", nc, "-")
-	tbl.AddRowf("contention bound C", cl0.C, "O(log n / log(1/β))·const")
-	tbl.AddRowf("subset universe ℓ", cl0.SubsetLen, "Θ(C log n)")
-	tbl.AddRowf("cast duration (parent LBs)", vn.CastLBs(), "TMax·ℓ = O(log³n / (β log 1/β))")
-	tbl.AddRowf("virtual LB duration", vn.VLBCost(), "3 casts + 1")
-
-	// One full Downcast: per-vertex participation vs the O(log n) bound.
-	pre := snapshot(base)
-	part := make([]bool, nc)
-	has := make([]bool, nc)
-	msgs := make([]radio.Msg, nc)
-	for c := range part {
-		part[c], has[c] = true, true
-	}
-	vn.Downcast(part, has, msgs, make([]radio.Msg, g.N()), make([]bool, g.N()))
-	spent := make([]float64, g.N())
-	for v := int32(0); int(v) < g.N(); v++ {
-		spent[v] = float64(base.LBEnergy(v) - pre[v])
-	}
-	tbl.AddRowf("downcast per-vertex LBs (mean)", stats.Mean(spent), "O(|S_C|) = O(log n)")
-	tbl.AddRowf("downcast per-vertex LBs (max)", stats.Max(spent), "O(log n)")
-	tbl.AddRowf("subset property (2) failures", cluster.SubsetProperty(g, cl), "0 w.h.p.")
-	tbl.AddRowf("cast divergence events", vn.CastFailures(), "0 w.h.p.")
+	tbl.AddRowf("clusters", res.Get("clusters"), "-")
+	tbl.AddRowf("contention bound C", res.Get("contention"), "O(log n / log(1/β))·const")
+	tbl.AddRowf("subset universe ℓ", res.Get("subsetLen"), "Θ(C log n)")
+	tbl.AddRowf("cast duration (parent LBs)", res.Get("castLBs"), "TMax·ℓ = O(log³n / (β log 1/β))")
+	tbl.AddRowf("virtual LB duration", res.Get("vlbCost"), "3 casts + 1")
+	tbl.AddRowf("downcast per-vertex LBs (mean)", res.Get("downMean"), "O(|S_C|) = O(log n)")
+	tbl.AddRowf("downcast per-vertex LBs (max)", res.Get("downMax"), "O(log n)")
+	tbl.AddRowf("subset property (2) failures", res.Get("subsetFails"), "0 w.h.p.")
+	tbl.AddRowf("cast divergence events", res.Get("castFails"), "0 w.h.p.")
 	tbl.Render(cfg.out)
 }
 
@@ -265,7 +383,8 @@ func snapshot(net lbnet.Net) []int64 {
 	return out
 }
 
-// runE6 prints the Z-sequence and its Lemma 4.2 profile.
+// runE6 prints the Z-sequence and its Lemma 4.2 profile. Pure arithmetic —
+// no graphs, no trials — so it bypasses the runner.
 func runE6(cfg config) {
 	z := core.NewZSeq(4, 200) // D* = 256
 	tbl := stats.NewTable("Z-sequence, α=4, D*=256 (Z[0]=D*)", "i", "Y[i]", "Z[i]")
@@ -279,26 +398,44 @@ func runE6(cfg config) {
 
 // runE7 measures Claims 1 and 2.
 func runE7(cfg config) {
-	tbl := stats.NewTable("Claims 1-2: participation counters (cycles, fixed β=1/8, w=24)",
-		"n", "D", "stages", "max X_i count", "max Special Updates", "sender violations")
 	ns := []int{256, 512}
 	if !cfg.quick {
 		ns = append(ns, 1024, 2048)
 	}
-	var xs, xis, sps []float64
+	insts := make([]harness.Instance, 0, len(ns))
 	for _, n := range ns {
-		g := graph.Cycle(n)
-		d := n / 2
-		p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
-		base := lbnet.NewUnitNet(g, 0, cfg.seed)
-		st, _ := core.BuildStack(base, p, cfg.seed)
-		st.Inst = core.NewInstrumentation()
-		st.BFS([]int32{0}, d)
-		stages := (d + p.InvBeta - 1) / p.InvBeta
-		tbl.AddRowf(n, d, stages, st.Inst.MaxXi(0), st.Inst.MaxSpecial(0), st.Inst.SenderViolations)
-		xs = append(xs, float64(stages))
-		xis = append(xis, float64(st.Inst.MaxXi(0)))
-		sps = append(sps, float64(st.Inst.MaxSpecial(0)))
+		insts = append(insts, harness.Instance{Family: "cycle", N: n, MaxDist: n / 2})
+	}
+	p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
+	sc := &harness.Scenario{
+		Name:      "E7",
+		Instances: insts,
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			g := graph.Cycle(tr.N)
+			base := lbnet.NewUnitNet(g, 0, tr.Seed)
+			st, err := core.BuildStack(base, p, tr.Seed)
+			if err != nil {
+				return nil, err
+			}
+			st.Inst = core.NewInstrumentation()
+			st.BFS([]int32{0}, tr.MaxDist)
+			return harness.Metrics{
+				"stages":     float64((tr.MaxDist + p.InvBeta - 1) / p.InvBeta),
+				"maxXi":      float64(st.Inst.MaxXi(0)),
+				"maxSpecial": float64(st.Inst.MaxSpecial(0)),
+				"senderViol": float64(st.Inst.SenderViolations),
+			}, nil
+		},
+	}
+	results := cfg.runAll(sc)
+	tbl := stats.NewTable("Claims 1-2: participation counters (cycles, fixed β=1/8, w=24)",
+		"n", "D", "stages", "max X_i count", "max Special Updates", "sender violations")
+	var xs, xis, sps []float64
+	for _, r := range results {
+		tbl.AddRowf(r.N, r.MaxDist, r.Get("stages"), r.Get("maxXi"), r.Get("maxSpecial"), r.Get("senderViol"))
+		xs = append(xs, r.Get("stages"))
+		xis = append(xis, r.Get("maxXi"))
+		sps = append(sps, r.Get("maxSpecial"))
 	}
 	tbl.Render(cfg.out)
 	eXi, _ := stats.FitPowerLaw(xs, xis)
@@ -310,44 +447,73 @@ func runE7(cfg config) {
 
 // runE8 runs the expensive Invariant 4.1 reference check across seeds.
 func runE8(cfg config) {
-	tbl := stats.NewTable("Invariant 4.1 reference check", "graph", "seed", "low violations (dist<L)", "high violations (dist>U)", "mislabeled")
-	for _, fam := range []string{"cycle", "grid"} {
-		n := 144
-		g, _ := graph.Named(fam, n, cfg.seed)
-		seeds := 5
-		if cfg.quick {
-			seeds = 2
-		}
-		for s := 0; s < seeds; s++ {
-			seed := rng.Derive(cfg.seed, uint64(s), 0xe8)
-			base := lbnet.NewUnitNet(g, 0, seed)
-			st, _ := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, seed)
+	seeds := 5
+	if cfg.quick {
+		seeds = 2
+	}
+	n := 144
+	graphSeed := rng.Derive(cfg.seed, 0xe8)
+	sc := &harness.Scenario{
+		Name:      "E8",
+		Instances: harness.Cross([]string{"cycle", "grid"}, []int{n}, func(string, int) int { return n / 2 }),
+		Trials:    seeds,
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+			base := lbnet.NewUnitNet(g, 0, tr.Seed)
+			st, err := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, tr.Seed)
+			if err != nil {
+				return nil, err
+			}
 			st.Inst = core.NewInstrumentation()
 			st.Inst.CheckInvariant = true
-			dist := st.BFS([]int32{0}, n/2)
-			bad := core.VerifyAgainstReference(g, []int32{0}, dist, n/2)
-			tbl.AddRowf(fam, s, st.Inst.LowViolations, st.Inst.HighViolations, bad)
-		}
+			dist := st.BFS([]int32{0}, tr.MaxDist)
+			return harness.Metrics{
+				"low":        float64(st.Inst.LowViolations),
+				"high":       float64(st.Inst.HighViolations),
+				"mislabeled": float64(core.VerifyAgainstReference(g, []int32{0}, dist, tr.MaxDist)),
+			}, nil
+		},
+	}
+	results := cfg.runAll(sc)
+	tbl := stats.NewTable("Invariant 4.1 reference check", "graph", "seed", "low violations (dist<L)", "high violations (dist>U)", "mislabeled")
+	for _, r := range results {
+		tbl.AddRowf(r.Family, r.Index, r.Get("low"), r.Get("high"), r.Get("mislabeled"))
 	}
 	tbl.Render(cfg.out)
 }
 
 // runE9 reproduces Figure 3: the evolution of [L, U] and the true wavefront
-// distance for one cluster.
+// distance for one cluster. One instrumented trial; the trace is captured
+// through the closure (single-trial scenario).
 func runE9(cfg config) {
 	n := 240
-	g := graph.Cycle(n)
-	p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
-	base := lbnet.NewUnitNet(g, 0, cfg.seed)
-	st, _ := core.BuildStack(base, p, cfg.seed)
-	st.Inst = core.NewInstrumentation()
-	st.Inst.TraceCluster = st.VNets[0].Clustering().ClusterOf[n/2]
-	st.BFS([]int32{0}, n/2)
+	var trace []core.TracePoint
+	sc := &harness.Scenario{
+		Name:      "E9",
+		Instances: []harness.Instance{{Family: "cycle", N: n, MaxDist: n / 2}},
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			g := graph.Cycle(tr.N)
+			base := lbnet.NewUnitNet(g, 0, tr.Seed)
+			st, err := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, tr.Seed)
+			if err != nil {
+				return nil, err
+			}
+			st.Inst = core.NewInstrumentation()
+			st.Inst.TraceCluster = st.VNets[0].Clustering().ClusterOf[tr.N/2]
+			st.BFS([]int32{0}, tr.MaxDist)
+			trace = st.Inst.Trace
+			return harness.Metrics{"points": float64(len(trace))}, nil
+		},
+	}
+	if res := cfg.runAll(sc)[0]; res.Err != "" {
+		fmt.Fprintln(cfg.out, "error:", res.Err)
+		return
+	}
 
 	var lSeries, uSeries, tSeries []float64
 	tbl := stats.NewTable("Figure 3 series (cluster of the antipodal vertex)",
 		"stage", "Z[i+1]", "L_i", "U_i", "true dist to W_i")
-	for _, pt := range st.Inst.Trace {
+	for _, pt := range trace {
 		lv, uv := float64(pt.L), float64(pt.U)
 		if pt.L < 0 {
 			lv = 0

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diameter"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/labelcast"
 	"repro/internal/lbnet"
 	"repro/internal/lowerbound"
@@ -22,33 +23,50 @@ func runE10(cfg config) {
 	if cfg.quick {
 		n, trials = 48, 30
 	}
+	// The round-robin probe is deterministic — one transcript, no trials.
 	full := lowerbound.RoundRobinProbe(graph.CompleteMinusEdge(n, 1, 2))
 	fmt.Fprintf(cfg.out, "round-robin probe on K_%d−e: detected=%v, per-vertex energy=%d (Θ(n)), |X_good|=%d <= 2·E_total=%d: %v\n\n",
 		n, full.Detected, full.MaxEnergy, full.Stats.GoodPairs, 2*full.Stats.TotalEnergy, full.Stats.BoundHolds())
 
+	var budgets []int
+	for _, budget := range []int{1, 2, 4, 8, 16, 32, 48} {
+		if budget < n {
+			budgets = append(budgets, budget)
+		}
+	}
+	var scs []*harness.Scenario
+	for _, budget := range budgets {
+		budget := budget
+		scs = append(scs, &harness.Scenario{
+			Name:      fmt.Sprintf("E10-b%d", budget),
+			Instances: []harness.Instance{{Family: "complete-e", N: n}},
+			Trials:    trials,
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				// The missing edge is the trial's hidden instance: drawn
+				// uniformly from the trial seed, like the adversary of
+				// Theorem 5.1.
+				r := rng.New(rng.Derive(tr.Seed, 0xe10))
+				u := int32(r.Intn(tr.N))
+				v := int32(r.Intn(tr.N))
+				for v == u {
+					v = int32(r.Intn(tr.N))
+				}
+				res := lowerbound.BudgetedProbe(graph.CompleteMinusEdge(tr.N, u, v), budget, rng.Derive(tr.Seed, 0x9b))
+				return harness.Metrics{
+					"detected": harness.BoolMetric(res.Detected),
+					"holds":    harness.BoolMetric(res.Stats.BoundHolds()),
+				}, nil
+			},
+		})
+	}
+	sums := harness.Aggregate(cfg.runAll(scs...))
 	tbl := stats.NewTable("budgeted probe success vs energy (Theorem 5.1 trade-off)",
 		"budget E", "E/n", "success", "analytic 1-(1-E/(n-1))²", "bound holds")
-	r := rng.New(rng.Derive(cfg.seed, 0xe10))
-	for _, budget := range []int{1, 2, 4, 8, 16, 32, 48} {
-		if budget >= n {
-			continue
-		}
-		hits := 0
-		holds := true
-		for trial := 0; trial < trials; trial++ {
-			u := int32(r.Intn(n))
-			v := int32(r.Intn(n))
-			for v == u {
-				v = int32(r.Intn(n))
-			}
-			res := lowerbound.BudgetedProbe(graph.CompleteMinusEdge(n, u, v), budget, rng.Derive(cfg.seed, uint64(trial), uint64(budget)))
-			if res.Detected {
-				hits++
-			}
-			holds = holds && res.Stats.BoundHolds()
-		}
+	for i, s := range sums {
+		budget := budgets[i]
 		p := float64(budget) / float64(n-1)
-		tbl.AddRowf(budget, float64(budget)/float64(n), float64(hits)/float64(trials), 1-(1-p)*(1-p), holds)
+		tbl.AddRowf(budget, float64(budget)/float64(n), s.Metrics["detected"].Mean,
+			1-(1-p)*(1-p), s.Metrics["holds"].Min == 1)
 	}
 	tbl.Render(cfg.out)
 	fmt.Fprintln(cfg.out, "success grows ∝ energy budget: distinguishing w.p. Ω(1) needs Ω(n) energy (Theorem 5.1).")
@@ -59,32 +77,50 @@ func runE10(cfg config) {
 // diameter 3 otherwise; arboricity O(log k); and the reduction's bit
 // accounting.
 func runE11(cfg config) {
-	tbl := stats.NewTable("set-disjointness lower-bound graphs (Theorem 5.2)",
-		"ℓ", "k=2^ℓ", "|V|", "diam disjoint", "diam intersecting", "degeneracy", "O(log n) bound", "bits/listener-round")
-	r := rng.New(rng.Derive(cfg.seed, 0xe11))
 	ells := []int{3, 5, 7}
 	if !cfg.quick {
 		ells = append(ells, 8)
 	}
+	insts := make([]harness.Instance, 0, len(ells))
 	for _, ell := range ells {
-		k := 1 << ell
-		// Disjoint pair: evens vs odds. Intersecting: evens vs evens+1 elt.
-		var evens, odds []uint64
-		for x := 0; x < k; x++ {
-			if x%2 == 0 {
-				evens = append(evens, uint64(x))
-			} else {
-				odds = append(odds, uint64(x))
+		// N carries k = 2^ℓ; MaxDist carries ℓ (labels for the custom run —
+		// these are constructed graphs, not graph.Named families).
+		insts = append(insts, harness.Instance{Family: "setdisj", N: 1 << ell, MaxDist: ell})
+	}
+	sc := &harness.Scenario{
+		Name:      "E11",
+		Instances: insts,
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			ell, k := tr.MaxDist, tr.N
+			// Disjoint pair: evens vs odds. Intersecting: odds + one even.
+			var evens, odds []uint64
+			for x := 0; x < k; x++ {
+				if x%2 == 0 {
+					evens = append(evens, uint64(x))
+				} else {
+					odds = append(odds, uint64(x))
+				}
 			}
-		}
-		inter := append(append([]uint64(nil), odds...), evens[r.Intn(len(evens))])
-		dDisj := lowerbound.BuildDisjointness(evens, odds, ell)
-		dInt := lowerbound.BuildDisjointness(evens, inter, ell)
-		diamD := graph.Diameter(dDisj.G)
-		diamI := graph.Diameter(dInt.G)
-		deg := graph.Degeneracy(dDisj.G)
-		bits := dDisj.ReductionBits([][]int32{append(append([]int32{dDisj.UStar, dDisj.VStar}, dDisj.VC...), dDisj.VD...)})
-		tbl.AddRowf(ell, k, dDisj.G.N(), diamD, diamI, deg, 4*ell, bits)
+			r := rng.New(rng.Derive(tr.Seed, 0xe11))
+			inter := append(append([]uint64(nil), odds...), evens[r.Intn(len(evens))])
+			dDisj := lowerbound.BuildDisjointness(evens, odds, ell)
+			dInt := lowerbound.BuildDisjointness(evens, inter, ell)
+			bits := dDisj.ReductionBits([][]int32{append(append([]int32{dDisj.UStar, dDisj.VStar}, dDisj.VC...), dDisj.VD...)})
+			return harness.Metrics{
+				"vertices":   float64(dDisj.G.N()),
+				"diamDisj":   float64(graph.Diameter(dDisj.G)),
+				"diamInt":    float64(graph.Diameter(dInt.G)),
+				"degeneracy": float64(graph.Degeneracy(dDisj.G)),
+				"bits":       float64(bits),
+			}, nil
+		},
+	}
+	results := cfg.runAll(sc)
+	tbl := stats.NewTable("set-disjointness lower-bound graphs (Theorem 5.2)",
+		"ℓ", "k=2^ℓ", "|V|", "diam disjoint", "diam intersecting", "degeneracy", "O(log n) bound", "bits/listener-round")
+	for _, r := range results {
+		tbl.AddRowf(r.MaxDist, r.N, r.Get("vertices"), r.Get("diamDisj"), r.Get("diamInt"),
+			r.Get("degeneracy"), 4*r.MaxDist, r.Get("bits"))
 	}
 	tbl.Render(cfg.out)
 	fmt.Fprintln(cfg.out, "Each round costs O(|Z(τ)|·log k) bits in the two-party simulation; an")
@@ -93,28 +129,28 @@ func runE11(cfg config) {
 	fmt.Fprintln(cfg.out)
 }
 
-// runE12 measures Theorem 5.3: the 2-approximation's band and costs.
+// runE12 measures Theorem 5.3: the 2-approximation's band and costs, via
+// the harness's built-in diam2 workload.
 func runE12(cfg config) {
-	tbl := stats.NewTable("2-approximation of diameter (Theorem 5.3)",
-		"family", "n", "diam", "estimate", "in [diam/2, diam]", "maxLB E", "time(LB)")
 	ns := []int{64, 128}
 	if !cfg.quick {
 		ns = append(ns, 256)
 	}
-	for _, fam := range []string{"path", "cycle", "grid", "gnp", "lollipop"} {
-		for _, n := range ns {
-			g, _ := graph.Named(fam, n, cfg.seed)
-			diam := graph.Diameter(g)
-			base := lbnet.NewUnitNet(g, 0, cfg.seed)
-			st, err := core.BuildStack(base, core.AutoParams(g.N(), g.N()), cfg.seed)
-			if err != nil {
-				fmt.Fprintln(cfg.out, "error:", err)
-				return
-			}
-			res := diameter.TwoApprox(st, diameter.Designated(), g.N())
-			in := res.Estimate >= diam/2 && res.Estimate <= diam
-			tbl.AddRowf(fam, g.N(), diam, res.Estimate, in, lbnet.MaxLBEnergy(base), base.LBTime())
+	sc := &harness.Scenario{
+		Name:      "E12",
+		Instances: harness.Cross([]string{"path", "cycle", "grid", "gnp", "lollipop"}, ns, nil),
+		Algo:      harness.AlgoDiam2,
+	}
+	results := cfg.runAll(sc)
+	tbl := stats.NewTable("2-approximation of diameter (Theorem 5.3)",
+		"family", "n", "diam", "estimate", "in [diam/2, diam]", "maxLB E", "time(LB)")
+	for _, r := range results {
+		if r.Err != "" {
+			fmt.Fprintln(cfg.out, "error:", r.Err)
+			return
 		}
+		tbl.AddRowf(r.Family, r.N, r.Get("diam"), r.Get("estimate"), r.Get("inBand") == 1,
+			r.Get("maxLB"), r.Get("timeLB"))
 	}
 	tbl.Render(cfg.out)
 }
@@ -122,59 +158,93 @@ func runE12(cfg config) {
 // runE13 measures Theorem 5.4: the nearly-3/2 approximation band, on the
 // radio stack at small n and via the centralized mirror at larger n.
 func runE13(cfg config) {
-	radioTbl := stats.NewTable("3/2-approximation on the radio stack (Theorem 5.4)",
-		"family", "n", "diam", "estimate", "in [⌊2diam/3⌋, diam]", "|S|", "|R|", "BFS runs", "maxLB E")
 	rns := []int{48}
 	if !cfg.quick {
 		rns = append(rns, 96)
 	}
-	for _, fam := range []string{"path", "gnp"} {
-		for _, n := range rns {
-			g, _ := graph.Named(fam, n, cfg.seed)
+	radioSc := &harness.Scenario{
+		Name:      "E13-radio",
+		Instances: harness.Cross([]string{"path", "gnp"}, rns, nil),
+		Run:       e13RadioRun(cfg),
+	}
+	mns := []int{512, 1024}
+	if !cfg.quick {
+		mns = append(mns, 2048)
+	}
+	mirrorTrials := 5
+	if cfg.quick {
+		mirrorTrials = 3
+	}
+	graphSeed := rng.Derive(cfg.seed, 0xe13)
+	mirrorSc := &harness.Scenario{
+		Name:      "E13-mirror",
+		Instances: harness.Cross([]string{"path", "cycle", "grid", "lollipop", "geometric"}, mns, nil),
+		Trials:    mirrorTrials,
+		Run: func(tr harness.Trial) (harness.Metrics, error) {
+			// One fixed graph per cell; the trials sample the algorithm's
+			// own randomness, as in the theorem's probability statement.
+			g, _ := graph.Named(tr.Family, tr.N, graphSeed)
 			diam := graph.Diameter(g)
-			base := lbnet.NewUnitNet(g, 0, cfg.seed)
-			st, err := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, cfg.seed)
-			if err != nil {
-				fmt.Fprintln(cfg.out, "error:", err)
-				return
-			}
-			res := diameter.ThreeHalvesApprox(st, diameter.Designated(), g.N(), cfg.seed)
-			in := res.Estimate >= diam*2/3 && res.Estimate <= diam
-			radioTbl.AddRowf(fam, g.N(), diam, res.Estimate, in, res.SampleSize, res.RSize, res.BFSRuns, lbnet.MaxLBEnergy(base))
+			res := diameter.MirrorThreeHalves(g, tr.Seed)
+			return harness.Metrics{
+				"estimate": float64(res.Estimate),
+				"diam":     float64(diam),
+				"bandLow":  float64(diam * 2 / 3),
+				"inBand":   harness.BoolMetric(res.Estimate >= diam*2/3 && res.Estimate <= diam),
+			}, nil
+		},
+	}
+	results := cfg.runAll(radioSc, mirrorSc)
+
+	radioTbl := stats.NewTable("3/2-approximation on the radio stack (Theorem 5.4)",
+		"family", "n", "diam", "estimate", "in [⌊2diam/3⌋, diam]", "|S|", "|R|", "BFS runs", "maxLB E")
+	for _, r := range results {
+		if r.Scenario != "E13-radio" {
+			continue
 		}
+		if r.Err != "" {
+			fmt.Fprintln(cfg.out, "error:", r.Err)
+			return
+		}
+		radioTbl.AddRowf(r.Family, r.N, r.Get("diam"), r.Get("estimate"), r.Get("inBand") == 1,
+			r.Get("sampleSize"), r.Get("rSize"), r.Get("bfsRuns"), r.Get("maxLB"))
 	}
 	radioTbl.Render(cfg.out)
 
 	mirror := stats.NewTable("3/2-approximation, centralized mirror at larger n",
 		"family", "n", "diam", "min est", "max est", "band low", "all in band", "seeds")
-	mns := []int{512, 1024}
-	if !cfg.quick {
-		mns = append(mns, 2048)
-	}
-	for _, fam := range []string{"path", "cycle", "grid", "lollipop", "geometric"} {
-		for _, n := range mns {
-			g, _ := graph.Named(fam, n, cfg.seed)
-			diam := graph.Diameter(g)
-			seeds := 5
-			if cfg.quick {
-				seeds = 3
-			}
-			minE, maxE := int32(1<<30), int32(0)
-			allIn := true
-			for s := 0; s < seeds; s++ {
-				res := diameter.MirrorThreeHalves(g, rng.Derive(cfg.seed, uint64(s)))
-				if res.Estimate < minE {
-					minE = res.Estimate
-				}
-				if res.Estimate > maxE {
-					maxE = res.Estimate
-				}
-				allIn = allIn && res.Estimate >= diam*2/3 && res.Estimate <= diam
-			}
-			mirror.AddRowf(fam, g.N(), diam, minE, maxE, diam*2/3, allIn, seeds)
+	for _, s := range harness.Aggregate(results) {
+		if s.Scenario != "E13-mirror" {
+			continue
 		}
+		mirror.AddRowf(s.Family, s.N, s.Metrics["diam"].Mean, s.Metrics["estimate"].Min,
+			s.Metrics["estimate"].Max, s.Metrics["bandLow"].Mean, s.Metrics["inBand"].Min == 1, s.Trials)
 	}
 	mirror.Render(cfg.out)
+}
+
+// e13RadioRun builds the full-stack 3/2-approximation trial.
+func e13RadioRun(cfg config) harness.TrialFunc {
+	graphSeed := rng.Derive(cfg.seed, 0xe13)
+	return func(tr harness.Trial) (harness.Metrics, error) {
+		g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+		diam := graph.Diameter(g)
+		base := lbnet.NewUnitNet(g, 0, tr.Seed)
+		st, err := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, tr.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res := diameter.ThreeHalvesApprox(st, diameter.Designated(), g.N(), tr.Seed)
+		return harness.Metrics{
+			"estimate":   float64(res.Estimate),
+			"diam":       float64(diam),
+			"inBand":     harness.BoolMetric(res.Estimate >= diam*2/3 && res.Estimate <= diam),
+			"sampleSize": float64(res.SampleSize),
+			"rSize":      float64(res.RSize),
+			"bfsRuns":    float64(res.BFSRuns),
+			"maxLB":      float64(lbnet.MaxLBEnergy(base)),
+		}, nil
+	}
 }
 
 // runE14 measures the §1 motivation: polling period P trades latency for
@@ -184,7 +254,30 @@ func runE14(cfg config) {
 	if cfg.quick {
 		n = 100
 	}
-	g, _ := graph.Named("geometric", n, cfg.seed)
+	periods := []int{1, 2, 4, 8, 16, 32}
+	graphSeed := rng.Derive(cfg.seed, 0xe14)
+	var scs []*harness.Scenario
+	for _, period := range periods {
+		period := period
+		scs = append(scs, &harness.Scenario{
+			Name:      fmt.Sprintf("E14-P%d", period),
+			Instances: []harness.Instance{{Family: "geometric", N: n}},
+			Run: func(tr harness.Trial) (harness.Metrics, error) {
+				g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+				labels := graph.BFS(g, 0)
+				net := lbnet.NewUnitNet(g, 0, tr.Seed)
+				res := labelcast.Broadcast(net, labels, period, int64(g.N())*int64(period+2)*4)
+				return harness.Metrics{
+					"delivered": harness.BoolMetric(res.DeliveredAll),
+					"latency":   float64(res.MaxLatency),
+					"maxLB":     float64(lbnet.MaxLBEnergy(net)),
+					"idle":      float64(res.IdleListens),
+				}, nil
+			},
+		})
+	}
+	results := cfg.runAll(scs...)
+	g, _ := graph.Named("geometric", n, graphSeed)
 	labels := graph.BFS(g, 0)
 	depth := int64(0)
 	for _, l := range labels {
@@ -194,11 +287,9 @@ func runE14(cfg config) {
 	}
 	tbl := stats.NewTable(fmt.Sprintf("duty-cycled dissemination on a geometric network (n=%d, depth=%d)", g.N(), depth),
 		"period P", "delivered", "latency (slots)", "max LB energy", "idle listens", "steady listens/1000 slots")
-	for _, period := range []int{1, 2, 4, 8, 16, 32} {
-		net := lbnet.NewUnitNet(g, 0, cfg.seed)
-		res := labelcast.Broadcast(net, labels, period, int64(g.N())*int64(period+2)*4)
-		tbl.AddRowf(period, res.DeliveredAll, res.MaxLatency, lbnet.MaxLBEnergy(net),
-			res.IdleListens, labelcast.SteadyStateListens(1000, period))
+	for i, r := range results {
+		tbl.AddRowf(periods[i], r.Get("delivered") == 1, r.Get("latency"), r.Get("maxLB"),
+			r.Get("idle"), labelcast.SteadyStateListens(1000, periods[i]))
 	}
 	tbl.Render(cfg.out)
 	fmt.Fprintln(cfg.out, "latency grows by ~P while idle listening drops by 1/P — the trade the paper opens with.")

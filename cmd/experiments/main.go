@@ -1,12 +1,19 @@
 // Command experiments regenerates every experiment table of the
-// reproduction (DESIGN.md §5, recorded in EXPERIMENTS.md): one table or
-// chart per theorem/lemma/figure of the paper.
+// reproduction: one table or chart per theorem/lemma/figure of the paper
+// (see the package documentation of the root repro package for the claim
+// list, and README.md for the layer map).
+//
+// All instance expansion and metering goes through the shared parallel
+// trial runner in internal/harness, so tables are reproducible from the
+// root seed at any worker count.
 //
 // Usage:
 //
-//	experiments [-quick] [-only E1,E7] [-seed 1]
+//	experiments [-quick] [-only E1,E7] [-seed 1] [-workers 0]
 //
-// -quick shrinks instance sizes for CI-scale runs; -only selects a subset.
+// -quick shrinks instance sizes for CI-scale runs; -only selects a subset;
+// -workers bounds trial parallelism (0 = all cores). Tables go to stdout,
+// per-experiment timing to stderr.
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/harness"
 )
 
 type experiment struct {
@@ -25,18 +34,30 @@ type experiment struct {
 }
 
 type config struct {
-	quick bool
-	seed  uint64
-	out   *os.File
+	quick  bool
+	seed   uint64
+	out    *os.File
+	runner harness.Runner
+}
+
+// runAll is cfg sugar: execute scenarios on the shared runner.
+func (cfg config) runAll(scs ...*harness.Scenario) []harness.Result {
+	return cfg.runner.Run(scs...)
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced instance sizes")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E7)")
 	seed := flag.Uint64("seed", 1, "root seed")
+	workers := flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	cfg := config{quick: *quick, seed: *seed, out: os.Stdout}
+	cfg := config{
+		quick:  *quick,
+		seed:   *seed,
+		out:    os.Stdout,
+		runner: harness.Runner{Workers: *workers, Root: *seed},
+	}
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -66,7 +87,7 @@ func main() {
 		start := time.Now()
 		fmt.Fprintf(cfg.out, "# %s: %s\n\n", e.id, e.title)
 		e.run(cfg)
-		fmt.Fprintf(cfg.out, "(%s finished in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%s finished in %v\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 }
 

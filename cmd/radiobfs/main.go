@@ -9,6 +9,16 @@
 // Algorithms: recursive (Recursive-BFS, §4), baseline (Decay BFS),
 // diam2 (Theorem 5.3), diam32 (Theorem 5.4), verify (BFS then gradient
 // verification).
+//
+// The sweep subcommand drives the parallel trial runner (internal/harness)
+// over a cross product of families, sizes, algorithms, and seeds, and
+// aggregates per-cell statistics:
+//
+//	radiobfs sweep -families cycle,grid -sizes 128,256 -trials 8 -workers 4
+//	radiobfs sweep -families geometric -sizes 256 -algos recursive,decay -json
+//
+// Sweep output on stdout is byte-identical for every -workers value; wall
+// time is reported on stderr.
 package main
 
 import (
@@ -22,6 +32,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "radiobfs sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "radiobfs:", err)
 		os.Exit(1)

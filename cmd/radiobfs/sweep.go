@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/harness"
+)
+
+// runSweep implements `radiobfs sweep`: expand a declarative scenario grid
+// into independent trials, execute them on the harness worker pool, and
+// print aggregated statistics. Everything written to stdout is a pure
+// function of the flags — timing goes to stderr — so sweeps diff cleanly
+// across machines and worker counts.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	families := fs.String("families", "cycle,grid", "comma-separated graph families: "+strings.Join(graph.FamilyNames(), ", "))
+	sizes := fs.String("sizes", "128,256", "comma-separated instance sizes")
+	algos := fs.String("algos", "recursive", "comma-separated algorithms: recursive, decay, diam2, diam32, verify, poll, alarm")
+	trials := fs.Int("trials", 4, "independently-seeded trials per (family, size) cell")
+	workers := fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
+	seed := fs.Uint64("seed", 1, "root seed; every trial seed is derived from it")
+	maxDistFrac := fs.Float64("maxdistfrac", 1, "search radius as a fraction of n (BFS algorithms)")
+	period := fs.Int("period", 4, "polling period for poll/alarm")
+	physical := fs.Bool("physical", false, "charge real radio slots instead of LB units")
+	jsonOut := fs.Bool("json", false, "emit aggregated JSON instead of text tables")
+	csvOut := fs.Bool("csv", false, "emit aggregated CSV instead of text tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fams, err := splitList(*families)
+	if err != nil {
+		return err
+	}
+	var ns []int
+	for _, s := range strings.Split(*sizes, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad size %q", s)
+		}
+		ns = append(ns, n)
+	}
+	if len(fams) == 0 || len(ns) == 0 {
+		return fmt.Errorf("need at least one family and one size")
+	}
+
+	cost := repro.CostUnit
+	if *physical {
+		cost = repro.CostPhysical
+	}
+	maxDist := func(_ string, n int) int {
+		d := int(float64(n) * *maxDistFrac)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	algoNames, err := splitList(*algos)
+	if err != nil {
+		return err
+	}
+	var scenarios []*harness.Scenario
+	for _, a := range algoNames {
+		scenarios = append(scenarios, &harness.Scenario{
+			Name:      a,
+			Instances: harness.Cross(fams, ns, maxDist),
+			Trials:    *trials,
+			Algo:      harness.Algo(a),
+			Cost:      cost,
+			Period:    *period,
+		})
+	}
+
+	start := time.Now()
+	runner := harness.Runner{Workers: *workers, Root: *seed}
+	results := runner.Run(scenarios...)
+	elapsed := time.Since(start)
+
+	errs := 0
+	for _, r := range results {
+		if r.Err != "" {
+			errs++
+			fmt.Fprintf(os.Stderr, "trial %s/%s/n=%d#%d: %s\n", r.Scenario, r.Family, r.N, r.Index, r.Err)
+		}
+	}
+	sums := harness.Aggregate(results)
+	switch {
+	case *jsonOut:
+		if err := harness.WriteJSON(os.Stdout, sums); err != nil {
+			return err
+		}
+	case *csvOut:
+		harness.WriteCSV(os.Stdout, sums)
+	default:
+		harness.WriteTable(os.Stdout, sums)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d trials, %d errors, %v wall\n", len(results), errs, elapsed.Round(time.Millisecond))
+	if errs > 0 {
+		return fmt.Errorf("%d of %d trials failed", errs, len(results))
+	}
+	return nil
+}
+
+func splitList(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}

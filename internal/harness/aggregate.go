@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Agg summarizes one metric over the trials of a cell.
+type Agg struct {
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+}
+
+// Summary aggregates all trials of one (scenario, family, n, maxDist) cell.
+type Summary struct {
+	Scenario string         `json:"scenario"`
+	Family   string         `json:"family"`
+	N        int            `json:"n"`
+	MaxDist  int            `json:"maxDist"`
+	Trials   int            `json:"trials"`
+	Errors   int            `json:"errors"`
+	Metrics  map[string]Agg `json:"metrics"`
+}
+
+// cell accumulates one summary with streaming folds per metric.
+type cell struct {
+	sum Summary
+	acc map[string]*metricAcc
+}
+
+type metricAcc struct {
+	s   stats.Stream
+	p50 *stats.PSquare
+	p90 *stats.PSquare
+}
+
+// Aggregate folds results into per-cell summaries. Cells appear in order of
+// first appearance in results; within a cell, metrics are folded in results
+// order — both orders are canonical (see Runner.Run), so the aggregate is
+// deterministic regardless of worker count. NaN and ±Inf observations are
+// dropped.
+func Aggregate(results []Result) []Summary {
+	type key struct {
+		sc, fam string
+		n, md   int
+	}
+	cells := map[key]*cell{}
+	var order []key
+	for _, r := range results {
+		k := key{r.Scenario, r.Family, r.N, r.MaxDist}
+		c := cells[k]
+		if c == nil {
+			c = &cell{
+				sum: Summary{Scenario: r.Scenario, Family: r.Family, N: r.N, MaxDist: r.MaxDist},
+				acc: map[string]*metricAcc{},
+			}
+			cells[k] = c
+			order = append(order, k)
+		}
+		c.sum.Trials++
+		if r.Err != "" {
+			c.sum.Errors++
+		}
+		// Map-iteration order is irrelevant here: each metric feeds its own
+		// accumulator, so per-metric observations arrive in results order.
+		for name, v := range r.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			a := c.acc[name]
+			if a == nil {
+				a = &metricAcc{p50: stats.NewPSquare(0.5), p90: stats.NewPSquare(0.9)}
+				c.acc[name] = a
+			}
+			a.s.Add(v)
+			a.p50.Add(v)
+			a.p90.Add(v)
+		}
+	}
+	out := make([]Summary, 0, len(order))
+	for _, k := range order {
+		c := cells[k]
+		c.sum.Metrics = map[string]Agg{}
+		for name, a := range c.acc {
+			c.sum.Metrics[name] = Agg{
+				Count:  a.s.N(),
+				Mean:   a.s.Mean(),
+				Stddev: a.s.Stddev(),
+				Min:    a.s.Min(),
+				P50:    a.p50.Value(),
+				P90:    a.p90.Value(),
+				Max:    a.s.Max(),
+			}
+		}
+		out = append(out, c.sum)
+	}
+	return out
+}
+
+// WriteTable renders one aligned text table per scenario, one row per
+// (cell, metric).
+func WriteTable(w io.Writer, sums []Summary) {
+	var tbl *stats.Table
+	current := ""
+	flush := func() {
+		if tbl != nil {
+			tbl.Render(w)
+		}
+	}
+	for _, s := range sums {
+		if s.Scenario != current || tbl == nil {
+			flush()
+			current = s.Scenario
+			tbl = stats.NewTable("sweep: "+s.Scenario,
+				"family", "n", "maxDist", "trials", "errors", "metric", "mean", "stddev", "min", "p50", "p90", "max")
+		}
+		for _, name := range sortedAggNames(s.Metrics) {
+			a := s.Metrics[name]
+			tbl.AddRowf(s.Family, s.N, s.MaxDist, s.Trials, s.Errors, name,
+				a.Mean, a.Stddev, a.Min, a.P50, a.P90, a.Max)
+		}
+		if len(s.Metrics) == 0 {
+			tbl.AddRowf(s.Family, s.N, s.MaxDist, s.Trials, s.Errors, "-", "-", "-", "-", "-", "-", "-")
+		}
+	}
+	flush()
+}
+
+func sortedAggNames(m map[string]Agg) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteCSV writes one flat CSV row per (cell, metric).
+func WriteCSV(w io.Writer, sums []Summary) {
+	fmt.Fprintln(w, "scenario,family,n,maxDist,trials,errors,metric,count,mean,stddev,min,p50,p90,max")
+	for _, s := range sums {
+		for _, name := range sortedAggNames(s.Metrics) {
+			a := s.Metrics[name]
+			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%s,%d,%g,%g,%g,%g,%g,%g\n",
+				csvEscape(s.Scenario), csvEscape(s.Family), s.N, s.MaxDist, s.Trials, s.Errors,
+				csvEscape(name), a.Count, a.Mean, a.Stddev, a.Min, a.P50, a.P90, a.Max)
+		}
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteJSON writes the summaries as indented JSON. Map keys are emitted in
+// sorted order by encoding/json, so the bytes are a pure function of the
+// summaries.
+func WriteJSON(w io.Writer, sums []Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sums)
+}

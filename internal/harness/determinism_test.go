@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// sweepScenarios is a representative multi-scenario workload: several
+// algorithms, families, sizes, and trial counts, including a physical-cost
+// scenario, so the determinism guarantee is exercised across every built-in
+// code path the CLI sweep exposes.
+func sweepScenarios() []*Scenario {
+	return []*Scenario{
+		{
+			Name:      "rec",
+			Instances: Cross([]string{"cycle", "grid"}, []int{48, 96}, func(_ string, n int) int { return n / 2 }),
+			Trials:    3,
+			Algo:      AlgoRecursive,
+		},
+		{
+			Name:      "diam2",
+			Instances: Cross([]string{"path"}, []int{40}, nil),
+			Trials:    2,
+			Algo:      AlgoDiam2,
+		},
+		{
+			Name:      "poll",
+			Instances: Cross([]string{"geometric"}, []int{64}, nil),
+			Trials:    2,
+			Algo:      AlgoPoll,
+			Period:    8,
+		},
+		{
+			Name:      "phys",
+			Instances: Cross([]string{"cycle"}, []int{32}, nil),
+			Trials:    2,
+			Algo:      AlgoRecursive,
+			Cost:      repro.CostPhysical,
+		},
+	}
+}
+
+func jsonFor(t *testing.T, workers int) string {
+	t.Helper()
+	r := Runner{Workers: workers, Root: 7}
+	var b strings.Builder
+	if err := WriteJSON(&b, Aggregate(r.Run(sweepScenarios()...))); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRunnerDeterministicAcrossWorkerCounts is the harness's core contract:
+// the same scenarios produce byte-identical aggregated JSON whether trials
+// run sequentially or on eight workers, because seeds are derived per trial
+// (never per worker) and results land in canonical order.
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker sweep is not short")
+	}
+	sequential := jsonFor(t, 1)
+	parallel := jsonFor(t, 8)
+	if sequential != parallel {
+		t.Fatalf("workers=1 and workers=8 diverged:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", sequential, parallel)
+	}
+	again := jsonFor(t, 8)
+	if parallel != again {
+		t.Fatal("two workers=8 runs diverged")
+	}
+	if !strings.Contains(sequential, `"scenario": "rec"`) {
+		t.Fatalf("summary JSON missing scenarios:\n%s", sequential)
+	}
+}

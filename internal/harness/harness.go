@@ -1,0 +1,338 @@
+// Package harness is the shared trial-runner subsystem behind the
+// experiment tables (cmd/experiments), the benchmarks, and the radiobfs
+// sweep CLI.
+//
+// The paper's claims — Theorem 4.1's sub-polynomial energy, the §5 diameter
+// and lower-bound trade-offs — are statements about distributions over
+// random seeds and graph families, so every quantitative result in this
+// repository is some fold over many independent simulation trials. The
+// harness makes that fold declarative:
+//
+//   - a Scenario names a workload: a list of graph Instances (family ×
+//     size × search radius), a trial count per instance, a cost model, and
+//     an algorithm — either one of the built-in selectors (Recursive-BFS,
+//     the Decay baseline, the §5 diameter approximations, gradient
+//     verification, the §1 Poll/Alarm applications) or a custom TrialFunc;
+//   - a Runner expands scenarios into independent trials and executes them
+//     on a worker pool. The simulation engine is not concurrency-safe, so
+//     parallelism lives strictly at the trial level: every trial builds its
+//     own graph and network from a seed derived with rng.Derive from
+//     (root, scenario, family, n, maxDist, trial index). Results are
+//     therefore bit-identical regardless of worker count or scheduling;
+//   - Aggregate folds per-trial Metrics into per-cell summaries
+//     (mean/stddev/min/quantiles/max via the streaming accumulators in
+//     internal/stats) and writes text tables, CSV, or JSON.
+//
+// Custom TrialFuncs may capture experiment-local state through closures;
+// when a scenario has more than one trial, such state must be written to
+// per-trial slots (indexed by Trial.Index) or be otherwise race-free,
+// because trials of one scenario run concurrently.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Algo selects one of the built-in workloads.
+type Algo string
+
+// The built-in algorithm selectors.
+const (
+	// AlgoRecursive runs the paper's Recursive-BFS (§4, Theorem 4.1) and
+	// verifies the labels against a reference BFS.
+	AlgoRecursive Algo = "recursive"
+	// AlgoDecay runs the everyone-awake Decay BFS baseline on the physical
+	// radio channel (Θ(D log² n) energy).
+	AlgoDecay Algo = "decay"
+	// AlgoDiam2 runs the 2-approximate diameter of Theorem 5.3.
+	AlgoDiam2 Algo = "diam2"
+	// AlgoDiam32 runs the nearly-3/2-approximate diameter of Theorem 5.4.
+	AlgoDiam32 Algo = "diam32"
+	// AlgoVerify runs Recursive-BFS and then the O(1)-energy gradient
+	// verification sweep over the resulting labels.
+	AlgoVerify Algo = "verify"
+	// AlgoPoll runs the §1 duty-cycled dissemination over reference BFS
+	// labels with polling period Scenario.Period.
+	AlgoPoll Algo = "poll"
+	// AlgoAlarm runs the full §1 alarm round trip (gradient ascent to the
+	// source, then dissemination) from the last vertex.
+	AlgoAlarm Algo = "alarm"
+)
+
+// Instance is one workload graph: a named family at a given size, searched
+// to MaxDist hops (0 means n). For scenarios with a custom Run the fields
+// are labels carried into the Trial; built-in algorithms resolve Family via
+// graph.Named.
+type Instance struct {
+	Family  string `json:"family"`
+	N       int    `json:"n"`
+	MaxDist int    `json:"maxDist,omitempty"`
+}
+
+// Cross builds the instance cross product families × sizes. maxDist may be
+// nil, in which case every instance searches to its full size.
+func Cross(families []string, sizes []int, maxDist func(family string, n int) int) []Instance {
+	out := make([]Instance, 0, len(families)*len(sizes))
+	for _, f := range families {
+		for _, n := range sizes {
+			md := 0
+			if maxDist != nil {
+				md = maxDist(f, n)
+			}
+			out = append(out, Instance{Family: f, N: n, MaxDist: md})
+		}
+	}
+	return out
+}
+
+// Metrics is the flat numeric outcome of one trial. Keys are metric names;
+// a trial may omit a key (the Aggregator then averages over the trials that
+// reported it — useful for conditional measurements such as
+// energy-when-heard).
+type Metrics map[string]float64
+
+// Trial identifies one unit of work: an instance of a scenario plus a trial
+// index and the derived seed that makes it reproducible in isolation.
+type Trial struct {
+	Scenario string `json:"scenario"`
+	Instance
+	Index int    `json:"trial"`
+	Seed  uint64 `json:"seed"`
+}
+
+// TrialFunc is a custom workload: it receives a fully-identified Trial and
+// returns its metrics. It must derive all randomness from Trial.Seed.
+type TrialFunc func(t Trial) (Metrics, error)
+
+// Scenario declares a workload for the Runner. Zero values mean: one trial
+// per instance, unit cost model, polling period 4, the paper's automatic
+// Recursive-BFS parameters.
+type Scenario struct {
+	// Name labels the scenario in results and seeds its trials; two
+	// scenarios with different names draw independent randomness even on
+	// identical instances.
+	Name string
+	// Instances lists the workload graphs (see Cross for grids).
+	Instances []Instance
+	// Trials is the number of independently-seeded repetitions per
+	// instance (default 1).
+	Trials int
+	// Algo selects a built-in workload; ignored when Run is set.
+	Algo Algo
+	// Cost selects the cost model for built-in workloads.
+	Cost repro.CostModel
+	// Period is the polling period for AlgoPoll/AlgoAlarm (default 4).
+	Period int
+	// Passes is the Decay repetition count for AlgoDecay (default ⌈log₂ n⌉).
+	Passes int
+	// Params overrides the Recursive-BFS parameters for built-ins.
+	Params *core.Params
+	// Run, when set, replaces the built-in workload entirely.
+	Run TrialFunc
+}
+
+// TrialCount returns the effective trials-per-instance (minimum 1).
+func (sc *Scenario) TrialCount() int {
+	if sc.Trials < 1 {
+		return 1
+	}
+	return sc.Trials
+}
+
+// strTag hashes a string into an rng.Derive tag (FNV-1a, 64-bit).
+func strTag(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// TrialFor builds the trial for one (instance, index) pair of a scenario
+// under the given root seed. The seed depends only on the scenario name,
+// the instance coordinates, and the index — never on list positions or
+// worker scheduling — so adding instances or trials leaves existing seeds
+// unchanged.
+func TrialFor(sc *Scenario, inst Instance, index int, root uint64) Trial {
+	if inst.MaxDist <= 0 {
+		inst.MaxDist = inst.N
+	}
+	seed := rng.Derive(root,
+		strTag(sc.Name), strTag(inst.Family),
+		uint64(inst.N), uint64(inst.MaxDist), uint64(index))
+	return Trial{Scenario: sc.Name, Instance: inst, Index: index, Seed: seed}
+}
+
+// Expand lists every trial of a scenario in canonical order (instances in
+// declaration order, trial indices ascending).
+func Expand(sc *Scenario, root uint64) []Trial {
+	out := make([]Trial, 0, len(sc.Instances)*sc.TrialCount())
+	for _, inst := range sc.Instances {
+		for i := 0; i < sc.TrialCount(); i++ {
+			out = append(out, TrialFor(sc, inst, i, root))
+		}
+	}
+	return out
+}
+
+// Result is the outcome of one executed trial.
+type Result struct {
+	Trial
+	Metrics Metrics `json:"metrics,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Execute runs a single trial synchronously and never panics on workload
+// errors: failures are reported through Result.Err so one bad trial cannot
+// sink a sweep.
+func Execute(sc *Scenario, t Trial) Result {
+	run := sc.Run
+	if run == nil {
+		run = func(t Trial) (Metrics, error) { return runBuiltin(sc, t) }
+	}
+	m, err := run(t)
+	res := Result{Trial: t, Metrics: m}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// log2Ceil returns ⌈log₂ n⌉ for n ≥ 1, with a floor of 1 (the smallest
+// useful Decay pass count).
+func log2Ceil(n int) int {
+	lg := 0
+	for 1<<lg < n {
+		lg++
+	}
+	if lg < 1 {
+		lg = 1
+	}
+	return lg
+}
+
+// BoolMetric encodes a predicate as a 0/1 metric so aggregation yields
+// rates (mean = success fraction, min = "held on every trial").
+func BoolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runBuiltin executes one of the Algo workloads. Every built-in builds a
+// fresh graph and network from the trial seed, so trials are independent
+// samples of (graph, protocol randomness).
+func runBuiltin(sc *Scenario, t Trial) (Metrics, error) {
+	g, err := repro.NewGraph(t.Family, t.N, rng.Derive(t.Seed, 0x6ea9))
+	if err != nil {
+		return nil, err
+	}
+	if sc.Algo == AlgoDecay {
+		// The baseline always runs on raw radio slots; meter the engine
+		// directly instead of going through a Network.
+		passes := sc.Passes
+		if passes < 1 {
+			passes = log2Ceil(g.N())
+		}
+		eng := radio.NewEngine(g)
+		res := decay.BFS(eng, decay.ParamsFor(g.N(), passes), []int32{0}, t.MaxDist, rng.Derive(t.Seed, 0xd3ca))
+		bad := decay.ReferenceAgainst(g, []int32{0}, res.Dist, t.MaxDist)
+		return Metrics{
+			"mislabeled": float64(bad),
+			"physMax":    float64(eng.MaxEnergy()),
+			"physRounds": float64(eng.Round()),
+		}, nil
+	}
+
+	var opts []repro.Option
+	if sc.Cost == repro.CostPhysical {
+		opts = append(opts, repro.WithCostModel(repro.CostPhysical))
+	}
+	if sc.Params != nil {
+		opts = append(opts, repro.WithParams(*sc.Params))
+	}
+	nw := repro.NewNetwork(g, t.Seed, opts...)
+
+	m := Metrics{}
+	switch sc.Algo {
+	case "", AlgoRecursive:
+		labels, err := nw.BFS(0, t.MaxDist)
+		if err != nil {
+			return nil, err
+		}
+		m["mislabeled"] = float64(core.VerifyAgainstReference(g, []int32{0}, labels, t.MaxDist))
+	case AlgoVerify:
+		labels, err := nw.BFS(0, t.MaxDist)
+		if err != nil {
+			return nil, err
+		}
+		m["violations"] = float64(nw.VerifyLabeling(labels, t.MaxDist))
+	case AlgoDiam2, AlgoDiam32:
+		var est int32
+		if sc.Algo == AlgoDiam2 {
+			est, err = nw.Diameter2Approx()
+		} else {
+			est, err = nw.Diameter32Approx()
+		}
+		if err != nil {
+			return nil, err
+		}
+		diam := graph.Diameter(g)
+		lo := diam / 2
+		if sc.Algo == AlgoDiam32 {
+			lo = diam * 2 / 3
+		}
+		m["estimate"] = float64(est)
+		m["diam"] = float64(diam)
+		m["inBand"] = BoolMetric(est >= lo && est <= diam)
+	case AlgoPoll:
+		labels := graph.BFS(g, 0)
+		latency, all := nw.Poll(labels, sc.period())
+		m["latency"] = float64(latency)
+		m["delivered"] = BoolMetric(all)
+	case AlgoAlarm:
+		labels := graph.BFS(g, 0)
+		latency, ok := nw.Alarm(labels, int32(g.N()-1), sc.period())
+		m["latency"] = float64(latency)
+		m["completed"] = BoolMetric(ok)
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", sc.Algo)
+	}
+
+	rep := nw.Report()
+	m["maxLB"] = float64(rep.MaxLBEnergy)
+	m["totalLB"] = float64(rep.TotalLBEnergy)
+	m["timeLB"] = float64(rep.LBTime)
+	if sc.Cost == repro.CostPhysical {
+		m["physMax"] = float64(rep.MaxPhysEnergy)
+		m["physRounds"] = float64(rep.PhysRounds)
+		m["msgViolations"] = float64(rep.MsgViolations)
+	}
+	return m, nil
+}
+
+func (sc *Scenario) period() int {
+	if sc.Period < 1 {
+		return 4
+	}
+	return sc.Period
+}
+
+// Get returns a metric by name from a result, or NaN when absent (which the
+// Aggregator and formatters treat as "not reported").
+func (r *Result) Get(name string) float64 {
+	if v, ok := r.Metrics[name]; ok {
+		return v
+	}
+	return math.NaN()
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner executes scenarios on a worker pool. The zero value runs every
+// trial on GOMAXPROCS workers with root seed 0; set Root to reproduce a
+// specific sweep and Workers to bound parallelism (1 = sequential).
+//
+// Because every trial derives its seed from its own coordinates (see
+// TrialFor) and results are written to position-indexed slots, Run's output
+// is byte-for-byte independent of Workers and of goroutine scheduling.
+type Runner struct {
+	// Workers bounds concurrent trials; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Root is the root seed every trial seed is derived from.
+	Root uint64
+}
+
+// Run expands the scenarios into trials, executes them all, and returns the
+// results in canonical order: scenarios in argument order, instances in
+// declaration order, trial indices ascending.
+func (r *Runner) Run(scenarios ...*Scenario) []Result {
+	type job struct {
+		slot int
+		sc   *Scenario
+		t    Trial
+	}
+	var jobs []job
+	for _, sc := range scenarios {
+		for _, t := range Expand(sc, r.Root) {
+			jobs = append(jobs, job{slot: len(jobs), sc: sc, t: t})
+		}
+	}
+	results := make([]Result, len(jobs))
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			results[j.slot] = Execute(j.sc, j.t)
+		}
+		return results
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				results[j.slot] = Execute(j.sc, j.t)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return results
+}
+
+// RunOne is a convenience for single-scenario callers.
+func (r *Runner) RunOne(sc *Scenario) []Result { return r.Run(sc) }

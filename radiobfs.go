@@ -100,14 +100,19 @@ func NewNetwork(g *Graph, seed uint64, opts ...Option) *Network {
 		o(nw)
 	}
 	if nw.passes == 0 {
-		nw.passes = log2ceil(g.N())
+		// At least one Decay pass even for the degenerate single-vertex
+		// network, where ⌈log₂ n⌉ = 0.
+		if nw.passes = log2ceil(g.N()); nw.passes < 1 {
+			nw.passes = 1
+		}
 	}
 	nw.Reset()
 	return nw
 }
 
+// log2ceil returns ⌈log₂ n⌉: the smallest lg with 2^lg >= n (0 for n <= 1).
 func log2ceil(n int) int {
-	lg := 1
+	lg := 0
 	for 1<<lg < n {
 		lg++
 	}

@@ -189,6 +189,30 @@ func TestNetworkAlarm(t *testing.T) {
 	}
 }
 
+// TestLog2Ceil pins the ⌈log₂ n⌉ helper, in particular the degenerate
+// single-vertex network: log2ceil(1) must be 0, not 1 (2⁰ = 1 >= 1).
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// The Decay-pass default must stay positive even when log2ceil is 0.
+	g, err := NewGraph("path", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(g, 1)
+	labels, err := nw.BFS(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != 0 {
+		t.Fatalf("single-vertex label = %d, want 0", labels[0])
+	}
+}
+
 // TestEndToEndDeterminism: the entire public pipeline — graph generation,
 // BFS, verification, diameter estimate, alarm — is a pure function of the
 // root seed.
