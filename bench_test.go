@@ -27,11 +27,12 @@ import (
 	"repro/internal/vnet"
 )
 
-// execTrial runs trial i of one scenario instance through the harness and
+// execTrial runs trial i of one scenario instance through the harness on a
+// pooled worker context — the same execution path a sweep worker uses — and
 // fails the benchmark on any trial error.
-func execTrial(b *testing.B, sc *harness.Scenario, inst harness.Instance, i int) harness.Result {
+func execTrial(b *testing.B, ctx *harness.Context, sc *harness.Scenario, inst harness.Instance, i int) harness.Result {
 	b.Helper()
-	res := harness.Execute(sc, harness.TrialFor(sc, inst, i, 1))
+	res := harness.ExecuteCtx(ctx, sc, harness.TrialFor(sc, inst, i, 1))
 	if res.Err != "" {
 		b.Fatal(res.Err)
 	}
@@ -50,6 +51,7 @@ func requireExact(b *testing.B, r harness.Result) {
 // fixed machinery (β = 1/8, one clustering level) so the scaling across n is
 // apples-to-apples; BenchmarkAblationDepth/Beta sweep the design choices.
 func BenchmarkE1RecursiveBFS(b *testing.B) {
+	ctx := harness.NewContext()
 	p := core.Params{InvBeta: 8, Depth: 1, W: 24, Alpha: 4}
 	sc := &harness.Scenario{
 		Name:      "bench-E1-rec",
@@ -61,7 +63,7 @@ func BenchmarkE1RecursiveBFS(b *testing.B) {
 		b.Run(fmt.Sprintf("%s/n=%d", inst.Family, inst.N), func(b *testing.B) {
 			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				last = execTrial(b, sc, inst, i)
+				last = execTrial(b, ctx, sc, inst, i)
 				requireExact(b, last)
 			}
 			b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
@@ -72,6 +74,7 @@ func BenchmarkE1RecursiveBFS(b *testing.B) {
 
 // BenchmarkE1DecayBFS is the Θ(D log² n)-energy baseline on real radio slots.
 func BenchmarkE1DecayBFS(b *testing.B) {
+	ctx := harness.NewContext()
 	sc := &harness.Scenario{
 		Name:      "bench-E1-decay",
 		Instances: harness.Cross([]string{"cycle"}, []int{128, 256, 512}, nil),
@@ -82,7 +85,7 @@ func BenchmarkE1DecayBFS(b *testing.B) {
 		b.Run(fmt.Sprintf("%s/n=%d", inst.Family, inst.N), func(b *testing.B) {
 			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				last = execTrial(b, sc, inst, i)
+				last = execTrial(b, ctx, sc, inst, i)
 				requireExact(b, last)
 			}
 			b.ReportMetric(last.Metrics["physMax"], "slots/vtx")
@@ -92,6 +95,7 @@ func BenchmarkE1DecayBFS(b *testing.B) {
 
 // BenchmarkE2LocalBroadcast measures Lemma 2.4 under heavy contention.
 func BenchmarkE2LocalBroadcast(b *testing.B) {
+	ctx := harness.NewContext()
 	for _, deg := range []int{16, 128} {
 		// Graph and sender list are trial-invariant: build once per
 		// sub-benchmark so each trial times only the Local-Broadcast.
@@ -116,7 +120,7 @@ func BenchmarkE2LocalBroadcast(b *testing.B) {
 		b.Run(fmt.Sprintf("deg=%d", deg), func(b *testing.B) {
 			miss := 0
 			for i := 0; i < b.N; i++ {
-				if execTrial(b, sc, inst, i).Metrics["ok"] != 1 {
+				if execTrial(b, ctx, sc, inst, i).Metrics["ok"] != 1 {
 					miss++
 				}
 			}
@@ -127,6 +131,7 @@ func BenchmarkE2LocalBroadcast(b *testing.B) {
 
 // BenchmarkE3Cluster measures Lemma 2.5's construction.
 func BenchmarkE3Cluster(b *testing.B) {
+	ctx := harness.NewContext()
 	for _, n := range []int{256, 1024} {
 		g, _ := graph.Named("grid", n, 1)
 		cfg := cluster.DefaultConfig(g.N(), 8)
@@ -143,7 +148,7 @@ func BenchmarkE3Cluster(b *testing.B) {
 		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
 			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				last = execTrial(b, sc, inst, i)
+				last = execTrial(b, ctx, sc, inst, i)
 			}
 			b.ReportMetric(last.Metrics["radius"], "radius")
 			b.ReportMetric(last.Metrics["TMax"], "TMax")
@@ -154,6 +159,7 @@ func BenchmarkE3Cluster(b *testing.B) {
 // BenchmarkE4DistanceProxy measures the Lemma 2.2/2.3 machinery (ideal MPX
 // plus cluster-graph BFS).
 func BenchmarkE4DistanceProxy(b *testing.B) {
+	ctx := harness.NewContext()
 	g := graph.Path(2048)
 	sc := &harness.Scenario{
 		Name:      "bench-E4",
@@ -168,13 +174,14 @@ func BenchmarkE4DistanceProxy(b *testing.B) {
 	inst := sc.Instances[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		execTrial(b, sc, inst, i)
+		execTrial(b, ctx, sc, inst, i)
 	}
 }
 
 // BenchmarkE5Casts measures one full Downcast (Lemma 3.1) on a prebuilt
 // virtual network: the setup is shared, each trial is a single Downcast.
 func BenchmarkE5Casts(b *testing.B) {
+	ctx := harness.NewContext()
 	g, _ := graph.Named("grid", 400, 1)
 	base := lbnet.NewUnitNet(g, 0, 1)
 	cl := cluster.Build(base, cluster.DefaultConfig(g.N(), 4), 1)
@@ -200,7 +207,7 @@ func BenchmarkE5Casts(b *testing.B) {
 	b.ResetTimer()
 	var last harness.Result
 	for i := 0; i < b.N; i++ {
-		last = execTrial(b, sc, inst, i)
+		last = execTrial(b, ctx, sc, inst, i)
 	}
 	b.ReportMetric(last.Metrics["parentLBs"], "parentLBs")
 }
@@ -208,6 +215,7 @@ func BenchmarkE5Casts(b *testing.B) {
 // BenchmarkE5VirtualLB measures one simulated Local-Broadcast on G*
 // (Lemma 3.2).
 func BenchmarkE5VirtualLB(b *testing.B) {
+	ctx := harness.NewContext()
 	g, _ := graph.Named("grid", 400, 1)
 	base := lbnet.NewUnitNet(g, 0, 1)
 	cl := cluster.Build(base, cluster.DefaultConfig(g.N(), 4), 1)
@@ -231,7 +239,7 @@ func BenchmarkE5VirtualLB(b *testing.B) {
 	b.ResetTimer()
 	var last harness.Result
 	for i := 0; i < b.N; i++ {
-		last = execTrial(b, sc, inst, i)
+		last = execTrial(b, ctx, sc, inst, i)
 	}
 	b.ReportMetric(last.Metrics["parentLBs"], "parentLBs")
 }
@@ -239,6 +247,7 @@ func BenchmarkE5VirtualLB(b *testing.B) {
 // BenchmarkE7Claims measures the instrumented Recursive-BFS used for the
 // Claim 1/2 counters.
 func BenchmarkE7Claims(b *testing.B) {
+	ctx := harness.NewContext()
 	g := graph.Cycle(256)
 	sc := &harness.Scenario{
 		Name:      "bench-E7",
@@ -260,7 +269,7 @@ func BenchmarkE7Claims(b *testing.B) {
 	inst := sc.Instances[0]
 	var last harness.Result
 	for i := 0; i < b.N; i++ {
-		last = execTrial(b, sc, inst, i)
+		last = execTrial(b, ctx, sc, inst, i)
 	}
 	b.ReportMetric(last.Metrics["maxXi"], "maxXi")
 	b.ReportMetric(last.Metrics["maxSpecial"], "maxSpecial")
@@ -268,6 +277,7 @@ func BenchmarkE7Claims(b *testing.B) {
 
 // BenchmarkE10GoodPairs measures the Theorem 5.1 probing protocols.
 func BenchmarkE10GoodPairs(b *testing.B) {
+	ctx := harness.NewContext()
 	inst := harness.Instance{Family: "complete-e", N: 64}
 	g := graph.CompleteMinusEdge(inst.N, 1, 2)
 	b.Run("roundrobin", func(b *testing.B) {
@@ -284,7 +294,7 @@ func BenchmarkE10GoodPairs(b *testing.B) {
 		}
 		var last harness.Result
 		for i := 0; i < b.N; i++ {
-			last = execTrial(b, sc, inst, i)
+			last = execTrial(b, ctx, sc, inst, i)
 		}
 		b.ReportMetric(last.Metrics["maxEnergy"], "slots/vtx")
 	})
@@ -298,13 +308,14 @@ func BenchmarkE10GoodPairs(b *testing.B) {
 			},
 		}
 		for i := 0; i < b.N; i++ {
-			execTrial(b, sc, inst, i)
+			execTrial(b, ctx, sc, inst, i)
 		}
 	})
 }
 
 // BenchmarkE11Disjointness measures the Theorem 5.2 construction + check.
 func BenchmarkE11Disjointness(b *testing.B) {
+	ctx := harness.NewContext()
 	var evens, odds []uint64
 	for x := 0; x < 128; x++ {
 		if x%2 == 0 {
@@ -327,12 +338,13 @@ func BenchmarkE11Disjointness(b *testing.B) {
 	inst := sc.Instances[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		execTrial(b, sc, inst, i)
+		execTrial(b, ctx, sc, inst, i)
 	}
 }
 
 // BenchmarkE12TwoApprox measures Theorem 5.3's 2-approximation.
 func BenchmarkE12TwoApprox(b *testing.B) {
+	ctx := harness.NewContext()
 	p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
 	sc := &harness.Scenario{
 		Name:      "bench-E12",
@@ -343,7 +355,7 @@ func BenchmarkE12TwoApprox(b *testing.B) {
 	inst := sc.Instances[0]
 	var last harness.Result
 	for i := 0; i < b.N; i++ {
-		last = execTrial(b, sc, inst, i)
+		last = execTrial(b, ctx, sc, inst, i)
 	}
 	b.ReportMetric(last.Metrics["estimate"], "estimate")
 	b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
@@ -352,6 +364,7 @@ func BenchmarkE12TwoApprox(b *testing.B) {
 // BenchmarkE13ThreeHalves measures Theorem 5.4 (radio at n=48, mirror at
 // n=1024).
 func BenchmarkE13ThreeHalves(b *testing.B) {
+	ctx := harness.NewContext()
 	b.Run("radio/n=48", func(b *testing.B) {
 		p := core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}
 		sc := &harness.Scenario{
@@ -362,7 +375,7 @@ func BenchmarkE13ThreeHalves(b *testing.B) {
 		}
 		inst := sc.Instances[0]
 		for i := 0; i < b.N; i++ {
-			execTrial(b, sc, inst, i)
+			execTrial(b, ctx, sc, inst, i)
 		}
 	})
 	b.Run("mirror/n=1024", func(b *testing.B) {
@@ -380,7 +393,7 @@ func BenchmarkE13ThreeHalves(b *testing.B) {
 		}
 		inst := sc.Instances[0]
 		for i := 0; i < b.N; i++ {
-			execTrial(b, sc, inst, i)
+			execTrial(b, ctx, sc, inst, i)
 		}
 	})
 }
@@ -388,6 +401,7 @@ func BenchmarkE13ThreeHalves(b *testing.B) {
 // BenchmarkE14LabelCast measures the duty-cycled dissemination trade-off
 // through the harness's built-in poll workload.
 func BenchmarkE14LabelCast(b *testing.B) {
+	ctx := harness.NewContext()
 	for _, period := range []int{1, 8} {
 		sc := &harness.Scenario{
 			Name:      fmt.Sprintf("bench-E14-P%d", period),
@@ -399,7 +413,7 @@ func BenchmarkE14LabelCast(b *testing.B) {
 		b.Run(fmt.Sprintf("P=%d", period), func(b *testing.B) {
 			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				last = execTrial(b, sc, inst, i)
+				last = execTrial(b, ctx, sc, inst, i)
 				if last.Metrics["delivered"] != 1 {
 					b.Fatal("not delivered")
 				}
@@ -414,6 +428,7 @@ func BenchmarkE14LabelCast(b *testing.B) {
 // radius, so at simulable n the energy rises with depth even though the
 // asymptotics eventually reverse it.
 func BenchmarkAblationDepth(b *testing.B) {
+	ctx := harness.NewContext()
 	for _, depth := range []int{0, 1, 2} {
 		p := core.Params{InvBeta: 8, Depth: depth, W: 21, Alpha: 4}
 		sc := &harness.Scenario{
@@ -426,7 +441,7 @@ func BenchmarkAblationDepth(b *testing.B) {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
 			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				last = execTrial(b, sc, inst, i)
+				last = execTrial(b, ctx, sc, inst, i)
 				requireExact(b, last)
 			}
 			b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
@@ -437,6 +452,7 @@ func BenchmarkAblationDepth(b *testing.B) {
 // BenchmarkAblationBeta sweeps 1/β at one clustering level: small β means
 // few, large clusters (cheap stages, expensive casts); large β the reverse.
 func BenchmarkAblationBeta(b *testing.B) {
+	ctx := harness.NewContext()
 	for _, invB := range []int{2, 4, 8, 16, 32} {
 		p := core.Params{InvBeta: invB, Depth: 1, W: 24, Alpha: 4}
 		sc := &harness.Scenario{
@@ -449,7 +465,7 @@ func BenchmarkAblationBeta(b *testing.B) {
 		b.Run(fmt.Sprintf("invBeta=%d", invB), func(b *testing.B) {
 			var last harness.Result
 			for i := 0; i < b.N; i++ {
-				last = execTrial(b, sc, inst, i)
+				last = execTrial(b, ctx, sc, inst, i)
 				requireExact(b, last)
 			}
 			b.ReportMetric(last.Metrics["maxLB"], "LBenergy/vtx")
@@ -476,16 +492,79 @@ func BenchmarkEngineStep(b *testing.B) {
 	// The step is ~µs-scale and seed-independent: precompute the trial so
 	// each iteration times Execute + Step, not seed derivation.
 	tr := harness.TrialFor(sc, sc.Instances[0], 0, 1)
+	ctx := harness.NewContext()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := harness.Execute(sc, tr); res.Err != "" {
+		if res := harness.ExecuteCtx(ctx, sc, tr); res.Err != "" {
 			b.Fatal(res.Err)
 		}
 	}
 }
 
+// BenchmarkEngineStepRaw measures one bare physics step with allocation
+// tracking: the committed baseline pins allocs/op at zero, the paper-level
+// guarantee that simulation cost is activity-proportional, not GC-bound.
+func BenchmarkEngineStepRaw(b *testing.B) {
+	g := graph.Grid(64, 64)
+	eng := radio.NewEngine(g)
+	tx := []radio.TX{{ID: 2000, Msg: radio.Msg{A: 1}}}
+	listeners := []int32{2001, 2064, 1936}
+	out := make([]radio.RX, len(listeners))
+	eng.Step(tx, listeners, out) // warm scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(tx, listeners, out)
+	}
+}
+
+// BenchmarkVNetVirtualLBRaw measures one simulated Local-Broadcast on G*
+// over warmed VNet scratch; the baseline pins allocs/op at zero.
+func BenchmarkVNetVirtualLBRaw(b *testing.B) {
+	g, _ := graph.Named("grid", 400, 1)
+	base := lbnet.NewUnitNet(g, 0, 1)
+	cl := cluster.Build(base, cluster.DefaultConfig(g.N(), 4), 1)
+	vn := vnet.New(base, cl)
+	if vn.N() < 2 {
+		b.Skip("degenerate clustering")
+	}
+	senders := []radio.TX{{ID: 0, Msg: radio.Msg{A: 1}}}
+	receivers := []int32{1}
+	got := make([]radio.Msg, 1)
+	ok := make([]bool, 1)
+	vn.LocalBroadcast(senders, receivers, got, ok) // warm scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vn.LocalBroadcast(senders, receivers, got, ok)
+	}
+}
+
+// BenchmarkDecayLocalBroadcastRaw measures one physical-channel Decay
+// Local-Broadcast on warmed scratch; the baseline pins allocs/op at zero.
+func BenchmarkDecayLocalBroadcastRaw(b *testing.B) {
+	g := graph.Star(129)
+	eng := radio.NewEngine(g)
+	p := decay.ParamsFor(g.N(), 8)
+	senders := make([]radio.TX, 0, 128)
+	for v := 1; v <= 128; v++ {
+		senders = append(senders, radio.TX{ID: int32(v), Msg: radio.Msg{A: uint64(v)}})
+	}
+	receivers := []int32{0}
+	got := make([]radio.Msg, 1)
+	ok := make([]bool, 1)
+	var s decay.Scratch
+	s.LocalBroadcast(eng, p, senders, receivers, rng.Derive(1, 0), got, ok) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LocalBroadcast(eng, p, senders, receivers, rng.Derive(1, uint64(i+1)), got, ok)
+	}
+}
+
 // BenchmarkVerifyGradient measures the polylog labeling verifier.
 func BenchmarkVerifyGradient(b *testing.B) {
+	ctx := harness.NewContext()
 	g := graph.Cycle(512)
 	labels := graph.BFS(g, 0)
 	sc := &harness.Scenario{
@@ -501,6 +580,6 @@ func BenchmarkVerifyGradient(b *testing.B) {
 	}
 	inst := sc.Instances[0]
 	for i := 0; i < b.N; i++ {
-		execTrial(b, sc, inst, i)
+		execTrial(b, ctx, sc, inst, i)
 	}
 }

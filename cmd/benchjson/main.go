@@ -1,0 +1,255 @@
+// Command benchjson runs the repository benchmark suite and renders it as
+// machine-readable JSON — ns/op, B/op, allocs/op and the paper-metric
+// columns per benchmark — so performance is tracked in version control
+// (BENCH_baseline.json) instead of in scrollback.
+//
+// Usage:
+//
+//	benchjson [-bench .] [-benchtime 5x] [-out FILE]   record a run
+//	benchjson -input FILE [-out FILE]                  parse an existing
+//	                                                   `go test -bench` log
+//	benchjson -before FILE ...                         embed FILE (a prior
+//	                                                   benchjson output) as
+//	                                                   the "before" section
+//	                                                   and compute speedups
+//	benchjson -check FILE [-benchtime 1x]              CI smoke mode: rerun
+//	                                                   the suite and verify
+//	                                                   every baseline
+//	                                                   benchmark still
+//	                                                   exists and that
+//	                                                   zero-allocation
+//	                                                   benchmarks stayed at
+//	                                                   zero
+//
+// Check mode deliberately compares only benchmark presence and the
+// allocs/op of benchmarks whose baseline is exactly zero: wall-clock
+// numbers are too machine-dependent for CI, but a steady-state allocation
+// regression is deterministic and is precisely the property the
+// zero-allocation hot path work established.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BPerOp   float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document benchjson reads and writes.
+type Report struct {
+	Tool       string             `json:"tool"`
+	Go         string             `json:"go"`
+	Benchtime  string             `json:"benchtime,omitempty"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Before     *Report            `json:"before,omitempty"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark selection regexp passed to go test")
+	benchtime := flag.String("benchtime", "5x", "benchtime passed to go test")
+	out := flag.String("out", "", "output file (default stdout)")
+	input := flag.String("input", "", "parse this go-test bench log instead of running the suite")
+	before := flag.String("before", "", "embed this benchjson JSON as the before section and compute speedups")
+	check := flag.String("check", "", "smoke-compare a fresh run against this baseline JSON and exit non-zero on regression")
+	note := flag.String("note", "", "free-form note stored in the report")
+	flag.Parse()
+
+	if *check != "" {
+		if err := runCheck(*check, *bench, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: baseline check passed")
+		return
+	}
+
+	var raw []byte
+	var err error
+	if *input != "" {
+		raw, err = os.ReadFile(*input)
+	} else {
+		raw, err = runSuite(*bench, *benchtime)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep := &Report{
+		Tool:       "cmd/benchjson",
+		Go:         runtime.Version(),
+		Benchtime:  *benchtime,
+		Note:       *note,
+		Benchmarks: parseBench(raw),
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	if *before != "" {
+		b, err := readReport(*before)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		// When the given file is itself a combined baseline, keep comparing
+		// against its original before section (the oldest recorded run), so
+		// re-recording the baseline never erases the historical reference.
+		if b.Before != nil {
+			b = b.Before
+		}
+		b.Before = nil // never nest more than one level
+		rep.Before = b
+		rep.Speedups = speedups(b.Benchmarks, rep.Benchmarks)
+	}
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSuite executes the repository benchmarks and returns the raw log.
+func runSuite(bench, benchtime string) ([]byte, error) {
+	cmd := exec.Command("go", "test", ".", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench failed: %w\n%s", err, out)
+	}
+	return out, nil
+}
+
+// parseBench extracts benchmark lines from a `go test -bench` log.
+func parseBench(raw []byte) []Benchmark {
+	var res []Benchmark
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(fields[0]), Iters: iters}
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BPerOp = val
+			case "allocs/op":
+				b.AllocsOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		res = append(res, b)
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Name < res[j].Name })
+	return res
+}
+
+// trimProcs drops the -N GOMAXPROCS suffix go test appends to names.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// speedups maps benchmark name to before-ns / after-ns for benchmarks
+// present in both runs.
+func speedups(before, after []Benchmark) map[string]float64 {
+	prev := make(map[string]float64, len(before))
+	for _, b := range before {
+		prev[b.Name] = b.NsPerOp
+	}
+	out := map[string]float64{}
+	for _, a := range after {
+		if p, ok := prev[a.Name]; ok && a.NsPerOp > 0 {
+			out[a.Name] = p / a.NsPerOp
+		}
+	}
+	return out
+}
+
+// runCheck reruns the suite and smoke-compares it against the baseline.
+func runCheck(path, bench, benchtime string) error {
+	base, err := readReport(path)
+	if err != nil {
+		return err
+	}
+	raw, err := runSuite(bench, benchtime)
+	if err != nil {
+		return err
+	}
+	current := map[string]Benchmark{}
+	for _, b := range parseBench(raw) {
+		current[b.Name] = b
+	}
+	var problems []string
+	for _, b := range base.Benchmarks {
+		cur, ok := current[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("benchmark %s missing from current suite", b.Name))
+			continue
+		}
+		if b.AllocsOp == 0 && cur.AllocsOp != 0 {
+			problems = append(problems, fmt.Sprintf("benchmark %s regressed to %v allocs/op (baseline 0)", b.Name, cur.AllocsOp))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("baseline regressions:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/profiling"
 )
 
 type experiment struct {
@@ -50,7 +51,20 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E7)")
 	seed := flag.Uint64("seed", 1, "root seed")
 	workers := flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: profile: %v\n", err)
+		}
+	}()
 
 	cfg := config{
 		quick:  *quick,

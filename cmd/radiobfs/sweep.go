@@ -11,6 +11,7 @@ import (
 	"repro"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/profiling"
 )
 
 // runSweep implements `radiobfs sweep`: expand a declarative scenario grid
@@ -31,9 +32,20 @@ func runSweep(args []string) error {
 	physical := fs.Bool("physical", false, "charge real radio slots instead of LB units")
 	jsonOut := fs.Bool("json", false, "emit aggregated JSON instead of text tables")
 	csvOut := fs.Bool("csv", false, "emit aggregated CSV instead of text tables")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: profile: %v\n", err)
+		}
+	}()
 
 	fams, err := splitList(*families)
 	if err != nil {

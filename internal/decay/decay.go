@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/radio"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Params fixes the shape of one Local-Broadcast: Passes repetitions of
@@ -47,13 +48,35 @@ func (p Params) Duration() int64 {
 	return int64(p.Slots) * int64(p.Passes)
 }
 
+// Scratch owns the reusable buffers behind the Decay primitives. A zero
+// Scratch is ready to use; buffers grow to the largest call seen and are
+// then reused, so steady-state Local-Broadcast rounds allocate nothing.
+// A Scratch is not safe for concurrent use; the trial harness keeps one per
+// worker.
+type Scratch struct {
+	active []int32
+	idx    []int
+	slotOf []int
+	tx     []radio.TX
+	out    []radio.RX
+	rnd    rng.Source
+
+	// BFS state.
+	dist      []int32
+	frontier  []int32
+	unlabeled []int32
+	got       []radio.Msg
+	ok        []bool
+	senders   []radio.TX
+}
+
 // LocalBroadcast runs one Local-Broadcast on the engine. senders carry their
 // messages; receivers[i]'s result is written to got[i], ok[i]. A receiver
 // stops listening as soon as it hears a message (the energy optimization of
 // Lemma 2.4); senders transmit once per pass in a decay-distributed slot.
 // callSeed must be fresh per call (derive it from a root seed and a call
 // counter). got and ok must have len(receivers).
-func LocalBroadcast(e *radio.Engine, p Params, senders []radio.TX, receivers []int32, callSeed uint64, got []radio.Msg, ok []bool) {
+func (s *Scratch) LocalBroadcast(e *radio.Engine, p Params, senders []radio.TX, receivers []int32, callSeed uint64, got []radio.Msg, ok []bool) {
 	if len(got) != len(receivers) || len(ok) != len(receivers) {
 		panic("decay: result slices must match receivers length")
 	}
@@ -66,20 +89,23 @@ func LocalBroadcast(e *radio.Engine, p Params, senders []radio.TX, receivers []i
 		return
 	}
 	// active receivers, tracked by index into receivers.
-	active := make([]int32, len(receivers))
-	idx := make([]int, len(receivers)) // idx[j] = original position of active[j]
+	active := scratch.Grow(s.active, len(receivers))
+	idx := scratch.Grow(s.idx, len(receivers)) // idx[j] = original position of active[j]
+	s.active, s.idx = active, idx
 	for i, r := range receivers {
 		active[i] = r
 		idx[i] = i
 	}
-	slotOf := make([]int, len(senders))
-	var tx []radio.TX
-	out := make([]radio.RX, len(receivers))
+	slotOf := scratch.Grow(s.slotOf, len(senders))
+	s.slotOf = slotOf
+	tx := s.tx
+	out := scratch.Grow(s.out, len(receivers))
+	s.out = out
 	for pass := 0; pass < p.Passes; pass++ {
 		// Each sender independently picks its decay slot for this pass.
 		for i := range senders {
-			r := rng.New(rng.Derive(callSeed, uint64(pass), uint64(senders[i].ID)))
-			slotOf[i] = r.GeometricSlot(p.Slots)
+			s.rnd.Reseed(rng.Derive(callSeed, uint64(pass), uint64(senders[i].ID)))
+			slotOf[i] = s.rnd.GeometricSlot(p.Slots)
 		}
 		for slot := 1; slot <= p.Slots; slot++ {
 			tx = tx[:0]
@@ -107,6 +133,14 @@ func LocalBroadcast(e *radio.Engine, p Params, senders []radio.TX, receivers []i
 			active, idx = active[:w], idx[:w]
 		}
 	}
+	s.tx = tx
+}
+
+// LocalBroadcast is the scratch-free convenience wrapper: it allocates fresh
+// buffers per call. Hot loops should hold a Scratch instead.
+func LocalBroadcast(e *radio.Engine, p Params, senders []radio.TX, receivers []int32, callSeed uint64, got []radio.Msg, ok []bool) {
+	var s Scratch
+	s.LocalBroadcast(e, p, senders, receivers, callSeed, got, ok)
 }
 
 // BFSResult carries the outcome of a Decay BFS run.
@@ -122,33 +156,38 @@ type BFSResult struct {
 // stays awake until labeled, which is exactly why this baseline costs
 // Θ(D log² n) energy per vertex. The search stops after maxDist wavefront
 // steps or when a step labels nothing.
-func BFS(e *radio.Engine, p Params, srcs []int32, maxDist int, seed uint64) BFSResult {
+//
+// The returned Dist slice aliases the Scratch and is valid until the next
+// BFS call on the same Scratch; copy it to retain it longer.
+func (s *Scratch) BFS(e *radio.Engine, p Params, srcs []int32, maxDist int, seed uint64) BFSResult {
 	n := e.N()
 	start := e.Round()
-	dist := make([]int32, n)
+	dist := scratch.Grow(s.dist, n)
+	s.dist = dist
 	for i := range dist {
 		dist[i] = -1
 	}
-	for _, s := range srcs {
-		dist[s] = 0
+	for _, v := range srcs {
+		dist[v] = 0
 	}
 	var res BFSResult
-	frontier := append([]int32(nil), srcs...)
-	unlabeled := make([]int32, 0, n)
+	frontier := append(s.frontier[:0], srcs...)
+	unlabeled := s.unlabeled[:0]
 	for v := int32(0); v < int32(n); v++ {
 		if dist[v] == -1 {
 			unlabeled = append(unlabeled, v)
 		}
 	}
-	got := make([]radio.Msg, n)
-	ok := make([]bool, n)
-	senders := make([]radio.TX, 0, n)
+	got := scratch.Grow(s.got, n)
+	ok := scratch.Grow(s.ok, n)
+	s.got, s.ok = got, ok
+	senders := s.senders[:0]
 	for k := int32(1); int(k) <= maxDist && len(frontier) > 0 && len(unlabeled) > 0; k++ {
 		senders = senders[:0]
 		for _, v := range frontier {
 			senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: 1, A: uint64(k - 1)}})
 		}
-		LocalBroadcast(e, p, senders, unlabeled, rng.Derive(seed, uint64(k)), got[:len(unlabeled)], ok[:len(unlabeled)])
+		s.LocalBroadcast(e, p, senders, unlabeled, rng.Derive(seed, uint64(k)), got[:len(unlabeled)], ok[:len(unlabeled)])
 		res.LBCalls++
 		frontier = frontier[:0]
 		w := 0
@@ -166,9 +205,17 @@ func BFS(e *radio.Engine, p Params, srcs []int32, maxDist int, seed uint64) BFSR
 		}
 		unlabeled = unlabeled[:w]
 	}
+	s.frontier, s.unlabeled, s.senders = frontier, unlabeled, senders
 	res.Dist = dist
 	res.Rounds = e.Round() - start
 	return res
+}
+
+// BFS is the scratch-free convenience wrapper around Scratch.BFS; its Dist
+// result is freshly allocated and safe to retain.
+func BFS(e *radio.Engine, p Params, srcs []int32, maxDist int, seed uint64) BFSResult {
+	var s Scratch
+	return s.BFS(e, p, srcs, maxDist, seed)
 }
 
 // Broadcast floods a message from src until it has (w.h.p.) reached every

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// referenceCSR builds the (offsets, neighbors) arrays of an edge list the
+// slow, obviously-correct way: per-vertex comparison sort plus dedupe. The
+// counting-sort fast path in Builder.Graph must match it exactly.
+func referenceCSR(n int, edges [][2]int32) ([]int32, []int32) {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	offsets := make([]int32, n+1)
+	var neighbors []int32
+	for v := 0; v < n; v++ {
+		lst := adj[v]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		offsets[v] = int32(len(neighbors))
+		for i, x := range lst {
+			if i == 0 || x != lst[i-1] {
+				neighbors = append(neighbors, x)
+			}
+		}
+	}
+	offsets[n] = int32(len(neighbors))
+	return offsets, neighbors
+}
+
+func TestBuilderCountingSortMatchesReference(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(60)
+		m := r.Intn(4 * n)
+		edges := make([][2]int32, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]int32{int32(r.Intn(n)), int32(r.Intn(n))})
+		}
+		// Inject duplicates and self-loops deliberately.
+		if m > 0 {
+			edges = append(edges, edges[0], [2]int32{edges[0][1], edges[0][0]})
+		}
+		edges = append(edges, [2]int32{0, 0})
+
+		g := FromEdges(n, edges)
+		wantOff, wantAdj := referenceCSR(n, edges)
+		if len(g.offsets) != len(wantOff) {
+			t.Fatalf("n=%d: offsets length %d, want %d", n, len(g.offsets), len(wantOff))
+		}
+		for v, o := range wantOff {
+			if g.offsets[v] != o {
+				t.Fatalf("n=%d: offsets[%d] = %d, want %d", n, v, g.offsets[v], o)
+			}
+		}
+		if len(g.neighbors) != len(wantAdj) {
+			t.Fatalf("n=%d: neighbors length %d, want %d", n, len(g.neighbors), len(wantAdj))
+		}
+		for i, x := range wantAdj {
+			if g.neighbors[i] != x {
+				t.Fatalf("n=%d: neighbors[%d] = %d, want %d", n, i, g.neighbors[i], x)
+			}
+		}
+		// MaxDegree must match the densest row.
+		maxDeg := 0
+		for v := 0; v < n; v++ {
+			if d := int(wantOff[v+1] - wantOff[v]); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if g.MaxDegree() != maxDeg {
+			t.Fatalf("n=%d: MaxDegree = %d, want %d", n, g.MaxDegree(), maxDeg)
+		}
+	}
+}
+
+func TestBuilderHintCapacity(t *testing.T) {
+	b := NewBuilderHint(5, 4)
+	for v := int32(0); v < 4; v++ {
+		b.AddEdge(v, v+1)
+	}
+	if cap(b.src) != 8 || len(b.src) != 8 {
+		t.Fatalf("hint of 4 edges: len/cap(src) = %d/%d, want 8/8", len(b.src), cap(b.src))
+	}
+	g := b.Graph()
+	if g.M() != 4 || g.N() != 5 {
+		t.Fatalf("got n=%d m=%d, want n=5 m=4", g.N(), g.M())
+	}
+}
+
+// TestLog2CeilMatchesLoop pins Log2Ceil to the shift-loop definitions it
+// replaced across the repository.
+func TestLog2CeilMatchesLoop(t *testing.T) {
+	loop := func(n int) int {
+		lg := 0
+		for 1<<lg < n {
+			lg++
+		}
+		return lg
+	}
+	for n := 0; n < 1<<14; n++ {
+		if got, want := Log2Ceil(n), loop(n); got != want {
+			t.Fatalf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+	for _, n := range []int{1 << 20, 1<<20 + 1, 1<<30 - 1, 1 << 30} {
+		if got, want := Log2Ceil(n), loop(n); got != want {
+			t.Fatalf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

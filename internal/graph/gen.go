@@ -9,7 +9,7 @@ import (
 
 // Path returns the n-vertex path 0—1—…—(n-1). Diameter n-1.
 func Path(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n-1)
 	for v := 0; v < n-1; v++ {
 		b.AddEdge(int32(v), int32(v+1))
 	}
@@ -18,7 +18,7 @@ func Path(n int) *Graph {
 
 // Cycle returns the n-vertex cycle. Diameter ⌊n/2⌋ for n >= 3.
 func Cycle(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n)
 	for v := 0; v < n-1; v++ {
 		b.AddEdge(int32(v), int32(v+1))
 	}
@@ -30,7 +30,7 @@ func Cycle(n int) *Graph {
 
 // Grid returns the rows×cols grid graph. Diameter rows+cols-2.
 func Grid(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	b := NewBuilderHint(rows*cols, 2*rows*cols)
 	id := func(r, c int) int32 { return int32(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -47,7 +47,7 @@ func Grid(rows, cols int) *Graph {
 
 // Torus returns the rows×cols torus (grid with wraparound).
 func Torus(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	b := NewBuilderHint(rows*cols, 2*rows*cols)
 	id := func(r, c int) int32 { return int32(((r+rows)%rows)*cols + (c+cols)%cols) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -60,7 +60,7 @@ func Torus(rows, cols int) *Graph {
 
 // Star returns the n-vertex star with center 0.
 func Star(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n-1)
 	for v := 1; v < n; v++ {
 		b.AddEdge(0, int32(v))
 	}
@@ -69,7 +69,7 @@ func Star(n int) *Graph {
 
 // Complete returns K_n.
 func Complete(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n*(n-1)/2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			b.AddEdge(int32(u), int32(v))
@@ -81,7 +81,7 @@ func Complete(n int) *Graph {
 // CompleteMinusEdge returns K_n with the edge {u, v} removed — the diameter-2
 // counterpart of K_n in the Theorem 5.1 lower bound.
 func CompleteMinusEdge(n int, u, v int32) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n*(n-1)/2)
 	for x := int32(0); x < int32(n); x++ {
 		for y := x + 1; y < int32(n); y++ {
 			if (x == u && y == v) || (x == v && y == u) {
@@ -95,7 +95,7 @@ func CompleteMinusEdge(n int, u, v int32) *Graph {
 
 // BinaryTree returns the complete binary tree on n vertices (heap indexing).
 func BinaryTree(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n-1)
 	for v := 1; v < n; v++ {
 		b.AddEdge(int32(v), int32((v-1)/2))
 	}
@@ -105,7 +105,7 @@ func BinaryTree(n int) *Graph {
 // RandomTree returns a uniform-attachment random tree: vertex v attaches to a
 // uniformly random earlier vertex.
 func RandomTree(n int, r *rng.Source) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n-1)
 	for v := 1; v < n; v++ {
 		b.AddEdge(int32(v), int32(r.Intn(v)))
 	}
@@ -115,7 +115,7 @@ func RandomTree(n int, r *rng.Source) *Graph {
 // Hypercube returns the d-dimensional hypercube (2^d vertices).
 func Hypercube(d int) *Graph {
 	n := 1 << d
-	b := NewBuilder(n)
+	b := FromDegreeHint(n, d)
 	for v := 0; v < n; v++ {
 		for bit := 0; bit < d; bit++ {
 			u := v ^ (1 << bit)
@@ -162,7 +162,7 @@ func ConnectedGNP(n int, p float64, r *rng.Source) *Graph {
 	if IsConnected(g) {
 		return g
 	}
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, g.M()+n)
 	g.Edges(func(u, v int32) { b.AddEdge(u, v) })
 	perm := r.Perm(n)
 	for i := 1; i < n; i++ {
@@ -241,7 +241,7 @@ func RandomGeometric(n int, radius float64, r *rng.Source, connect bool) *Graph 
 				}
 			}
 		}
-		nb := NewBuilder(n)
+		nb := NewBuilderHint(n, g.M()+1)
 		g.Edges(func(u, v int32) { nb.AddEdge(u, v) })
 		nb.AddEdge(bu, bv)
 		g = nb.Graph()
@@ -264,7 +264,7 @@ func DRegular(n, d int, r *rng.Source) *Graph {
 		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
 		ok := true
 		seen := make(map[int64]bool, n*d/2)
-		b := NewBuilder(n)
+		b := FromDegreeHint(n, d)
 		for i := 0; i < len(stubs); i += 2 {
 			u, v := stubs[i], stubs[i+1]
 			if u == v {
@@ -292,7 +292,7 @@ func DRegular(n, d int, r *rng.Source) *Graph {
 // a classic high-eccentricity-contrast family for diameter experiments.
 func Lollipop(k, tail int) *Graph {
 	n := k + tail
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, k*(k-1)/2+tail)
 	for u := 0; u < k; u++ {
 		for v := u + 1; v < k; v++ {
 			b.AddEdge(int32(u), int32(v))
@@ -308,7 +308,7 @@ func Lollipop(k, tail int) *Graph {
 // carries legs pendant vertices.
 func Caterpillar(spine, legs int) *Graph {
 	n := spine * (1 + legs)
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n-1)
 	for s := 0; s < spine-1; s++ {
 		b.AddEdge(int32(s), int32(s+1))
 	}
@@ -328,7 +328,7 @@ func Caterpillar(spine, legs int) *Graph {
 func PathWithTrees(pathLen, h int) *Graph {
 	treeN := (1 << (h + 1)) - 1
 	n := pathLen + 2*treeN
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, n-1)
 	for v := 0; v < pathLen-1; v++ {
 		b.AddEdge(int32(v), int32(v+1))
 	}
@@ -360,59 +360,79 @@ func max32(a, b int32) int32 {
 	return b
 }
 
-// Named returns a standard test-family graph by name; used by the CLI and
-// experiment harness. Supported: path, cycle, grid, torus, star, complete,
-// tree, gnp, geometric, hypercube, lollipop, caterpillar.
-func Named(name string, n int, seed uint64) (*Graph, bool) {
-	r := rng.New(rng.Derive(seed, 0xfa111e5))
-	switch name {
-	case "path":
-		return Path(n), true
-	case "cycle":
-		return Cycle(n), true
-	case "grid":
+// family describes one entry of the workload-family registry: whether the
+// topology depends on the generator seed, and the constructor.
+type family struct {
+	seeded bool
+	build  func(n int, r *rng.Source) *Graph
+}
+
+// families is the single registry behind Named, FamilyNames and
+// FamilySeeded, so existence and seededness can never disagree. A family
+// whose constructor draws from r MUST be registered seeded: the harness
+// graph cache shares one instance of every unseeded family across trials.
+var families = map[string]family{
+	"path":  {false, func(n int, _ *rng.Source) *Graph { return Path(n) }},
+	"cycle": {false, func(n int, _ *rng.Source) *Graph { return Cycle(n) }},
+	"grid": {false, func(n int, _ *rng.Source) *Graph {
 		side := int(math.Round(math.Sqrt(float64(n))))
 		if side < 1 {
 			side = 1
 		}
-		return Grid(side, side), true
-	case "torus":
+		return Grid(side, side)
+	}},
+	"torus": {false, func(n int, _ *rng.Source) *Graph {
 		side := int(math.Round(math.Sqrt(float64(n))))
 		if side < 2 {
 			side = 2
 		}
-		return Torus(side, side), true
-	case "star":
-		return Star(n), true
-	case "complete":
-		return Complete(n), true
-	case "tree":
-		return RandomTree(n, r), true
-	case "gnp":
+		return Torus(side, side)
+	}},
+	"star":     {false, func(n int, _ *rng.Source) *Graph { return Star(n) }},
+	"complete": {false, func(n int, _ *rng.Source) *Graph { return Complete(n) }},
+	"tree":     {true, RandomTree},
+	"gnp": {true, func(n int, r *rng.Source) *Graph {
 		p := 2 * math.Log(float64(n)) / float64(n)
-		return ConnectedGNP(n, p, r), true
-	case "geometric":
+		return ConnectedGNP(n, p, r)
+	}},
+	"geometric": {true, func(n int, r *rng.Source) *Graph {
 		radius := 1.8 * math.Sqrt(math.Log(float64(n)+2)/(math.Pi*float64(n)))
-		return RandomGeometric(n, radius, r, true), true
-	case "hypercube":
+		return RandomGeometric(n, radius, r, true)
+	}},
+	"hypercube": {false, func(n int, _ *rng.Source) *Graph {
 		d := 0
 		for 1<<(d+1) <= n {
 			d++
 		}
-		return Hypercube(d), true
-	case "lollipop":
-		return Lollipop(n/2, n-n/2), true
-	case "caterpillar":
-		return Caterpillar(n/4, 3), true
+		return Hypercube(d)
+	}},
+	"lollipop":    {false, func(n int, _ *rng.Source) *Graph { return Lollipop(n/2, n-n/2) }},
+	"caterpillar": {false, func(n int, _ *rng.Source) *Graph { return Caterpillar(n/4, 3) }},
+}
+
+// Named returns a standard test-family graph by name; used by the CLI and
+// experiment harness. See FamilyNames for the accepted names.
+func Named(name string, n int, seed uint64) (*Graph, bool) {
+	f, ok := families[name]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return f.build(n, rng.New(rng.Derive(seed, 0xfa111e5))), true
+}
+
+// FamilySeeded reports whether the named family's topology depends on the
+// generator seed. Deterministic families (false) produce the same graph for
+// every seed, so callers such as the harness graph cache may build them once
+// and share the result across trials.
+func FamilySeeded(name string) bool {
+	return families[name].seeded
 }
 
 // FamilyNames lists the graph families accepted by Named, sorted.
 func FamilyNames() []string {
-	names := []string{
-		"path", "cycle", "grid", "torus", "star", "complete", "tree",
-		"gnp", "geometric", "hypercube", "lollipop", "caterpillar",
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names

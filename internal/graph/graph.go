@@ -7,8 +7,20 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
+
+// Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1 (0 for n ≤ 1). It is the shared
+// bit-length helper behind message budgets, Decay pass counts and subset
+// lengths, replacing the hand-rolled shift loops that used to be scattered
+// across packages.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(n - 1))
+}
 
 // Graph is an immutable simple undirected graph in CSR form. Vertices are
 // 0..N()-1. Adjacency lists are sorted, self-loop free and duplicate free.
@@ -58,9 +70,15 @@ func (g *Graph) Edges(fn func(u, v int32)) {
 
 // Builder accumulates edges and produces a Graph. Duplicate edges and
 // self-loops are silently dropped when Graph is called.
+//
+// Edges are stored as a flat directed-arc list (each undirected edge appears
+// once per direction), so accumulation is two appends with no per-vertex
+// slice headers, and finalization is a two-pass counting sort rather than a
+// comparison sort per vertex.
 type Builder struct {
 	n   int
-	adj [][]int32
+	src []int32
+	dst []int32
 }
 
 // NewBuilder returns a Builder for an n-vertex graph.
@@ -68,7 +86,25 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Builder{n: n, adj: make([][]int32, n)}
+	return &Builder{n: n}
+}
+
+// NewBuilderHint returns a Builder for an n-vertex graph pre-sized for about
+// edges undirected edges, so accumulation never reallocates when the hint is
+// an upper bound.
+func NewBuilderHint(n, edges int) *Builder {
+	b := NewBuilder(n)
+	if edges > 0 {
+		b.src = make([]int32, 0, 2*edges)
+		b.dst = make([]int32, 0, 2*edges)
+	}
+	return b
+}
+
+// FromDegreeHint returns a Builder pre-sized for an expected average degree —
+// the generators' path to accumulation without reallocation.
+func FromDegreeHint(n, avgDeg int) *Builder {
+	return NewBuilderHint(n, (n*avgDeg+1)/2)
 }
 
 // N returns the number of vertices.
@@ -83,46 +119,86 @@ func (b *Builder) AddEdge(u, v int32) {
 	if u == v {
 		return
 	}
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
+	b.src = append(b.src, u, v)
+	b.dst = append(b.dst, v, u)
 }
 
-// Graph finalizes the builder into an immutable Graph.
+// Graph finalizes the builder into an immutable Graph: a counting sort by
+// destination followed by a stable counting sort by source leaves the arc
+// list grouped by source with each row sorted by destination, after which one
+// linear pass drops adjacent duplicates. Total work is O(n + m) with no
+// comparison sorting.
 func (b *Builder) Graph() *Graph {
-	offsets := make([]int32, b.n+1)
-	total := 0
-	for v := 0; v < b.n; v++ {
-		lst := b.adj[v]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		// Dedupe in place.
-		w := 0
-		for i, x := range lst {
-			if i == 0 || x != lst[i-1] {
-				lst[w] = x
+	n, m := b.n, len(b.src)
+	pos := make([]int32, n+1)
+
+	// Pass 1: counting sort the arcs by destination.
+	for _, d := range b.dst {
+		pos[d]++
+	}
+	var sum int32
+	for v := 0; v <= n; v++ {
+		c := pos[v]
+		pos[v] = sum
+		sum += c
+	}
+	tmpSrc := make([]int32, m)
+	tmpDst := make([]int32, m)
+	for i := 0; i < m; i++ {
+		d := b.dst[i]
+		j := pos[d]
+		pos[d]++
+		tmpSrc[j] = b.src[i]
+		tmpDst[j] = d
+	}
+
+	// Pass 2: stable counting sort by source; rows come out sorted by
+	// destination because pass 1 ordered the input.
+	for v := range pos {
+		pos[v] = 0
+	}
+	for _, s := range b.src {
+		pos[s]++
+	}
+	sum = 0
+	for v := 0; v <= n; v++ {
+		c := pos[v]
+		pos[v] = sum
+		sum += c
+	}
+	neighbors := make([]int32, m)
+	for i := 0; i < m; i++ {
+		s := tmpSrc[i]
+		neighbors[pos[s]] = tmpDst[i]
+		pos[s]++
+	}
+
+	// Per-row dedupe in place. After pass 2, pos[v] is the end of row v.
+	g := &Graph{offsets: make([]int32, n+1)}
+	var w, start int32
+	for v := 0; v < n; v++ {
+		g.offsets[v] = w
+		prev := int32(-1)
+		for i := start; i < pos[v]; i++ {
+			if x := neighbors[i]; x != prev {
+				neighbors[w] = x
+				prev = x
 				w++
 			}
 		}
-		b.adj[v] = lst[:w]
-		total += w
-	}
-	g := &Graph{
-		offsets:   offsets,
-		neighbors: make([]int32, 0, total),
-	}
-	for v := 0; v < b.n; v++ {
-		g.offsets[v] = int32(len(g.neighbors))
-		g.neighbors = append(g.neighbors, b.adj[v]...)
-		if d := len(b.adj[v]); d > g.maxDeg {
+		start = pos[v]
+		if d := int(w - g.offsets[v]); d > g.maxDeg {
 			g.maxDeg = d
 		}
 	}
-	g.offsets[b.n] = int32(len(g.neighbors))
+	g.offsets[n] = w
+	g.neighbors = neighbors[:w]
 	return g
 }
 
 // FromEdges builds a graph directly from an edge list.
 func FromEdges(n int, edges [][2]int32) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderHint(n, len(edges))
 	for _, e := range edges {
 		b.AddEdge(e[0], e[1])
 	}

@@ -27,6 +27,22 @@
 // when a scenario has more than one trial, such state must be written to
 // per-trial slots (indexed by Trial.Index) or be otherwise race-free,
 // because trials of one scenario run concurrently.
+//
+// # Worker contexts
+//
+// Every worker owns one Context — a pool of trial-invariant heavy state: a
+// radio engine (reset between trials), Decay scratch buffers, and a cache
+// of deterministic workload graphs. Built-in workloads draw from it
+// automatically; custom workloads opt in by setting Scenario.RunCtx instead
+// of Scenario.Run. The contract for RunCtx implementations:
+//
+//   - anything obtained from the Context (engine, scratch, cached graphs)
+//     is valid only until the trial function returns — never retain it in
+//     results or closures;
+//   - cached graphs are shared and must be treated as immutable;
+//   - all randomness must still derive from Trial.Seed, so that a trial's
+//     outcome is a pure function of the Trial value — this is what keeps
+//     aggregated output byte-identical at any worker count, pooled or not.
 package harness
 
 import (
@@ -37,7 +53,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/decay"
 	"repro/internal/graph"
-	"repro/internal/radio"
 	"repro/internal/rng"
 )
 
@@ -112,6 +127,11 @@ type Trial struct {
 // returns its metrics. It must derive all randomness from Trial.Seed.
 type TrialFunc func(t Trial) (Metrics, error)
 
+// TrialCtxFunc is the context-aware custom workload signature: it
+// additionally receives the executing worker's Context pool. See the
+// package documentation for the reuse contract.
+type TrialCtxFunc func(ctx *Context, t Trial) (Metrics, error)
+
 // Scenario declares a workload for the Runner. Zero values mean: one trial
 // per instance, unit cost model, polling period 4, the paper's automatic
 // Recursive-BFS parameters.
@@ -137,6 +157,9 @@ type Scenario struct {
 	Params *core.Params
 	// Run, when set, replaces the built-in workload entirely.
 	Run TrialFunc
+	// RunCtx is the context-aware form of Run: it receives the worker's
+	// Context pool. When both are set, RunCtx wins.
+	RunCtx TrialCtxFunc
 }
 
 // TrialCount returns the effective trials-per-instance (minimum 1).
@@ -191,15 +214,27 @@ type Result struct {
 	Err     string  `json:"err,omitempty"`
 }
 
-// Execute runs a single trial synchronously and never panics on workload
-// errors: failures are reported through Result.Err so one bad trial cannot
-// sink a sweep.
+// Execute runs a single trial synchronously on a fresh Context. It never
+// panics on workload errors: failures are reported through Result.Err so
+// one bad trial cannot sink a sweep.
 func Execute(sc *Scenario, t Trial) Result {
-	run := sc.Run
-	if run == nil {
-		run = func(t Trial) (Metrics, error) { return runBuiltin(sc, t) }
+	return ExecuteCtx(NewContext(), sc, t)
+}
+
+// ExecuteCtx runs a single trial synchronously against the given worker
+// Context, reusing its pooled engine, scratch and graph cache. Results are
+// identical to Execute's for any context history.
+func ExecuteCtx(ctx *Context, sc *Scenario, t Trial) Result {
+	var m Metrics
+	var err error
+	switch {
+	case sc.RunCtx != nil:
+		m, err = sc.RunCtx(ctx, t)
+	case sc.Run != nil:
+		m, err = sc.Run(t)
+	default:
+		m, err = runBuiltin(ctx, sc, t)
 	}
-	m, err := run(t)
 	res := Result{Trial: t, Metrics: m}
 	if err != nil {
 		res.Err = err.Error()
@@ -210,14 +245,10 @@ func Execute(sc *Scenario, t Trial) Result {
 // log2Ceil returns ⌈log₂ n⌉ for n ≥ 1, with a floor of 1 (the smallest
 // useful Decay pass count).
 func log2Ceil(n int) int {
-	lg := 0
-	for 1<<lg < n {
-		lg++
+	if lg := graph.Log2Ceil(n); lg > 1 {
+		return lg
 	}
-	if lg < 1 {
-		lg = 1
-	}
-	return lg
+	return 1
 }
 
 // BoolMetric encodes a predicate as a 0/1 metric so aggregation yields
@@ -229,11 +260,13 @@ func BoolMetric(b bool) float64 {
 	return 0
 }
 
-// runBuiltin executes one of the Algo workloads. Every built-in builds a
-// fresh graph and network from the trial seed, so trials are independent
-// samples of (graph, protocol randomness).
-func runBuiltin(sc *Scenario, t Trial) (Metrics, error) {
-	g, err := repro.NewGraph(t.Family, t.N, rng.Derive(t.Seed, 0x6ea9))
+// runBuiltin executes one of the Algo workloads. Every built-in derives its
+// graph and network from the trial seed, so trials are independent samples
+// of (graph, protocol randomness); heavy state (graphs of deterministic
+// families, the radio engine, Decay scratch) is drawn from the worker's
+// Context pool.
+func runBuiltin(ctx *Context, sc *Scenario, t Trial) (Metrics, error) {
+	g, err := ctx.Graph(t.Family, t.N, rng.Derive(t.Seed, 0x6ea9))
 	if err != nil {
 		return nil, err
 	}
@@ -244,8 +277,8 @@ func runBuiltin(sc *Scenario, t Trial) (Metrics, error) {
 		if passes < 1 {
 			passes = log2Ceil(g.N())
 		}
-		eng := radio.NewEngine(g)
-		res := decay.BFS(eng, decay.ParamsFor(g.N(), passes), []int32{0}, t.MaxDist, rng.Derive(t.Seed, 0xd3ca))
+		eng := ctx.Engine(g)
+		res := ctx.decay.BFS(eng, decay.ParamsFor(g.N(), passes), []int32{0}, t.MaxDist, rng.Derive(t.Seed, 0xd3ca))
 		bad := decay.ReferenceAgainst(g, []int32{0}, res.Dist, t.MaxDist)
 		return Metrics{
 			"mislabeled": float64(bad),
@@ -256,7 +289,7 @@ func runBuiltin(sc *Scenario, t Trial) (Metrics, error) {
 
 	var opts []repro.Option
 	if sc.Cost == repro.CostPhysical {
-		opts = append(opts, repro.WithCostModel(repro.CostPhysical))
+		opts = append(opts, repro.WithCostModel(repro.CostPhysical), repro.WithEngine(ctx.Engine(g)))
 	}
 	if sc.Params != nil {
 		opts = append(opts, repro.WithParams(*sc.Params))

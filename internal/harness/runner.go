@@ -42,9 +42,14 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Deterministic-family graphs are built once up front and shared
+	// read-only by every worker, so neither the construction work nor the
+	// resident memory scales with the worker count.
+	shared := sharedGraphs(scenarios...)
 	if workers <= 1 {
+		ctx := newContextShared(shared)
 		for _, j := range jobs {
-			results[j.slot] = Execute(j.sc, j.t)
+			results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
 		}
 		return results
 	}
@@ -54,8 +59,14 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Context per worker: trials executing on this goroutine
+			// share its engine, scratch and graph cache. Results stay
+			// byte-identical at any worker count because a trial's outcome
+			// is a pure function of its Trial value (see the package doc's
+			// worker-context contract).
+			ctx := newContextShared(shared)
 			for j := range ch {
-				results[j.slot] = Execute(j.sc, j.t)
+				results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
 			}
 		}()
 	}

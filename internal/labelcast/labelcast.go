@@ -10,6 +10,7 @@ package labelcast
 import (
 	"repro/internal/lbnet"
 	"repro/internal/radio"
+	"repro/internal/scratch"
 )
 
 // MsgData is the payload kind flooded by Broadcast.
@@ -31,17 +32,34 @@ type Result struct {
 	IdleListens int64
 }
 
+// Scratch owns the reusable per-call buffers of Broadcast and ToSource so
+// repeated dissemination runs (e.g. pooled harness trials) allocate nothing
+// in steady state. A zero Scratch is ready to use; it is not safe for
+// concurrent use.
+type Scratch struct {
+	has       []bool
+	offers    []int
+	senders   []radio.TX
+	receivers []int32
+	got       []radio.Msg
+	ok        []bool
+}
+
 // Broadcast floods one message from the label-0 vertex under polling period
 // period: in slot t, holders with label ℓ ≡ t-1 (mod period) transmit and
 // non-holders with label i ≡ t (mod period) listen. Unlabeled vertices
 // (negative label) sleep throughout. The simulation stops when everyone has
 // the message or maxSlots elapse.
-func Broadcast(net lbnet.Net, labels []int32, period int, maxSlots int64) Result {
+func (s *Scratch) Broadcast(net lbnet.Net, labels []int32, period int, maxSlots int64) Result {
 	if period < 1 {
 		period = 1
 	}
 	n := net.N()
-	has := make([]bool, n)
+	has := scratch.Grow(s.has, n)
+	s.has = has
+	for i := range has {
+		has[i] = false
+	}
 	labeled := 0
 	for v := 0; v < n; v++ {
 		if labels[v] == 0 {
@@ -52,10 +70,11 @@ func Broadcast(net lbnet.Net, labels []int32, period int, maxSlots int64) Result
 		}
 	}
 	var res Result
-	var senders []radio.TX
-	var receivers []int32
-	got := make([]radio.Msg, n)
-	ok := make([]bool, n)
+	senders := s.senders[:0]
+	receivers := s.receivers[:0]
+	got := scratch.Grow(s.got, n)
+	ok := scratch.Grow(s.ok, n)
+	s.got, s.ok = got, ok
 	delivered := 0
 	for v := 0; v < n; v++ {
 		if has[v] {
@@ -97,9 +116,17 @@ func Broadcast(net lbnet.Net, labels []int32, period int, maxSlots int64) Result
 			break
 		}
 	}
+	s.senders, s.receivers = senders, receivers
 	res.Delivered = delivered
 	res.DeliveredAll = delivered == labeled
 	return res
+}
+
+// Broadcast is the scratch-free convenience wrapper: it allocates fresh
+// buffers per call. Repeated runs should hold a Scratch instead.
+func Broadcast(net lbnet.Net, labels []int32, period int, maxSlots int64) Result {
+	var s Scratch
+	return s.Broadcast(net, labels, period, maxSlots)
 }
 
 // SteadyStateListens returns the polling energy a node spends per horizon

@@ -3,6 +3,7 @@ package labelcast
 import (
 	"repro/internal/lbnet"
 	"repro/internal/radio"
+	"repro/internal/scratch"
 )
 
 // MsgUp is the payload kind routed toward the source.
@@ -26,7 +27,7 @@ type RouteResult struct {
 // ≡ i (mod period), so a holder with label ℓ transmits when layer ℓ-1 is
 // awake. Each holder offers the message for retries frames. O(1)
 // transmissions per on-path vertex; listening is the polling duty cycle.
-func ToSource(net lbnet.Net, labels []int32, origin int32, period, retries int, maxSlots int64) RouteResult {
+func (s *Scratch) ToSource(net lbnet.Net, labels []int32, origin int32, period, retries int, maxSlots int64) RouteResult {
 	if period < 1 {
 		period = 1
 	}
@@ -42,15 +43,20 @@ func ToSource(net lbnet.Net, labels []int32, origin int32, period, retries int, 
 		res.Reached = true
 		return res
 	}
-	holder := make([]bool, n)
-	offers := make([]int, n) // remaining frames a holder transmits in
+	holder := scratch.Grow(s.has, n)
+	offers := scratch.Grow(s.offers, n) // remaining frames a holder transmits in
+	s.has, s.offers = holder, offers
+	for i := 0; i < n; i++ {
+		holder[i], offers[i] = false, 0
+	}
 	holder[origin] = true
 	offers[origin] = retries
 	bestLabel := labels[origin]
-	var senders []radio.TX
-	var receivers []int32
-	got := make([]radio.Msg, n)
-	ok := make([]bool, n)
+	senders := s.senders[:0]
+	receivers := s.receivers[:0]
+	got := scratch.Grow(s.got, n)
+	ok := scratch.Grow(s.ok, n)
+	s.got, s.ok = got, ok
 	for t := int64(1); t <= maxSlots; t++ {
 		res.Slots++
 		residue := int32(t % int64(period))
@@ -96,10 +102,18 @@ func ToSource(net lbnet.Net, labels []int32, origin int32, period, retries int, 
 				}
 				if labels[v] == 0 {
 					res.Reached = true
+					s.senders, s.receivers = senders, receivers
 					return res
 				}
 			}
 		}
 	}
+	s.senders, s.receivers = senders, receivers
 	return res
+}
+
+// ToSource is the scratch-free convenience wrapper around Scratch.ToSource.
+func ToSource(net lbnet.Net, labels []int32, origin int32, period, retries int, maxSlots int64) RouteResult {
+	var s Scratch
+	return s.ToSource(net, labels, origin, period, retries, maxSlots)
 }

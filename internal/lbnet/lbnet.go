@@ -176,39 +176,55 @@ func (u *UnitNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []ra
 	if len(got) != len(receivers) || len(ok) != len(receivers) {
 		panic("lbnet: result slices must match receivers length")
 	}
+	// Fast paths that change no observable state: with no senders every
+	// receiver hears silence (the slow path's counters stay zero and no
+	// randomness is consumed); with no receivers under the deterministic
+	// MinID policy the neighbor marking is write-only (DeliverRandom is
+	// excluded because its reservoir sampling draws from the shared stream
+	// even when nobody listens). Cast schedules hit the latter constantly:
+	// senders re-transmit in every subset slot after all listeners of a
+	// stage have been served.
+	if len(senders) == 0 || (len(receivers) == 0 && u.policy == DeliverMinID) {
+		for i := range receivers {
+			got[i], ok[i] = radio.Msg{}, false
+		}
+		u.charge(senders, receivers)
+		return
+	}
+	cnt, from, touched := u.cnt, u.from, u.touched
 	for i := range senders {
 		s := senders[i].ID
 		for _, v := range u.g.Neighbors(s) {
-			if u.cnt[v] == 0 {
-				u.touched = append(u.touched, v)
+			if cnt[v] == 0 {
+				touched = append(touched, v)
 			}
-			u.cnt[v]++
+			cnt[v]++
 			switch {
-			case u.from[v] == -1:
-				u.from[v] = int32(i)
+			case from[v] == -1:
+				from[v] = int32(i)
 			case u.policy == DeliverMinID:
-				if s < senders[u.from[v]].ID {
-					u.from[v] = int32(i)
+				if s < senders[from[v]].ID {
+					from[v] = int32(i)
 				}
 			default: // DeliverRandom: reservoir-sample among senders
-				if u.rnd.Intn(int(u.cnt[v])) == 0 {
-					u.from[v] = int32(i)
+				if u.rnd.Intn(int(cnt[v])) == 0 {
+					from[v] = int32(i)
 				}
 			}
 		}
 	}
 	for i, v := range receivers {
-		if u.cnt[v] >= 1 && (u.failProb <= 0 || !u.rnd.Bernoulli(u.failProb)) {
-			got[i], ok[i] = senders[u.from[v]].Msg, true
+		if cnt[v] >= 1 && (u.failProb <= 0 || !u.rnd.Bernoulli(u.failProb)) {
+			got[i], ok[i] = senders[from[v]].Msg, true
 		} else {
 			got[i], ok[i] = radio.Msg{}, false
 		}
 	}
-	for _, v := range u.touched {
-		u.cnt[v] = 0
-		u.from[v] = -1
+	for _, v := range touched {
+		cnt[v] = 0
+		from[v] = -1
 	}
-	u.touched = u.touched[:0]
+	u.touched = touched[:0]
 	u.charge(senders, receivers)
 }
 
@@ -218,9 +234,10 @@ func (u *UnitNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []ra
 // populated.
 type PhysNet struct {
 	meters
-	eng  *radio.Engine
-	p    decay.Params
-	seed uint64
+	eng     *radio.Engine
+	p       decay.Params
+	seed    uint64
+	scratch decay.Scratch
 }
 
 // NewPhysNet wraps eng. p fixes the Local-Broadcast shape (and hence the
@@ -264,9 +281,10 @@ func (p *PhysNet) LBTime() int64 { return p.lbTime }
 // LBEnergy implements Net.
 func (p *PhysNet) LBEnergy(v int32) int64 { return p.energy[v] }
 
-// LocalBroadcast implements Net by running the Decay protocol.
+// LocalBroadcast implements Net by running the Decay protocol on reused
+// scratch, so steady-state physical rounds allocate nothing.
 func (p *PhysNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio.Msg, ok []bool) {
 	callSeed := rng.Derive(p.seed, uint64(p.lbTime), 0x1b)
-	decay.LocalBroadcast(p.eng, p.p, senders, receivers, callSeed, got, ok)
+	p.scratch.LocalBroadcast(p.eng, p.p, senders, receivers, callSeed, got, ok)
 	p.charge(senders, receivers)
 }

@@ -22,6 +22,7 @@ package radio
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/graph"
 )
@@ -48,14 +49,7 @@ func (m Msg) Bits() int {
 	return 8 + uintBits(m.A) + uintBits(m.B) + uintBits(m.C) + uintBits(m.Hdr)
 }
 
-func uintBits(x uint64) int {
-	n := 0
-	for x > 0 {
-		n++
-		x >>= 1
-	}
-	return n
-}
+func uintBits(x uint64) int { return bits.Len64(x) }
 
 // TX is a transmission request: device ID plus message.
 type TX struct {
@@ -86,6 +80,7 @@ type Engine struct {
 	transmits []int64
 
 	maxMsgBits    int
+	msgBitsSet    bool // maxMsgBits was fixed by option; Reset keeps it
 	msgViolations int64
 	cd            bool
 
@@ -102,16 +97,16 @@ type Option func(*Engine)
 // are still delivered (so simulations proceed) but counted; tests assert the
 // violation counter stays zero. Zero disables the check (RN[∞]).
 func WithMaxMsgBits(b int) Option {
-	return func(e *Engine) { e.maxMsgBits = b }
+	return func(e *Engine) { e.maxMsgBits, e.msgBitsSet = b, true }
 }
 
 // DefaultMsgBits returns the default RN[O(log n)] budget used by protocol
 // code: 8·⌈log₂(n+1)⌉ + 80 bits, enough for a kind tag, three O(log n)-bit
 // fields and one 64-bit shared-randomness seed.
 func DefaultMsgBits(n int) int {
-	lg := 1
-	for 1<<lg <= n {
-		lg++
+	lg := graph.Log2Ceil(n + 1)
+	if lg < 1 {
+		lg = 1
 	}
 	return 8*lg + 80
 }
@@ -127,20 +122,46 @@ func WithCollisionDetection() Option {
 
 // NewEngine builds an engine over graph g.
 func NewEngine(g *graph.Graph, opts ...Option) *Engine {
-	n := g.N()
-	e := &Engine{
-		g:          g,
-		energy:     make([]int64, n),
-		listens:    make([]int64, n),
-		transmits:  make([]int64, n),
-		maxMsgBits: DefaultMsgBits(n),
-		cnt:        make([]int32, n),
-		from:       make([]int32, n),
-	}
+	e := &Engine{}
 	for _, o := range opts {
 		o(e)
 	}
+	e.Reset(g)
 	return e
+}
+
+// Reset re-targets the engine at g, zeroing all meters, the clock and the
+// step scratch. It reuses the engine's allocations whenever g is no larger
+// than any graph the engine has seen, so one engine can serve many trials of
+// same-size instances without allocating; the trial harness relies on this.
+// An engine after Reset(g) is indistinguishable from NewEngine(g) with the
+// same options.
+func (e *Engine) Reset(g *graph.Graph) {
+	n := g.N()
+	e.g = g
+	if cap(e.cnt) < n {
+		e.energy = make([]int64, n)
+		e.listens = make([]int64, n)
+		e.transmits = make([]int64, n)
+		e.cnt = make([]int32, n)
+		e.from = make([]int32, n)
+	} else {
+		e.energy = e.energy[:n]
+		e.listens = e.listens[:n]
+		e.transmits = e.transmits[:n]
+		e.cnt = e.cnt[:n]
+		e.from = e.from[:n]
+		for i := 0; i < n; i++ {
+			e.energy[i], e.listens[i], e.transmits[i] = 0, 0, 0
+			e.cnt[i], e.from[i] = 0, 0
+		}
+	}
+	e.touched = e.touched[:0]
+	e.round = 0
+	e.msgViolations = 0
+	if !e.msgBitsSet {
+		e.maxMsgBits = DefaultMsgBits(n)
+	}
 }
 
 // Graph returns the underlying topology.
@@ -221,7 +242,8 @@ func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
 	if len(out) != len(listeners) {
 		panic(fmt.Sprintf("radio: out length %d != listeners length %d", len(out), len(listeners)))
 	}
-	// Mark transmissions into neighbor counters.
+	// Mark transmissions into neighbor counters, recording every counter the
+	// first time it is touched so teardown never re-walks a neighborhood.
 	for i := range tx {
 		t := &tx[i]
 		if e.cnt[t.ID] == -1 {
@@ -234,6 +256,9 @@ func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
 		e.transmits[t.ID]++
 		for _, u := range e.g.Neighbors(t.ID) {
 			if e.cnt[u] >= 0 {
+				if e.cnt[u] == 0 {
+					e.touched = append(e.touched, u)
+				}
 				e.cnt[u]++
 				e.from[u] = int32(i)
 			}
@@ -257,12 +282,9 @@ func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
 			out[i] = RX{} // silence, or collision without CD: no feedback
 		}
 	}
-	// Reset scratch: counters touched by transmissions.
+	// Reset scratch: exactly the counters recorded during the mark phase.
 	for _, t := range e.touched {
 		e.cnt[t] = 0
-		for _, u := range e.g.Neighbors(t) {
-			e.cnt[u] = 0
-		}
 	}
 	e.touched = e.touched[:0]
 	e.round++

@@ -1,0 +1,14 @@
+// Package scratch holds the tiny helpers shared by the reusable-buffer
+// ("scratch") types across the simulation packages.
+package scratch
+
+// Grow returns s[:n], reallocating only when capacity is insufficient. It is
+// the resize primitive behind every pooled buffer: steady-state callers that
+// have reached their working size get their old backing array back, so hot
+// loops stop allocating once warm.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

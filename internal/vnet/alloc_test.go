@@ -1,0 +1,77 @@
+package vnet
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/lbnet"
+	"repro/internal/radio"
+)
+
+// buildVNet assembles a small grid-backed virtual network for the
+// allocation regression tests.
+func buildAllocVNet(t testing.TB) (*VNet, *graph.Graph) {
+	t.Helper()
+	g, ok := graph.Named("grid", 144, 1)
+	if !ok {
+		t.Fatal("grid family missing")
+	}
+	base := lbnet.NewUnitNet(g, 0, 1)
+	cl := cluster.Build(base, cluster.DefaultConfig(g.N(), 4), 1)
+	return New(base, cl), g
+}
+
+// TestDowncastUpcastZeroAllocs asserts the steady-state cast paths —
+// Downcast and Upcast over VNet-owned scratch — allocate nothing once the
+// scratch slices have reached their working size.
+func TestDowncastUpcastZeroAllocs(t *testing.T) {
+	vn, g := buildAllocVNet(t)
+	nc := vn.N()
+	part := make([]bool, nc)
+	has := make([]bool, nc)
+	msgs := make([]radio.Msg, nc)
+	for c := 0; c < nc; c++ {
+		part[c], has[c] = true, true
+		msgs[c] = radio.Msg{Kind: MsgCast, A: uint64(c)}
+	}
+	memberGot := make([]radio.Msg, g.N())
+	memberOk := make([]bool, g.N())
+	clusterGot := make([]radio.Msg, nc)
+	clusterOk := make([]bool, nc)
+
+	// Warm every scratch slice to its working size.
+	vn.Downcast(part, has, msgs, memberGot, memberOk)
+	vn.Upcast(part, memberOk, memberGot, clusterGot, clusterOk)
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		vn.Downcast(part, has, msgs, memberGot, memberOk)
+	}); allocs != 0 {
+		t.Fatalf("Downcast allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		vn.Upcast(part, memberOk, memberGot, clusterGot, clusterOk)
+	}); allocs != 0 {
+		t.Fatalf("Upcast allocates %v per call in steady state, want 0", allocs)
+	}
+}
+
+// TestVirtualLocalBroadcastZeroAllocs asserts the simulated Local-Broadcast
+// (Lemma 3.2: three casts plus one parent LB) allocates nothing in steady
+// state after the first call has sized the scratch.
+func TestVirtualLocalBroadcastZeroAllocs(t *testing.T) {
+	vn, _ := buildAllocVNet(t)
+	if vn.N() < 2 {
+		t.Skip("degenerate clustering")
+	}
+	senders := []radio.TX{{ID: 0, Msg: radio.Msg{Kind: MsgCast, A: 7}}}
+	receivers := []int32{1}
+	got := make([]radio.Msg, 1)
+	ok := make([]bool, 1)
+	vn.LocalBroadcast(senders, receivers, got, ok) // warm scratch
+	if allocs := testing.AllocsPerRun(20, func() {
+		vn.LocalBroadcast(senders, receivers, got, ok)
+	}); allocs != 0 {
+		t.Fatalf("virtual LocalBroadcast allocates %v per call in steady state, want 0", allocs)
+	}
+}

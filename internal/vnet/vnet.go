@@ -22,7 +22,7 @@
 package vnet
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
@@ -53,19 +53,34 @@ type VNet struct {
 	// member sent into. Tests assert it stays zero under default parameters.
 	castFailures int64
 
-	// Scratch (parent-sized and cluster-sized).
+	// Scratch (parent-sized and cluster-sized). All of it is owned by the
+	// VNet and reused across calls, so the steady-state cast and
+	// LocalBroadcast paths allocate nothing.
 	memberMsg   []radio.Msg
 	memberHas   []bool
 	phase2Got   []radio.Msg
 	phase2Ok    []bool
 	partScratch []bool
 	slotBucket  [][]int32
+	slotDepth   [][]int32
 	slotUsed    []bool
+	steps       []int32
+	stageCap    []int32
 	txScratch   []radio.TX
 	rxScratch   []int32
 	gotScratch  []radio.Msg
 	okScratch   []bool
 	active      []int32
+	lbMsg       []radio.Msg // LocalBroadcast: per-cluster sender payloads
+	lbHas       []bool
+	lbGot       []radio.Msg // LocalBroadcast: per-cluster upcast results
+	lbOk        []bool
+	lbPartR     []bool
+
+	// Persistent direction scratch: cast receives these by pointer so the
+	// castDirection interface conversion never heap-allocates.
+	down castDown
+	up   castUp
 }
 
 // New builds the virtual network for clustering cl of the parent net.
@@ -86,9 +101,16 @@ func New(parent lbnet.Net, cl *cluster.Clustering) *VNet {
 		phase2Ok:    make([]bool, pn),
 		partScratch: make([]bool, nc),
 		slotBucket:  make([][]int32, cl.Cfg.SubsetLen),
+		slotDepth:   make([][]int32, cl.Cfg.SubsetLen),
 		slotUsed:    make([]bool, cl.Cfg.SubsetLen),
+		stageCap:    make([]int32, cl.Cfg.SubsetLen),
 		gotScratch:  make([]radio.Msg, pn),
 		okScratch:   make([]bool, pn),
+		lbMsg:       make([]radio.Msg, nc),
+		lbHas:       make([]bool, nc),
+		lbGot:       make([]radio.Msg, nc),
+		lbOk:        make([]bool, nc),
+		lbPartR:     make([]bool, nc),
 	}
 	v.membersAtLayer = make([][][]int32, nc)
 	for c := 0; c < nc; c++ {
@@ -179,7 +201,8 @@ func (v *VNet) unwrap(m radio.Msg, want int32) (radio.Msg, bool) {
 // without a message (has[c] false) still listen on schedule. The call always
 // consumes CastLBs() parent LB units.
 func (v *VNet) Downcast(part, has []bool, clusterMsg []radio.Msg, memberGot []radio.Msg, memberOk []bool) {
-	v.cast(part, castDown{v: v, has: has, clusterMsg: clusterMsg, memberGot: memberGot, memberOk: memberOk})
+	v.down = castDown{v: v, has: has, clusterMsg: clusterMsg, memberGot: memberGot, memberOk: memberOk}
+	v.cast(part, &v.down)
 }
 
 // Upcast delivers, for every participating cluster with at least one member
@@ -187,10 +210,16 @@ func (v *VNet) Downcast(part, has []bool, clusterMsg []radio.Msg, memberGot []ra
 // Results land in clusterGot/clusterOk indexed by cluster. The call always
 // consumes CastLBs() parent LB units.
 func (v *VNet) Upcast(part []bool, memberHas []bool, memberMsg []radio.Msg, clusterGot []radio.Msg, clusterOk []bool) {
-	v.cast(part, castUp{v: v, memberHas: memberHas, memberMsg: memberMsg, clusterGot: clusterGot, clusterOk: clusterOk})
+	v.up = castUp{v: v, memberHas: memberHas, memberMsg: memberMsg, clusterGot: clusterGot, clusterOk: clusterOk}
+	v.cast(part, &v.up)
 }
 
-// castDirection abstracts the two cast directions over one schedule.
+// castDirection abstracts the two cast directions over one schedule. Its
+// methods are deliberately coarse — one call per cluster (collect) and one
+// per executed slot (deliver) rather than one per member — so the member
+// loops run devirtualized on direct field accesses; with per-member
+// interface dispatch the cast loop was measurably dominated by call
+// overhead.
 type castDirection interface {
 	// stages returns the stage indices in execution order.
 	stageSeq(maxStage int32) (from, to, step int32)
@@ -200,12 +229,16 @@ type castDirection interface {
 	recvLayer(stage int32) int32
 	// init prepares per-member state before the stages run.
 	init()
-	// senderMsg returns the message member u of cluster c sends, if any.
-	senderMsg(u, c int32) (radio.Msg, bool)
-	// wantsListen reports whether member u of cluster c should listen.
-	wantsListen(u, c int32) bool
-	// deliver records a successful reception at member u of cluster c.
-	deliver(u, c int32, m radio.Msg)
+	// collect appends, for every cluster in the slot bucket, the stage's
+	// transmissions (members at sLayer holding a message) to v.txScratch
+	// and its listeners (members at rLayer without one) to v.rxScratch.
+	// depths carries maxLayerOf per bucket entry so out-of-range clusters
+	// are skipped on one compare.
+	collect(bucket, depths []int32, sLayer, rLayer int32)
+	// deliver records the results of one executed slot: got/ok are indexed
+	// like v.rxScratch, and foreign-cluster messages are filtered by the
+	// transport header.
+	deliver(got []radio.Msg, ok []bool)
 	// finish runs after the stages to tally failures.
 	finish(part []bool)
 }
@@ -218,11 +251,11 @@ type castDown struct {
 	memberOk   []bool
 }
 
-func (d castDown) stageSeq(maxStage int32) (int32, int32, int32) { return 1, maxStage, 1 }
-func (d castDown) senderLayer(stage int32) int32                 { return stage - 1 }
-func (d castDown) recvLayer(stage int32) int32                   { return stage }
+func (d *castDown) stageSeq(maxStage int32) (int32, int32, int32) { return 1, maxStage, 1 }
+func (d *castDown) senderLayer(stage int32) int32                 { return stage - 1 }
+func (d *castDown) recvLayer(stage int32) int32                   { return stage }
 
-func (d castDown) init() {
+func (d *castDown) init() {
 	for i := range d.memberGot {
 		d.memberGot[i], d.memberOk[i] = radio.Msg{}, false
 	}
@@ -235,21 +268,52 @@ func (d castDown) init() {
 	}
 }
 
-func (d castDown) senderMsg(u, c int32) (radio.Msg, bool) {
-	if d.memberOk[u] {
-		return d.memberGot[u], true
+func (d *castDown) collect(bucket, depths []int32, sLayer, rLayer int32) {
+	v := d.v
+	memberOk, memberGot := d.memberOk, d.memberGot
+	membersAtLayer := v.membersAtLayer
+	hdrBits := v.hdrBits
+	tx, rx := v.txScratch, v.rxScratch
+	for k, c := range bucket {
+		maxL := depths[k]
+		if sLayer > maxL && rLayer > maxL {
+			continue
+		}
+		ml := membersAtLayer[c]
+		if sLayer >= 0 && sLayer <= maxL {
+			for _, u := range ml[sLayer] {
+				if memberOk[u] {
+					tx = append(tx, radio.TX{ID: u, Msg: memberGot[u]})
+					m := &tx[len(tx)-1].Msg
+					m.Hdr = m.Hdr<<hdrBits | uint64(c+1)
+				}
+			}
+		}
+		if rLayer >= 0 && rLayer <= maxL {
+			for _, u := range ml[rLayer] {
+				if !memberOk[u] {
+					rx = append(rx, u)
+				}
+			}
+		}
 	}
-	return radio.Msg{}, false
+	v.txScratch, v.rxScratch = tx, rx
 }
 
-func (d castDown) wantsListen(u, c int32) bool { return !d.memberOk[u] }
-
-func (d castDown) deliver(u, c int32, m radio.Msg) {
-	d.memberGot[u] = m
-	d.memberOk[u] = true
+func (d *castDown) deliver(got []radio.Msg, ok []bool) {
+	v := d.v
+	for i, u := range v.rxScratch {
+		if !ok[i] {
+			continue
+		}
+		if m, mine := v.unwrap(got[i], v.cl.ClusterOf[u]); mine {
+			d.memberGot[u] = m
+			d.memberOk[u] = true
+		}
+	}
 }
 
-func (d castDown) finish(part []bool) {
+func (d *castDown) finish(part []bool) {
 	// A member of a participating cluster whose center had a message but
 	// who didn't receive it is a divergence event.
 	for c := range part {
@@ -274,11 +338,11 @@ type castUp struct {
 	clusterOk  []bool
 }
 
-func (u castUp) stageSeq(maxStage int32) (int32, int32, int32) { return maxStage, 1, -1 }
-func (u castUp) senderLayer(stage int32) int32                 { return stage }
-func (u castUp) recvLayer(stage int32) int32                   { return stage - 1 }
+func (u *castUp) stageSeq(maxStage int32) (int32, int32, int32) { return maxStage, 1, -1 }
+func (u *castUp) senderLayer(stage int32) int32                 { return stage }
+func (u *castUp) recvLayer(stage int32) int32                   { return stage - 1 }
 
-func (u castUp) init() {
+func (u *castUp) init() {
 	v := u.v
 	copy(v.memberMsg, u.memberMsg)
 	copy(v.memberHas, u.memberHas)
@@ -287,21 +351,52 @@ func (u castUp) init() {
 	}
 }
 
-func (u castUp) senderMsg(m, c int32) (radio.Msg, bool) {
-	if u.v.memberHas[m] {
-		return u.v.memberMsg[m], true
+func (u *castUp) collect(bucket, depths []int32, sLayer, rLayer int32) {
+	v := u.v
+	memberHas, memberMsg := v.memberHas, v.memberMsg
+	membersAtLayer := v.membersAtLayer
+	hdrBits := v.hdrBits
+	tx, rx := v.txScratch, v.rxScratch
+	for k, c := range bucket {
+		maxL := depths[k]
+		if sLayer > maxL && rLayer > maxL {
+			continue
+		}
+		ml := membersAtLayer[c]
+		if sLayer >= 0 && sLayer <= maxL {
+			for _, m := range ml[sLayer] {
+				if memberHas[m] {
+					tx = append(tx, radio.TX{ID: m, Msg: memberMsg[m]})
+					w := &tx[len(tx)-1].Msg
+					w.Hdr = w.Hdr<<hdrBits | uint64(c+1)
+				}
+			}
+		}
+		if rLayer >= 0 && rLayer <= maxL {
+			for _, m := range ml[rLayer] {
+				if !memberHas[m] {
+					rx = append(rx, m)
+				}
+			}
+		}
 	}
-	return radio.Msg{}, false
+	v.txScratch, v.rxScratch = tx, rx
 }
 
-func (u castUp) wantsListen(m, c int32) bool { return !u.v.memberHas[m] }
-
-func (u castUp) deliver(m, c int32, msg radio.Msg) {
-	u.v.memberMsg[m] = msg
-	u.v.memberHas[m] = true
+func (u *castUp) deliver(got []radio.Msg, ok []bool) {
+	v := u.v
+	for i, m := range v.rxScratch {
+		if !ok[i] {
+			continue
+		}
+		if msg, mine := v.unwrap(got[i], v.cl.ClusterOf[m]); mine {
+			v.memberMsg[m] = msg
+			v.memberHas[m] = true
+		}
+	}
 }
 
-func (u castUp) finish(part []bool) {
+func (u *castUp) finish(part []bool) {
 	v := u.v
 	for c := range part {
 		if !part[c] {
@@ -333,55 +428,64 @@ func (v *VNet) cast(part []bool, dir castDirection) {
 	cfg := v.cl.Cfg
 	dir.init()
 	executed := int64(0)
-	from, to, stepDir := dir.stageSeq(int32(cfg.TMax))
 
-	// Active clusters: participating, with any members at all relevant
-	// layers. Rebuilt cheaply per stage from the participating list.
+	// Active clusters: the participating list, bucketed by subset slot ONCE
+	// for the whole cast. The schedule (which slots exist and which clusters
+	// share them) is stage-invariant; only the sender/receiver layers change
+	// per stage, and the member loops below already guard on them, so a
+	// cluster whose layers are out of range for a stage simply contributes
+	// nothing to that stage's slot. Slots in which nothing happens are
+	// skipped without a parent call, exactly as before.
+	//
+	// Cluster c is relevant to stage s iff s ≤ maxLayerOf[c]+1 (in both
+	// directions min(senderLayer, recvLayer) = s-1), so relevance is a
+	// prefix property in the stage number: maxStage clamps the whole loop
+	// to the deepest cluster and stageCap[j] skips a slot once every
+	// cluster sharing it is out of range. Stages and slots skipped this way
+	// executed no parent call before either, so the trailing SkipLB —
+	// which charges CastLBs() minus the executed count — is unchanged.
 	v.active = v.active[:0]
 	for c := int32(0); c < int32(v.N()); c++ {
 		if part[c] {
 			v.active = append(v.active, c)
 		}
 	}
+	v.steps = v.steps[:0]
+	maxStage := int32(0)
+	for _, c := range v.active {
+		depth := v.maxLayerOf[c] + 1
+		if depth > maxStage {
+			maxStage = depth
+		}
+		for _, j := range v.subsets[c] {
+			if !v.slotUsed[j] {
+				v.slotUsed[j] = true
+				v.steps = append(v.steps, j)
+			}
+			v.slotBucket[j] = append(v.slotBucket[j], c)
+			v.slotDepth[j] = append(v.slotDepth[j], v.maxLayerOf[c])
+			if depth > v.stageCap[j] {
+				v.stageCap[j] = depth
+			}
+		}
+	}
+	slices.Sort(v.steps)
+	if maxStage > int32(cfg.TMax) {
+		maxStage = int32(cfg.TMax)
+	}
+	from, to, stepDir := dir.stageSeq(maxStage)
 	for stage := from; ; stage += stepDir {
 		if (stepDir > 0 && stage > to) || (stepDir < 0 && stage < to) {
 			break
 		}
 		sLayer, rLayer := dir.senderLayer(stage), dir.recvLayer(stage)
-		// Collect clusters relevant to this stage and bucket them by slot.
-		var steps []int32
-		for _, c := range v.active {
-			if sLayer > v.maxLayerOf[c] && rLayer > v.maxLayerOf[c] {
+		for _, j := range v.steps {
+			if stage > v.stageCap[j] {
 				continue
 			}
-			for _, j := range v.subsets[c] {
-				if !v.slotUsed[j] {
-					v.slotUsed[j] = true
-					steps = append(steps, j)
-				}
-				v.slotBucket[j] = append(v.slotBucket[j], c)
-			}
-		}
-		sort.Slice(steps, func(a, b int) bool { return steps[a] < steps[b] })
-		for _, j := range steps {
 			v.txScratch = v.txScratch[:0]
 			v.rxScratch = v.rxScratch[:0]
-			for _, c := range v.slotBucket[j] {
-				if sLayer >= 0 && sLayer <= v.maxLayerOf[c] {
-					for _, u := range v.membersAtLayer[c][sLayer] {
-						if m, sok := dir.senderMsg(u, c); sok {
-							v.txScratch = append(v.txScratch, radio.TX{ID: u, Msg: v.wrap(m, c)})
-						}
-					}
-				}
-				if rLayer >= 0 && rLayer <= v.maxLayerOf[c] {
-					for _, u := range v.membersAtLayer[c][rLayer] {
-						if dir.wantsListen(u, c) {
-							v.rxScratch = append(v.rxScratch, u)
-						}
-					}
-				}
-			}
+			dir.collect(v.slotBucket[j], v.slotDepth[j], sLayer, rLayer)
 			if len(v.txScratch) == 0 && len(v.rxScratch) == 0 {
 				continue // schedule slot with nothing to do; skipped below
 			}
@@ -389,22 +493,17 @@ func (v *VNet) cast(part []bool, dir castDirection) {
 			ok := v.okScratch[:len(v.rxScratch)]
 			v.parent.LocalBroadcast(v.txScratch, v.rxScratch, got, ok)
 			executed++
-			for i, u := range v.rxScratch {
-				if !ok[i] {
-					continue
-				}
-				// Filter by transport header: foreign clusters' messages in
-				// the same slot are discarded (the receiver retries in its
-				// next subset slot).
-				if m, mine := v.unwrap(got[i], v.cl.ClusterOf[u]); mine {
-					dir.deliver(u, v.cl.ClusterOf[u], m)
-				}
-			}
+			// Delivery filters by transport header: foreign clusters'
+			// messages in the same slot are discarded (the receiver retries
+			// in its next subset slot).
+			dir.deliver(got, ok)
 		}
-		for _, j := range steps {
-			v.slotUsed[j] = false
-			v.slotBucket[j] = v.slotBucket[j][:0]
-		}
+	}
+	for _, j := range v.steps {
+		v.slotUsed[j] = false
+		v.slotBucket[j] = v.slotBucket[j][:0]
+		v.slotDepth[j] = v.slotDepth[j][:0]
+		v.stageCap[j] = 0
 	}
 	if skip := v.CastLBs() - executed; skip > 0 {
 		v.parent.SkipLB(skip)
@@ -420,13 +519,8 @@ func (v *VNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio
 	if len(got) != len(receivers) || len(ok) != len(receivers) {
 		panic("vnet: result slices must match receivers length")
 	}
-	nc := v.N()
 	partS := v.partScratch
-	for i := range partS {
-		partS[i] = false
-	}
-	clusterMsg := make([]radio.Msg, nc)
-	hasMsg := make([]bool, nc)
+	clusterMsg, hasMsg := v.lbMsg, v.lbHas
 	for i := range senders {
 		partS[senders[i].ID] = true
 		hasMsg[senders[i].ID] = true
@@ -434,23 +528,23 @@ func (v *VNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio
 	}
 	// Phase 1: Downcast sender payloads to sender-cluster members.
 	v.Downcast(partS, hasMsg, clusterMsg, v.memberMsg, v.memberHas)
-	memberPayload := append([]radio.Msg(nil), v.memberMsg...)
-	memberHasPayload := append([]bool(nil), v.memberHas...)
 
 	// Phase 2: one parent Local-Broadcast from all sender-cluster members to
 	// all receiver-cluster members. Participant lists are built from member
-	// lists so the cost stays proportional to participation.
+	// lists so the cost stays proportional to participation. The payloads in
+	// v.memberMsg/v.memberHas are stable here: nothing mutates them between
+	// the phase-1 Downcast and this TX build.
 	v.txScratch = v.txScratch[:0]
 	for i := range senders {
 		for _, layerMembers := range v.membersAtLayer[senders[i].ID] {
 			for _, u := range layerMembers {
-				if memberHasPayload[u] {
-					v.txScratch = append(v.txScratch, radio.TX{ID: u, Msg: memberPayload[u]})
+				if v.memberHas[u] {
+					v.txScratch = append(v.txScratch, radio.TX{ID: u, Msg: v.memberMsg[u]})
 				}
 			}
 		}
 	}
-	partR := make([]bool, nc)
+	partR := v.lbPartR
 	v.rxScratch = v.rxScratch[:0]
 	for _, c := range receivers {
 		if partS[c] {
@@ -469,8 +563,7 @@ func (v *VNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio
 	}
 
 	// Phase 3: Upcast one received message per receiving cluster.
-	clusterGot := make([]radio.Msg, nc)
-	clusterOk := make([]bool, nc)
+	clusterGot, clusterOk := v.lbGot, v.lbOk
 	v.Upcast(partR, v.phase2Ok, v.phase2Got, clusterGot, clusterOk)
 
 	// Phase 4: Downcast the result so every member learns it.
@@ -478,6 +571,17 @@ func (v *VNet) LocalBroadcast(senders []radio.TX, receivers []int32, got []radio
 
 	for i, c := range receivers {
 		got[i], ok[i] = clusterGot[c], clusterOk[c]
+	}
+	// Clear the participant scratch sparsely — only the entries this call
+	// set — so the next call starts clean at cost proportional to
+	// participation, not cluster count.
+	for i := range senders {
+		c := senders[i].ID
+		partS[c], hasMsg[c] = false, false
+		clusterMsg[c] = radio.Msg{}
+	}
+	for _, c := range receivers {
+		partR[c] = false
 	}
 	// Meters: every sender or receiver cluster participated in one virtual LB.
 	for i := range senders {

@@ -79,6 +79,15 @@ func WithParams(p core.Params) Option {
 	return func(nw *Network) { nw.params = &p }
 }
 
+// WithEngine supplies a caller-owned radio engine for CostPhysical mode: the
+// network resets and reuses it instead of allocating its own. The harness's
+// pooled worker contexts use this to share one engine (and its scratch)
+// across trials. The engine must not be used elsewhere while the Network is
+// live. Ignored under CostUnit.
+func WithEngine(e *radio.Engine) Option {
+	return func(nw *Network) { nw.extEng = e }
+}
+
 // Network is a radio network ready to run the paper's algorithms. Meters
 // accumulate across calls; use Reset or a fresh Network to separate runs.
 type Network struct {
@@ -87,6 +96,7 @@ type Network struct {
 	model  CostModel
 	passes int
 	params *core.Params
+	extEng *radio.Engine
 
 	base lbnet.Net
 	eng  *radio.Engine
@@ -111,19 +121,18 @@ func NewNetwork(g *Graph, seed uint64, opts ...Option) *Network {
 }
 
 // log2ceil returns ⌈log₂ n⌉: the smallest lg with 2^lg >= n (0 for n <= 1).
-func log2ceil(n int) int {
-	lg := 0
-	for 1<<lg < n {
-		lg++
-	}
-	return lg
-}
+func log2ceil(n int) int { return graph.Log2Ceil(n) }
 
 // Reset replaces the underlying network, zeroing all meters.
 func (nw *Network) Reset() {
 	switch nw.model {
 	case CostPhysical:
-		nw.eng = radio.NewEngine(nw.g)
+		if nw.extEng != nil {
+			nw.extEng.Reset(nw.g)
+			nw.eng = nw.extEng
+		} else {
+			nw.eng = radio.NewEngine(nw.g)
+		}
 		nw.base = lbnet.NewPhysNet(nw.eng, decay.ParamsFor(nw.g.N(), nw.passes), rng.Derive(nw.seed, 0xba5e))
 	default:
 		nw.eng = nil
