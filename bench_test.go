@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/decay"
@@ -44,6 +45,27 @@ func requireExact(b *testing.B, r harness.Result) {
 	b.Helper()
 	if bad := r.Metrics["mislabeled"]; bad != 0 {
 		b.Fatalf("%v mislabeled", bad)
+	}
+}
+
+// BenchmarkRegistry runs every registered algorithm on one shared small
+// instance through the harness's registry dispatch — the same path sweeps
+// use. The suite is enumerated from repro.Algorithms(), so a newly
+// registered algorithm gets a tracked benchmark without touching this file.
+func BenchmarkRegistry(b *testing.B) {
+	ctx := harness.NewContext()
+	for _, alg := range repro.Algorithms() {
+		sc := &harness.Scenario{
+			Name:      "bench-registry-" + alg.Name(),
+			Instances: []harness.Instance{{Family: "grid", N: 49}},
+			Algo:      harness.Algo(alg.Name()),
+		}
+		inst := sc.Instances[0]
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				execTrial(b, ctx, sc, inst, i)
+			}
+		})
 	}
 }
 

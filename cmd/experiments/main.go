@@ -79,6 +79,7 @@ func main() {
 		}
 	}
 	all := []experiment{
+		{"E0", "algorithm registry — every registered workload, one smoke table", runE0},
 		{"E1", "Theorem 4.1 — Recursive-BFS energy and time", runE1},
 		{"E2", "Lemma 2.4 — Local-Broadcast (Decay) costs", runE2},
 		{"E3", "Lemma 2.5 — MPX clustering costs and shape", runE3},

@@ -1,14 +1,15 @@
-// Command radiobfs runs one of the paper's algorithms on a generated radio
-// network and prints the labels and cost meters.
+// Command radiobfs runs one of the registered algorithms on a generated
+// radio network and prints its structured result and cost meters.
 //
 // Usage:
 //
 //	radiobfs -graph cycle -n 256 -algo recursive -source 0 -maxdist 128
 //	radiobfs -graph geometric -n 400 -algo diam2
+//	radiobfs -algo help            # list every registered algorithm
 //
-// Algorithms: recursive (Recursive-BFS, §4), baseline (Decay BFS),
-// diam2 (Theorem 5.3), diam32 (Theorem 5.4), verify (BFS then gradient
-// verification).
+// Algorithms are resolved from the repro registry (repro.Algorithms), so a
+// newly registered algorithm is runnable here without touching this file;
+// -algo help enumerates them with their parameter names.
 //
 // The sweep subcommand drives the parallel trial runner (internal/harness)
 // over a cross product of families, sizes, algorithms, and seeds, and
@@ -22,10 +23,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/graph"
@@ -45,61 +51,89 @@ func main() {
 	}
 }
 
+// printAlgorithms renders the registry listing shown by -algo help.
+func printAlgorithms(w io.Writer) {
+	fmt.Fprintln(w, "registered algorithms:")
+	for _, a := range repro.Algorithms() {
+		params := "none"
+		if ps := a.Params(); len(ps) > 0 {
+			names := make([]string, len(ps))
+			for i, p := range ps {
+				names[i] = p.Name
+			}
+			params = strings.Join(names, ", ")
+		}
+		fmt.Fprintf(w, "  %-10s %s\n             params: %s\n", a.Name(), a.Doc(), params)
+	}
+	aliases := repro.Aliases()
+	names := make([]string, 0, len(aliases))
+	for alias := range aliases {
+		names = append(names, alias)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "aliases:")
+	for _, alias := range names {
+		fmt.Fprintf(w, "  %-14s → %s\n", alias, aliases[alias])
+	}
+}
+
 func run() error {
 	family := flag.String("graph", "grid", "graph family: "+strings.Join(graph.FamilyNames(), ", "))
 	n := flag.Int("n", 256, "number of devices")
-	algo := flag.String("algo", "recursive", "algorithm: recursive, baseline, diam2, diam32, verify")
-	source := flag.Int("source", 0, "BFS source vertex")
+	algoName := flag.String("algo", "recursive", "registered algorithm ('help' lists all): "+strings.Join(repro.AlgorithmNames(), ", "))
+	source := flag.Int("source", 0, "BFS source / base-station vertex")
 	maxDist := flag.Int("maxdist", 0, "search radius (0 = n)")
+	origin := flag.Int("origin", -1, "alarm origin vertex (-1 = last vertex)")
+	period := flag.Int("period", 0, "polling period for poll/alarm (0 = default)")
 	seed := flag.Uint64("seed", 1, "root seed")
 	physical := flag.Bool("physical", false, "charge real radio slots instead of LB units")
 	showLabels := flag.Bool("labels", false, "print the per-vertex labels")
 	flag.Parse()
 
-	g, err := repro.NewGraph(*family, *n, *seed)
+	if *algoName == "help" {
+		printAlgorithms(os.Stdout)
+		return nil
+	}
+	alg, err := repro.Get(*algoName)
 	if err != nil {
 		return err
 	}
-	if *maxDist <= 0 {
-		*maxDist = g.N()
+	g, err := repro.NewGraph(*family, *n, *seed)
+	if err != nil {
+		return err
 	}
 	var opts []repro.Option
 	if *physical {
 		opts = append(opts, repro.WithCostModel(repro.CostPhysical))
 	}
-	nw := repro.NewNetwork(g, *seed, opts...)
-	fmt.Printf("graph=%s n=%d m=%d maxdeg=%d\n", *family, g.N(), g.M(), g.MaxDegree())
-
-	var labels []int32
-	switch *algo {
-	case "recursive":
-		labels, err = nw.BFS(int32(*source), *maxDist)
-	case "baseline":
-		labels = nw.BFSBaseline(int32(*source), *maxDist)
-	case "verify":
-		labels, err = nw.BFS(int32(*source), *maxDist)
-		if err == nil {
-			bad := nw.VerifyLabeling(labels, *maxDist)
-			fmt.Printf("gradient verification violations: %d\n", bad)
-		}
-	case "diam2":
-		var d int32
-		d, err = nw.Diameter2Approx()
-		fmt.Printf("2-approximate diameter: %d (true: %d)\n", d, graph.Diameter(g))
-	case "diam32":
-		var d int32
-		d, err = nw.Diameter32Approx()
-		fmt.Printf("3/2-approximate diameter: %d (true: %d)\n", d, graph.Diameter(g))
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
-	}
+	nw, err := repro.NewNetworkE(g, *seed, opts...)
 	if err != nil {
 		return err
 	}
+	if *origin < 0 {
+		*origin = g.N() - 1
+	}
+	req := repro.Request{
+		Source:  int32(*source),
+		MaxDist: *maxDist,
+		Period:  *period,
+		Origin:  int32(*origin),
+	}
 
-	if labels != nil {
+	// Ctrl-C cancels the round loops at the next phase boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("graph=%s n=%d m=%d maxdeg=%d algo=%s\n", *family, g.N(), g.M(), g.MaxDegree(), alg.Name())
+	res, err := alg.Run(ctx, nw, req)
+	if err != nil {
+		return err
+	}
+	alg.Check(nw, req, res)
+
+	if res.Labels != nil {
 		labeled, maxLabel := 0, int32(0)
-		for _, l := range labels {
+		for _, l := range res.Labels {
 			if l >= 0 {
 				labeled++
 				if l > maxLabel {
@@ -109,15 +143,23 @@ func run() error {
 		}
 		fmt.Printf("labeled %d/%d vertices, eccentricity(source) >= %d\n", labeled, g.N(), maxLabel)
 		if *showLabels {
-			for v, l := range labels {
+			for v, l := range res.Labels {
 				fmt.Printf("%d\t%d\n", v, l)
 			}
 		}
 	}
-	rep := nw.Report()
-	fmt.Printf("energy: maxLB=%d totalLB=%d timeLB=%d", rep.MaxLBEnergy, rep.TotalLBEnergy, rep.LBTime)
-	if *physical {
-		fmt.Printf(" physMax=%d physRounds=%d msgViolations=%d", rep.MaxPhysEnergy, rep.PhysRounds, rep.MsgViolations)
+	keys := make([]string, 0, len(res.Values))
+	for k := range res.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s: %g\n", k, res.Values[k])
+	}
+	c := res.Cost
+	fmt.Printf("cost: maxLB=%d totalLB=%d timeLB=%d", c.MaxLBEnergy, c.TotalLBEnergy, c.LBTime)
+	if c.PhysRounds > 0 {
+		fmt.Printf(" physMax=%d physRounds=%d msgViolations=%d", c.MaxPhysEnergy, c.PhysRounds, c.MsgViolations)
 	}
 	fmt.Println()
 	return nil

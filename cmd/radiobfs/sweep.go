@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -13,6 +17,18 @@ import (
 	"repro/internal/harness"
 	"repro/internal/profiling"
 )
+
+// roundObserver tallies simulated round batches across every concurrent
+// trial of a sweep; the total is reported on stderr with the wall time.
+type roundObserver struct {
+	rounds atomic.Int64
+}
+
+func (o *roundObserver) PhaseStart(string) {}
+func (o *roundObserver) PhaseEnd(string)   {}
+func (o *roundObserver) RoundBatch(_ string, n int64) {
+	o.rounds.Add(n)
+}
 
 // runSweep implements `radiobfs sweep`: expand a declarative scenario grid
 // into independent trials, execute them on the harness worker pool, and
@@ -23,13 +39,16 @@ func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	families := fs.String("families", "cycle,grid", "comma-separated graph families: "+strings.Join(graph.FamilyNames(), ", "))
 	sizes := fs.String("sizes", "128,256", "comma-separated instance sizes")
-	algos := fs.String("algos", "recursive", "comma-separated algorithms: recursive, decay, diam2, diam32, verify, poll, alarm")
+	algos := fs.String("algos", "recursive", "comma-separated registered algorithms ('help' lists all): "+strings.Join(repro.AlgorithmNames(), ", "))
+	fs.StringVar(algos, "algo", *algos, "alias of -algos")
 	trials := fs.Int("trials", 4, "independently-seeded trials per (family, size) cell")
 	workers := fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
 	seed := fs.Uint64("seed", 1, "root seed; every trial seed is derived from it")
 	maxDistFrac := fs.Float64("maxdistfrac", 1, "search radius as a fraction of n (BFS algorithms)")
 	period := fs.Int("period", 4, "polling period for poll/alarm")
+	passes := fs.Int("passes", 0, "Decay repetition count for decay (0 = ⌈log₂ n⌉)")
 	physical := fs.Bool("physical", false, "charge real radio slots instead of LB units")
+	progressFlag := fs.Bool("progress", false, "tally simulated rounds via the Observer hook (reported on stderr)")
 	jsonOut := fs.Bool("json", false, "emit aggregated JSON instead of text tables")
 	csvOut := fs.Bool("csv", false, "emit aggregated CSV instead of text tables")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -82,16 +101,42 @@ func runSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	for _, a := range algoNames {
+		if a == "help" {
+			printAlgorithms(os.Stdout)
+			return nil
+		}
+		// Fail on unknown names before any trial runs, with the full listing.
+		if _, err := repro.Get(a); err != nil {
+			return err
+		}
+	}
+
+	// Ctrl-C cancels in-flight trials at the next phase boundary; trials not
+	// yet started fail fast with the context error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var observer *roundObserver
+	if *progressFlag {
+		observer = &roundObserver{}
+	}
+
 	var scenarios []*harness.Scenario
 	for _, a := range algoNames {
-		scenarios = append(scenarios, &harness.Scenario{
+		sc := &harness.Scenario{
 			Name:      a,
 			Instances: harness.Cross(fams, ns, maxDist),
 			Trials:    *trials,
 			Algo:      harness.Algo(a),
 			Cost:      cost,
 			Period:    *period,
-		})
+			Passes:    *passes,
+			Ctx:       ctx,
+		}
+		if observer != nil {
+			sc.Observer = observer
+		}
+		scenarios = append(scenarios, sc)
 	}
 
 	start := time.Now()
@@ -118,6 +163,9 @@ func runSweep(args []string) error {
 		harness.WriteTable(os.Stdout, sums)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d trials, %d errors, %v wall\n", len(results), errs, elapsed.Round(time.Millisecond))
+	if observer != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %d simulated rounds observed\n", observer.rounds.Load())
+	}
 	if errs > 0 {
 		return fmt.Errorf("%d of %d trials failed", errs, len(results))
 	}

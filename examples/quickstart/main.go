@@ -1,8 +1,10 @@
-// Quickstart: build a radio network, run the paper's Recursive-BFS, verify
-// the labeling, and inspect the energy meters.
+// Quickstart: build a radio network, resolve the paper's Recursive-BFS from
+// the algorithm registry, run it, verify the labeling, and inspect the
+// per-run cost report.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,14 +17,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nw := repro.NewNetwork(g, 42)
-
-	labels, err := nw.BFS(0, g.N())
+	nw, err := repro.NewNetworkE(g, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if bad := nw.VerifyLabeling(labels, g.N()); bad != 0 {
-		log.Fatalf("labeling failed verification at %d vertices", bad)
+
+	// Every workload is a registered Algorithm; repro.Algorithms() lists
+	// them all. Run takes a context (cancelable mid-run) and a Request.
+	bfs, err := repro.Get("recursive-bfs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bfs.Run(context.Background(), nw, repro.Request{Source: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := res.Labels
+
+	// The O(1)-energy gradient sweep checks the labeling on the same network.
+	verify, err := repro.Get("verify")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vres, err := verify.Run(context.Background(), nw, repro.Request{Labels: labels})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bad := vres.Values["violations"]; bad != 0 {
+		log.Fatalf("labeling failed verification at %.0f vertices", bad)
 	}
 
 	maxLabel := int32(0)
@@ -31,11 +53,10 @@ func main() {
 			maxLabel = l
 		}
 	}
-	rep := nw.Report()
 	fmt.Printf("BFS labeling of a %d-device grid\n", g.N())
 	fmt.Printf("  deepest label (ecc of base station): %d\n", maxLabel)
-	fmt.Printf("  energy (max LB participations/device): %d\n", rep.MaxLBEnergy)
-	fmt.Printf("  time (Local-Broadcast units):          %d\n", rep.LBTime)
+	fmt.Printf("  energy (max LB participations/device): %d\n", res.Cost.MaxLBEnergy)
+	fmt.Printf("  time (Local-Broadcast units):          %d\n", res.Cost.LBTime)
 	fmt.Printf("  labeling verified by the O(1)-energy gradient sweep\n")
 
 	// The first few rows of the grid, as labeled distances.

@@ -6,9 +6,19 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/lbnet"
+	"repro/internal/progress"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/vnet"
+)
+
+// Progress phase names emitted through Stack.Hooks.
+const (
+	// PhaseRecursive frames one Stack.BFS invocation; its round batches are
+	// the β⁻¹-Local-Broadcast stages of Figure 2.
+	PhaseRecursive = "recursive-bfs"
+	// PhaseTrivial is the base-case wavefront BFS of §4.3.
+	PhaseTrivial = "recursive-bfs/trivial"
 )
 
 // Message kinds used by Recursive-BFS.
@@ -37,6 +47,12 @@ type Stack struct {
 	VNets []*vnet.VNet
 	// Inst collects instrumentation; nil disables it.
 	Inst *Instrumentation
+	// Hooks carries cancellation and progress observation through the round
+	// loops: every stage boundary polls Hooks.Err and, when canceled, BFS
+	// returns its partial labels without starting another phase (meters stay
+	// consistent because accounting happens per Local-Broadcast). The zero
+	// value disables both.
+	Hooks progress.Hooks
 
 	seed uint64
 }
@@ -78,7 +94,12 @@ func (s *Stack) CastFailures() int64 {
 
 // BFS computes, for every vertex of the base network, its hop distance from
 // the source set, or Unreached if it exceeds d. Sources must be non-empty.
+// When the stack's Hooks context is canceled mid-run, the search stops at the
+// next phase boundary and the labels assigned so far are returned; check
+// s.Hooks.Err to distinguish a complete run from a canceled one.
 func (s *Stack) BFS(sources []int32, d int) []int32 {
+	s.Hooks.Start(PhaseRecursive)
+	defer s.Hooks.End(PhaseRecursive)
 	n := s.Base.N()
 	S := make([]bool, n)
 	for _, v := range sources {
@@ -155,6 +176,9 @@ func (s *Stack) recBFS(r int, S, A []bool, d int) []int32 {
 	)
 	stages := ceilDiv(int64(d), invB)
 	for i := int64(0); i < stages; i++ {
+		if s.Hooks.Err() != nil {
+			return dist // canceled: partial labels, meters settled
+		}
 		// Step 4: X_i = active vertices whose cluster might be near the
 		// wavefront.
 		inX := func(v int32) bool { return L[clusterOf[v]] <= invB }
@@ -240,6 +264,7 @@ func (s *Stack) recBFS(r int, S, A []bool, d int) []int32 {
 				U[c] -= invB
 			}
 		}
+		s.Hooks.Rounds(PhaseRecursive, invB)
 	}
 	return dist
 }
@@ -261,6 +286,10 @@ func (s *Stack) trivialBFS(r int, net lbnet.Net, S, A []bool, d int) []int32 {
 	got := make([]radio.Msg, n)
 	ok := make([]bool, n)
 	for k := int32(1); int(k) <= d; k++ {
+		if s.Hooks.Err() != nil {
+			break // canceled: partial labels, meters settled
+		}
+		s.Hooks.Rounds(PhaseTrivial, 1)
 		senders, receivers = senders[:0], receivers[:0]
 		for v := int32(0); v < int32(n); v++ {
 			if !A[v] {

@@ -15,10 +15,15 @@ package decay
 
 import (
 	"repro/internal/graph"
+	"repro/internal/progress"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/scratch"
 )
+
+// PhaseBFS is the progress phase name of the Decay BFS wavefront loop; each
+// round batch is one wavefront step (p.Duration() physical rounds).
+const PhaseBFS = "decay-bfs"
 
 // Params fixes the shape of one Local-Broadcast: Passes repetitions of
 // Slots decay steps. Every Local-Broadcast with the same Params takes
@@ -160,6 +165,17 @@ type BFSResult struct {
 // The returned Dist slice aliases the Scratch and is valid until the next
 // BFS call on the same Scratch; copy it to retain it longer.
 func (s *Scratch) BFS(e *radio.Engine, p Params, srcs []int32, maxDist int, seed uint64) BFSResult {
+	return s.BFSHooked(progress.Hooks{}, e, p, srcs, maxDist, seed)
+}
+
+// BFSHooked is BFS with cancellation and progress observation: the wavefront
+// loop polls h.Err before every step — a canceled context stops the search
+// within one wavefront step and returns the labels assigned so far, with all
+// meters settled — and reports each completed step as a round batch of
+// p.Duration() physical rounds under PhaseBFS.
+func (s *Scratch) BFSHooked(h progress.Hooks, e *radio.Engine, p Params, srcs []int32, maxDist int, seed uint64) BFSResult {
+	h.Start(PhaseBFS)
+	defer h.End(PhaseBFS)
 	n := e.N()
 	start := e.Round()
 	dist := scratch.Grow(s.dist, n)
@@ -183,12 +199,16 @@ func (s *Scratch) BFS(e *radio.Engine, p Params, srcs []int32, maxDist int, seed
 	s.got, s.ok = got, ok
 	senders := s.senders[:0]
 	for k := int32(1); int(k) <= maxDist && len(frontier) > 0 && len(unlabeled) > 0; k++ {
+		if h.Err() != nil {
+			break // canceled: partial labels, meters settled
+		}
 		senders = senders[:0]
 		for _, v := range frontier {
 			senders = append(senders, radio.TX{ID: v, Msg: radio.Msg{Kind: 1, A: uint64(k - 1)}})
 		}
 		s.LocalBroadcast(e, p, senders, unlabeled, rng.Derive(seed, uint64(k)), got[:len(unlabeled)], ok[:len(unlabeled)])
 		res.LBCalls++
+		h.Rounds(PhaseBFS, p.Duration())
 		frontier = frontier[:0]
 		w := 0
 		for j, v := range unlabeled {
@@ -234,7 +254,8 @@ func Broadcast(e *radio.Engine, p Params, src int32, msg radio.Msg, maxDepth int
 
 // ReferenceAgainst reports how many labels in dist disagree with a
 // sequential BFS from srcs on g (label -1 compared against unreachable or
-// distance > maxDist). Used by tests and the experiment harness.
+// distance > maxDist). Used by tests; the registry's decay entry performs
+// the same check through core.VerifyAgainstReference.
 func ReferenceAgainst(g *graph.Graph, srcs []int32, dist []int32, maxDist int) int {
 	ref := graph.MultiSourceBFS(g, srcs)
 	bad := 0

@@ -82,7 +82,7 @@ func ThreeHalvesApprox(st *core.Stack, lead Leader, maxD int, seed uint64) Resul
 	for v := range minToS {
 		minToS[v] = int32(maxD + 1)
 	}
-	for {
+	for st.Hooks.Err() == nil {
 		id, _, found := FindMin(base, tr, int64(n), func(v int32) int64 {
 			if inS[v] && !done[v] {
 				return int64(v)
@@ -126,7 +126,7 @@ func ThreeHalvesApprox(st *core.Stack, lead Leader, maxD int, seed uint64) Resul
 	for v := range done {
 		done[v] = false
 	}
-	for picked := 0; picked < rSize; picked++ {
+	for picked := 0; picked < rSize && st.Hooks.Err() == nil; picked++ {
 		_, m, found := FindMin(base, tr, int64(maxD+2)*int64(n), func(v int32) int64 {
 			if done[v] || distStar[v] < 0 {
 				return KeyInf

@@ -10,9 +10,10 @@
 //
 //   - a Scenario names a workload: a list of graph Instances (family ×
 //     size × search radius), a trial count per instance, a cost model, and
-//     an algorithm — either one of the built-in selectors (Recursive-BFS,
-//     the Decay baseline, the §5 diameter approximations, gradient
-//     verification, the §1 Poll/Alarm applications) or a custom TrialFunc;
+//     an algorithm — either a registered repro.Algorithm resolved by name
+//     (Recursive-BFS, the Decay baseline, the §5 diameter approximations,
+//     gradient verification, the §1 Poll/Alarm applications, plus anything
+//     external packages Register) or a custom TrialFunc;
 //   - a Runner expands scenarios into independent trials and executes them
 //     on a worker pool. The simulation engine is not concurrency-safe, so
 //     parallelism lives strictly at the trial level: every trial builds its
@@ -46,20 +47,23 @@
 package harness
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"repro"
 	"repro/internal/core"
-	"repro/internal/decay"
-	"repro/internal/graph"
+	"repro/internal/radio"
 	"repro/internal/rng"
 )
 
-// Algo selects one of the built-in workloads.
+// Algo names a registered repro.Algorithm (or one of its aliases); the empty
+// string selects Recursive-BFS. The harness has no algorithm knowledge of
+// its own: any entry visible through repro.Get — including ones external
+// packages Register — is a valid selector.
 type Algo string
 
-// The built-in algorithm selectors.
+// Selectors for the built-in registry entries, kept as constants so
+// scenarios are typo-checked at compile time.
 const (
 	// AlgoRecursive runs the paper's Recursive-BFS (§4, Theorem 4.1) and
 	// verifies the labels against a reference BFS.
@@ -145,17 +149,25 @@ type Scenario struct {
 	// Trials is the number of independently-seeded repetitions per
 	// instance (default 1).
 	Trials int
-	// Algo selects a built-in workload; ignored when Run is set.
+	// Algo names the registered repro.Algorithm to run ("" = Recursive-BFS);
+	// ignored when Run is set.
 	Algo Algo
-	// Cost selects the cost model for built-in workloads.
+	// Cost selects the cost model for registry workloads.
 	Cost repro.CostModel
 	// Period is the polling period for AlgoPoll/AlgoAlarm (default 4).
 	Period int
 	// Passes is the Decay repetition count for AlgoDecay (default ⌈log₂ n⌉).
 	Passes int
-	// Params overrides the Recursive-BFS parameters for built-ins.
+	// Params overrides the Recursive-BFS parameters for registry workloads.
 	Params *core.Params
-	// Run, when set, replaces the built-in workload entirely.
+	// Ctx, when non-nil, cancels the scenario: trials poll it at phase
+	// boundaries and stop within one phase, reporting the context error.
+	Ctx context.Context
+	// Observer, when non-nil, streams progress events from every trial's
+	// round loops. Trials of one scenario run concurrently, so it must be
+	// safe for concurrent use.
+	Observer repro.Observer
+	// Run, when set, replaces the registry workload entirely.
 	Run TrialFunc
 	// RunCtx is the context-aware form of Run: it receives the worker's
 	// Context pool. When both are set, RunCtx wins.
@@ -242,15 +254,6 @@ func ExecuteCtx(ctx *Context, sc *Scenario, t Trial) Result {
 	return res
 }
 
-// log2Ceil returns ⌈log₂ n⌉ for n ≥ 1, with a floor of 1 (the smallest
-// useful Decay pass count).
-func log2Ceil(n int) int {
-	if lg := graph.Log2Ceil(n); lg > 1 {
-		return lg
-	}
-	return 1
-}
-
 // BoolMetric encodes a predicate as a 0/1 metric so aggregation yields
 // rates (mean = success fraction, min = "held on every trial").
 func BoolMetric(b bool) float64 {
@@ -260,96 +263,82 @@ func BoolMetric(b bool) float64 {
 	return 0
 }
 
-// runBuiltin executes one of the Algo workloads. Every built-in derives its
-// graph and network from the trial seed, so trials are independent samples
-// of (graph, protocol randomness); heavy state (graphs of deterministic
-// families, the radio engine, Decay scratch) is drawn from the worker's
-// Context pool.
+// runBuiltin executes one registry workload: it resolves Scenario.Algo
+// through repro.Get, builds the trial's network over pooled worker state,
+// runs the algorithm with the scenario's context and observer, asks the
+// entry for its ground-truth checks, and flattens the structured Result into
+// Metrics. The harness itself carries no per-algorithm knowledge — a newly
+// registered repro.Algorithm is immediately sweepable by name.
+//
+// Every trial derives its graph and network from the trial seed, so trials
+// are independent samples of (graph, protocol randomness); heavy state
+// (graphs of deterministic families, the radio engine, Decay scratch) is
+// drawn from the worker's Context pool.
 func runBuiltin(ctx *Context, sc *Scenario, t Trial) (Metrics, error) {
+	name := string(sc.Algo)
+	if name == "" {
+		name = string(AlgoRecursive)
+	}
+	alg, err := repro.Get(name)
+	if err != nil {
+		return nil, err
+	}
 	g, err := ctx.Graph(t.Family, t.N, rng.Derive(t.Seed, 0x6ea9))
 	if err != nil {
 		return nil, err
 	}
-	if sc.Algo == AlgoDecay {
-		// The baseline always runs on raw radio slots; meter the engine
-		// directly instead of going through a Network.
-		passes := sc.Passes
-		if passes < 1 {
-			passes = log2Ceil(g.N())
-		}
-		eng := ctx.Engine(g)
-		res := ctx.decay.BFS(eng, decay.ParamsFor(g.N(), passes), []int32{0}, t.MaxDist, rng.Derive(t.Seed, 0xd3ca))
-		bad := decay.ReferenceAgainst(g, []int32{0}, res.Dist, t.MaxDist)
-		return Metrics{
-			"mislabeled": float64(bad),
-			"physMax":    float64(eng.MaxEnergy()),
-			"physRounds": float64(eng.Round()),
-		}, nil
+	// The engine is handed over lazily: unit-cost trials of engine-free
+	// algorithms never pay the pooled engine's O(n) reset.
+	opts := []repro.Option{
+		repro.WithEngineProvider(func() *radio.Engine { return ctx.Engine(g) }),
+		repro.WithDecayScratch(ctx.DecayScratch()),
 	}
-
-	var opts []repro.Option
 	if sc.Cost == repro.CostPhysical {
-		opts = append(opts, repro.WithCostModel(repro.CostPhysical), repro.WithEngine(ctx.Engine(g)))
+		opts = append(opts, repro.WithCostModel(repro.CostPhysical))
 	}
 	if sc.Params != nil {
 		opts = append(opts, repro.WithParams(*sc.Params))
 	}
-	nw := repro.NewNetwork(g, t.Seed, opts...)
-
-	m := Metrics{}
-	switch sc.Algo {
-	case "", AlgoRecursive:
-		labels, err := nw.BFS(0, t.MaxDist)
-		if err != nil {
-			return nil, err
-		}
-		m["mislabeled"] = float64(core.VerifyAgainstReference(g, []int32{0}, labels, t.MaxDist))
-	case AlgoVerify:
-		labels, err := nw.BFS(0, t.MaxDist)
-		if err != nil {
-			return nil, err
-		}
-		m["violations"] = float64(nw.VerifyLabeling(labels, t.MaxDist))
-	case AlgoDiam2, AlgoDiam32:
-		var est int32
-		if sc.Algo == AlgoDiam2 {
-			est, err = nw.Diameter2Approx()
-		} else {
-			est, err = nw.Diameter32Approx()
-		}
-		if err != nil {
-			return nil, err
-		}
-		diam := graph.Diameter(g)
-		lo := diam / 2
-		if sc.Algo == AlgoDiam32 {
-			lo = diam * 2 / 3
-		}
-		m["estimate"] = float64(est)
-		m["diam"] = float64(diam)
-		m["inBand"] = BoolMetric(est >= lo && est <= diam)
-	case AlgoPoll:
-		labels := graph.BFS(g, 0)
-		latency, all := nw.Poll(labels, sc.period())
-		m["latency"] = float64(latency)
-		m["delivered"] = BoolMetric(all)
-	case AlgoAlarm:
-		labels := graph.BFS(g, 0)
-		latency, ok := nw.Alarm(labels, int32(g.N()-1), sc.period())
-		m["latency"] = float64(latency)
-		m["completed"] = BoolMetric(ok)
-	default:
-		return nil, fmt.Errorf("harness: unknown algorithm %q", sc.Algo)
+	if sc.Passes > 0 {
+		opts = append(opts, repro.WithDecayPasses(sc.Passes))
 	}
+	nw, err := repro.NewNetworkE(g, t.Seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	runCtx := sc.Ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	req := repro.Request{
+		MaxDist:  t.MaxDist,
+		Period:   sc.period(),
+		Origin:   int32(g.N() - 1),
+		Observer: sc.Observer,
+	}
+	res, err := alg.Run(runCtx, nw, req)
+	if err != nil {
+		return nil, err
+	}
+	alg.Check(nw, req, res)
 
-	rep := nw.Report()
-	m["maxLB"] = float64(rep.MaxLBEnergy)
-	m["totalLB"] = float64(rep.TotalLBEnergy)
-	m["timeLB"] = float64(rep.LBTime)
-	if sc.Cost == repro.CostPhysical {
-		m["physMax"] = float64(rep.MaxPhysEnergy)
-		m["physRounds"] = float64(rep.PhysRounds)
-		m["msgViolations"] = float64(rep.MsgViolations)
+	m := make(Metrics, len(res.Values)+6)
+	for k, v := range res.Values {
+		m[k] = v
+	}
+	// Cost metrics follow the meters the run actually moved: LB-unit meters
+	// for anything that ran on the Net abstraction, physical-slot meters for
+	// anything that touched the radio engine (CostPhysical runs and the
+	// Decay baseline in either cost model).
+	if res.Cost.LBTime > 0 {
+		m["maxLB"] = float64(res.Cost.MaxLBEnergy)
+		m["totalLB"] = float64(res.Cost.TotalLBEnergy)
+		m["timeLB"] = float64(res.Cost.LBTime)
+	}
+	if res.Cost.PhysRounds > 0 {
+		m["physMax"] = float64(res.Cost.MaxPhysEnergy)
+		m["physRounds"] = float64(res.Cost.PhysRounds)
+		m["msgViolations"] = float64(res.Cost.MsgViolations)
 	}
 	return m, nil
 }

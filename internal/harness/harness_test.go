@@ -1,9 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro"
 )
 
 func TestCrossAndExpand(t *testing.T) {
@@ -98,6 +102,50 @@ func TestBuiltinErrorsAreCaptured(t *testing.T) {
 	sc2 := &Scenario{Name: "bad2", Instances: []Instance{{Family: "cycle", N: 16}}, Algo: Algo("nope")}
 	if res := Execute(sc2, Expand(sc2, 1)[0]); res.Err == "" {
 		t.Fatal("unknown algorithm did not error")
+	}
+}
+
+// dummyAlgo is a minimal external registry entry: the harness must be able
+// to sweep it by name without any harness-side wiring.
+type dummyAlgo struct{}
+
+func (dummyAlgo) Name() string              { return "dummy-test" }
+func (dummyAlgo) Doc() string               { return "test-only registry entry" }
+func (dummyAlgo) Params() []repro.ParamSpec { return nil }
+func (dummyAlgo) Run(_ context.Context, _ *repro.Network, _ repro.Request) (*repro.Result, error) {
+	return &repro.Result{Algorithm: "dummy-test", Values: map[string]float64{"answer": 42}}, nil
+}
+func (dummyAlgo) Check(*repro.Network, repro.Request, *repro.Result) {}
+
+// registerDummy guards the process-global registry: Register panics on
+// duplicates, so re-running the test in one binary (-count=2) must not
+// re-register.
+var registerDummy sync.Once
+
+// TestRegisteredAlgorithmIsSweepable is the registry contract end to end: an
+// algorithm registered by an external package is immediately addressable as
+// Scenario.Algo, with its Result.Values flowing into the metrics.
+func TestRegisteredAlgorithmIsSweepable(t *testing.T) {
+	registerDummy.Do(func() { repro.Register(dummyAlgo{}) })
+	sc := &Scenario{Name: "reg", Instances: []Instance{{Family: "cycle", N: 16}}, Algo: "dummy-test"}
+	res := Execute(sc, TrialFor(sc, sc.Instances[0], 0, 1))
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	if res.Metrics["answer"] != 42 {
+		t.Fatalf("registry metrics did not flow through: %v", res.Metrics)
+	}
+}
+
+// TestScenarioContextCancel: a canceled Scenario.Ctx fails its trials with
+// the context error instead of running them.
+func TestScenarioContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := &Scenario{Name: "canceled", Instances: []Instance{{Family: "cycle", N: 64}}, Algo: AlgoRecursive, Ctx: ctx}
+	res := Execute(sc, TrialFor(sc, sc.Instances[0], 0, 1))
+	if !strings.Contains(res.Err, "context canceled") {
+		t.Fatalf("canceled scenario reported %q", res.Err)
 	}
 }
 

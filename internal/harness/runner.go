@@ -77,6 +77,3 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 	wg.Wait()
 	return results
 }
-
-// RunOne is a convenience for single-scenario callers.
-func (r *Runner) RunOne(sc *Scenario) []Result { return r.Run(sc) }

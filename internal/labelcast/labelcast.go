@@ -9,12 +9,28 @@ package labelcast
 
 import (
 	"repro/internal/lbnet"
+	"repro/internal/progress"
 	"repro/internal/radio"
 	"repro/internal/scratch"
 )
 
 // MsgData is the payload kind flooded by Broadcast.
 const MsgData = 0x50
+
+// Progress phase names emitted by the hooked dissemination loops.
+const (
+	// PhaseBroadcast frames one polled Broadcast; round batches count
+	// polling slots.
+	PhaseBroadcast = "labelcast/broadcast"
+	// PhaseAscend frames one ToSource gradient ascent; round batches count
+	// polling slots.
+	PhaseAscend = "labelcast/ascend"
+)
+
+// roundsBatch is how many polling slots accumulate before a RoundBatch event
+// is emitted: coarse enough that an attached observer costs one call per
+// batch, fine enough that progress still streams during long disseminations.
+const roundsBatch = 64
 
 // Result summarizes one polled broadcast.
 type Result struct {
@@ -51,6 +67,16 @@ type Scratch struct {
 // (negative label) sleep throughout. The simulation stops when everyone has
 // the message or maxSlots elapse.
 func (s *Scratch) Broadcast(net lbnet.Net, labels []int32, period int, maxSlots int64) Result {
+	return s.BroadcastHooked(progress.Hooks{}, net, labels, period, maxSlots)
+}
+
+// BroadcastHooked is Broadcast with cancellation and progress observation:
+// the slot loop polls h.Err every slot — a canceled context stops the
+// dissemination with all meters settled and the partial delivery recorded in
+// the Result — and reports simulated slots in batches under PhaseBroadcast.
+func (s *Scratch) BroadcastHooked(h progress.Hooks, net lbnet.Net, labels []int32, period int, maxSlots int64) Result {
+	h.Start(PhaseBroadcast)
+	defer h.End(PhaseBroadcast)
 	if period < 1 {
 		period = 1
 	}
@@ -81,7 +107,15 @@ func (s *Scratch) Broadcast(net lbnet.Net, labels []int32, period int, maxSlots 
 			delivered++
 		}
 	}
+	pending := int64(0)
 	for t := int64(1); t <= maxSlots; t++ {
+		if h.Err() != nil {
+			break // canceled: partial delivery, meters settled
+		}
+		if pending++; pending == roundsBatch {
+			h.Rounds(PhaseBroadcast, pending)
+			pending = 0
+		}
 		residue := int32(t % int64(period))
 		senders, receivers = senders[:0], receivers[:0]
 		for v := int32(0); v < int32(n); v++ {
@@ -116,6 +150,7 @@ func (s *Scratch) Broadcast(net lbnet.Net, labels []int32, period int, maxSlots 
 			break
 		}
 	}
+	h.Rounds(PhaseBroadcast, pending)
 	s.senders, s.receivers = senders, receivers
 	res.Delivered = delivered
 	res.DeliveredAll = delivered == labeled

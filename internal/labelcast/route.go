@@ -2,6 +2,7 @@ package labelcast
 
 import (
 	"repro/internal/lbnet"
+	"repro/internal/progress"
 	"repro/internal/radio"
 	"repro/internal/scratch"
 )
@@ -28,6 +29,16 @@ type RouteResult struct {
 // awake. Each holder offers the message for retries frames. O(1)
 // transmissions per on-path vertex; listening is the polling duty cycle.
 func (s *Scratch) ToSource(net lbnet.Net, labels []int32, origin int32, period, retries int, maxSlots int64) RouteResult {
+	return s.ToSourceHooked(progress.Hooks{}, net, labels, origin, period, retries, maxSlots)
+}
+
+// ToSourceHooked is ToSource with cancellation and progress observation: the
+// slot loop polls h.Err every slot — a canceled context stops the ascent with
+// all meters settled — and reports simulated slots in batches under
+// PhaseAscend.
+func (s *Scratch) ToSourceHooked(h progress.Hooks, net lbnet.Net, labels []int32, origin int32, period, retries int, maxSlots int64) RouteResult {
+	h.Start(PhaseAscend)
+	defer h.End(PhaseAscend)
 	if period < 1 {
 		period = 1
 	}
@@ -57,7 +68,16 @@ func (s *Scratch) ToSource(net lbnet.Net, labels []int32, origin int32, period, 
 	got := scratch.Grow(s.got, n)
 	ok := scratch.Grow(s.ok, n)
 	s.got, s.ok = got, ok
+	pending := int64(0)
+	defer func() { h.Rounds(PhaseAscend, pending) }()
 	for t := int64(1); t <= maxSlots; t++ {
+		if h.Err() != nil {
+			break // canceled: meters settled, message not delivered
+		}
+		if pending++; pending == roundsBatch {
+			h.Rounds(PhaseAscend, pending)
+			pending = 0
+		}
 		res.Slots++
 		residue := int32(t % int64(period))
 		senders, receivers = senders[:0], receivers[:0]

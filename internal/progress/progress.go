@@ -1,0 +1,96 @@
+// Package progress defines the cancellation and observation plumbing shared
+// by every round loop in the simulator: Recursive-BFS stages (internal/core),
+// the Decay BFS wavefront (internal/decay), and the duty-cycled dissemination
+// slots (internal/labelcast).
+//
+// The two concerns travel together as a Hooks value because they have the
+// same grain: a round loop checks for cancellation and reports progress at
+// phase boundaries — once per stage, wavefront step, or slot batch — never
+// per physical slot. The zero Hooks value disables both at the cost of a nil
+// check, which is what keeps the zero-allocation hot paths allocation-free
+// when no driver is watching.
+package progress
+
+import "context"
+
+// Observer receives streaming progress events from algorithm round loops.
+// Implementations must be cheap and, when one observer is shared by
+// concurrent trials (e.g. a sweep-wide counter), safe for concurrent use.
+type Observer interface {
+	// PhaseStart announces that the named phase began.
+	PhaseStart(phase string)
+	// PhaseEnd announces that the named phase finished (or was canceled).
+	PhaseEnd(phase string)
+	// RoundBatch reports that the named phase advanced by rounds time units
+	// (Local-Broadcast units or polling slots, per the phase's loop).
+	RoundBatch(phase string, rounds int64)
+}
+
+// Hooks bundles the cancellation context and observer a driver threads
+// through a round loop. The zero value is fully disabled and always legal.
+type Hooks struct {
+	// Ctx, when non-nil, is polled at phase boundaries; a canceled context
+	// makes the loop return early with whatever partial result it has.
+	Ctx context.Context
+	// Obs, when non-nil, receives phase and round-batch events.
+	Obs Observer
+}
+
+// Err returns the context's error, or nil when no context is attached.
+func (h Hooks) Err() error {
+	if h.Ctx == nil {
+		return nil
+	}
+	return h.Ctx.Err()
+}
+
+// Start emits a PhaseStart event when an observer is attached.
+func (h Hooks) Start(phase string) {
+	if h.Obs != nil {
+		h.Obs.PhaseStart(phase)
+	}
+}
+
+// End emits a PhaseEnd event when an observer is attached.
+func (h Hooks) End(phase string) {
+	if h.Obs != nil {
+		h.Obs.PhaseEnd(phase)
+	}
+}
+
+// Rounds emits a RoundBatch event when an observer is attached and the batch
+// is non-empty.
+func (h Hooks) Rounds(phase string, n int64) {
+	if h.Obs != nil && n > 0 {
+		h.Obs.RoundBatch(phase, n)
+	}
+}
+
+// Funcs adapts plain functions into an Observer; nil fields are skipped.
+// It is the convenience implementation for tests and one-off drivers.
+type Funcs struct {
+	OnPhaseStart func(phase string)
+	OnPhaseEnd   func(phase string)
+	OnRoundBatch func(phase string, rounds int64)
+}
+
+// PhaseStart implements Observer.
+func (f Funcs) PhaseStart(phase string) {
+	if f.OnPhaseStart != nil {
+		f.OnPhaseStart(phase)
+	}
+}
+
+// PhaseEnd implements Observer.
+func (f Funcs) PhaseEnd(phase string) {
+	if f.OnPhaseEnd != nil {
+		f.OnPhaseEnd(phase)
+	}
+}
+
+// RoundBatch implements Observer.
+func (f Funcs) RoundBatch(phase string, rounds int64) {
+	if f.OnRoundBatch != nil {
+		f.OnRoundBatch(phase, rounds)
+	}
+}

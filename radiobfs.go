@@ -14,21 +14,25 @@
 //     application that motivates the paper,
 //   - the lower-bound constructions of §5 (see internal/lowerbound).
 //
-// The Network type is the high-level entry point; the packages under
-// internal/ expose every layer (radio physics, Decay, clustering, virtual
-// cluster-graph networks) for finer-grained use by the examples, the
-// experiment harness (cmd/experiments) and the benchmarks.
+// The public API is the algorithm registry: every workload is a registered
+// Algorithm resolved by name (Get, Algorithms) and run against a Network
+// with Run(ctx, nw, Request) — one composable surface shared by the CLI,
+// the experiment harness, and the benchmarks. The Network methods (BFS,
+// Diameter2Approx, …) are thin deprecated wrappers over the same entries.
+// The packages under internal/ expose every layer (radio physics, Decay,
+// clustering, virtual cluster-graph networks) for finer-grained use by the
+// examples, the experiment harness (cmd/experiments) and the benchmarks.
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/decay"
-	"repro/internal/diameter"
 	"repro/internal/graph"
-	"repro/internal/labelcast"
 	"repro/internal/lbnet"
+	"repro/internal/progress"
 	"repro/internal/radio"
 	"repro/internal/rng"
 )
@@ -59,7 +63,8 @@ const (
 	CostPhysical
 )
 
-// Option configures a Network.
+// Option configures a Network. Invalid values surface as errors from
+// NewNetworkE (NewNetwork panics on them).
 type Option func(*Network)
 
 // WithCostModel selects the cost model (default CostUnit).
@@ -67,10 +72,25 @@ func WithCostModel(m CostModel) Option {
 	return func(nw *Network) { nw.model = m }
 }
 
-// WithDecayPasses sets the Decay repetition count used in CostPhysical mode
-// (default ⌈log₂ n⌉, giving per-call failure 1/poly(n)).
+// WithDecayPasses sets the Decay repetition count for physical-channel
+// Local-Broadcasts (default ⌈log₂ n⌉, giving per-call failure 1/poly(n)).
+// Negative values are a configuration error; 0 keeps the default.
 func WithDecayPasses(p int) Option {
-	return func(nw *Network) { nw.passes = p }
+	return func(nw *Network) {
+		if p < 0 {
+			nw.optErr = fmt.Errorf("repro: negative Decay pass count %d", p)
+			return
+		}
+		nw.passes = p
+	}
+}
+
+// WithDecayScratch supplies caller-owned Decay scratch buffers for the
+// baseline BFS, so pooled trial runners (see internal/harness) reuse one
+// scratch across trials instead of growing a fresh one per Network. The
+// scratch must not be used elsewhere while the Network is live.
+func WithDecayScratch(s *decay.Scratch) Option {
+	return func(nw *Network) { nw.decScr = s }
 }
 
 // WithParams overrides the Recursive-BFS parameters (default: the paper's
@@ -79,35 +99,56 @@ func WithParams(p core.Params) Option {
 	return func(nw *Network) { nw.params = &p }
 }
 
-// WithEngine supplies a caller-owned radio engine for CostPhysical mode: the
-// network resets and reuses it instead of allocating its own. The harness's
-// pooled worker contexts use this to share one engine (and its scratch)
-// across trials. The engine must not be used elsewhere while the Network is
-// live. Ignored under CostUnit.
+// WithEngine supplies a caller-owned radio engine: the network resets and
+// reuses it instead of allocating its own, for CostPhysical Local-Broadcasts
+// and for the Decay baseline's physical channel in either cost model. The
+// engine must not be used elsewhere while the Network is live.
 func WithEngine(e *radio.Engine) Option {
 	return func(nw *Network) { nw.extEng = e }
 }
 
+// WithEngineProvider is the lazy form of WithEngine: provider is invoked —
+// at most once per Network — only when a workload actually needs the
+// physical channel, and must return an engine already reset onto the
+// network's graph. The harness's pooled worker contexts use this so
+// unit-cost trials that never touch the radio skip the O(n) engine reset.
+// WithEngine wins when both are set.
+func WithEngineProvider(provider func() *radio.Engine) Option {
+	return func(nw *Network) { nw.engProv = provider }
+}
+
 // Network is a radio network ready to run the paper's algorithms. Meters
-// accumulate across calls; use Reset or a fresh Network to separate runs.
+// accumulate across calls; use Reset or a fresh Network to separate runs
+// (per-run costs are also reported in each Result.Cost).
 type Network struct {
-	g      *Graph
-	seed   uint64
-	model  CostModel
-	passes int
-	params *core.Params
-	extEng *radio.Engine
+	g       *Graph
+	seed    uint64
+	model   CostModel
+	passes  int
+	params  *core.Params
+	extEng  *radio.Engine
+	engProv func() *radio.Engine
+	decScr  *decay.Scratch
+	optErr  error
 
 	base lbnet.Net
 	eng  *radio.Engine
 }
 
-// NewNetwork wraps g as a radio network. seed determines every random
-// choice; identical seeds give identical runs.
-func NewNetwork(g *Graph, seed uint64, opts ...Option) *Network {
+// NewNetworkE wraps g as a radio network. seed determines every random
+// choice; identical seeds give identical runs. It returns an error for a nil
+// graph or an invalid option — the registry path (internal/harness, the
+// CLIs) uses it; NewNetwork wraps it for callers that prefer panics.
+func NewNetworkE(g *Graph, seed uint64, opts ...Option) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("repro: nil graph")
+	}
 	nw := &Network{g: g, seed: seed}
 	for _, o := range opts {
 		o(nw)
+	}
+	if nw.optErr != nil {
+		return nil, nw.optErr
 	}
 	if nw.passes == 0 {
 		// At least one Decay pass even for the degenerate single-vertex
@@ -117,6 +158,16 @@ func NewNetwork(g *Graph, seed uint64, opts ...Option) *Network {
 		}
 	}
 	nw.Reset()
+	return nw, nil
+}
+
+// NewNetwork is NewNetworkE for infallible configurations: it panics on a
+// nil graph or invalid option instead of returning the error.
+func NewNetwork(g *Graph, seed uint64, opts ...Option) *Network {
+	nw, err := NewNetworkE(g, seed, opts...)
+	if err != nil {
+		panic(err)
+	}
 	return nw
 }
 
@@ -127,6 +178,9 @@ func log2ceil(n int) int { return graph.Log2Ceil(n) }
 func (nw *Network) Reset() {
 	switch nw.model {
 	case CostPhysical:
+		if nw.extEng == nil && nw.engProv != nil {
+			nw.extEng = nw.engProv()
+		}
 		if nw.extEng != nil {
 			nw.extEng.Reset(nw.g)
 			nw.eng = nw.extEng
@@ -176,87 +230,182 @@ func (nw *Network) Report() Report {
 	return r
 }
 
-// BFS computes BFS labels from source with the paper's Recursive-BFS,
-// searching to radius maxDist (pass g.N() when unknown). Labels are hop
-// distances; -1 marks vertices beyond maxDist.
-func (nw *Network) BFS(source int32, maxDist int) ([]int32, error) {
-	p := core.AutoParams(nw.g.N(), maxDist)
+// delta returns the meter movement since before: additive meters are
+// differenced, while the per-device maxima — which cannot be differenced
+// without per-device snapshots — keep the receiver's (end-of-run) value.
+func (r Report) delta(before Report) Report {
+	r.TotalLBEnergy -= before.TotalLBEnergy
+	r.LBTime -= before.LBTime
+	r.PhysRounds -= before.PhysRounds
+	r.MsgViolations -= before.MsgViolations
+	return r
+}
+
+// buildStack constructs the cluster-graph stack every stack-based algorithm
+// runs on: the configured parameters (or the paper's automatic ones for
+// search radius d0), randomness derived from the network seed and the
+// algorithm's tag, and the run's hooks attached.
+func (nw *Network) buildStack(h progress.Hooks, tag uint64, d0 int) (*core.Stack, error) {
+	if err := h.Err(); err != nil {
+		return nil, err
+	}
+	p := core.AutoParams(nw.g.N(), d0)
 	if nw.params != nil {
 		p = *nw.params
 	}
-	st, err := core.BuildStack(nw.base, p, rng.Derive(nw.seed, 0xbf5))
+	st, err := core.BuildStack(nw.base, p, rng.Derive(nw.seed, tag))
 	if err != nil {
 		return nil, err
 	}
-	return st.BFS([]int32{source}, maxDist), nil
+	st.Hooks = h
+	return st, nil
+}
+
+// baselineEngine returns the physical engine the Decay baseline runs on: the
+// network's own engine under CostPhysical (sharing its meters), else the
+// caller-supplied external engine (WithEngine, reset here; or the lazy
+// WithEngineProvider, which hands it over already reset), else a private one.
+func (nw *Network) baselineEngine() *radio.Engine {
+	switch {
+	case nw.eng != nil:
+		return nw.eng
+	case nw.extEng != nil:
+		nw.extEng.Reset(nw.g)
+		return nw.extEng
+	case nw.engProv != nil:
+		return nw.engProv()
+	default:
+		return radio.NewEngine(nw.g)
+	}
+}
+
+// decayScratch returns the Decay buffer pool the baseline uses: the
+// caller-supplied one (WithDecayScratch) or a lazily allocated private one.
+func (nw *Network) decayScratch() *decay.Scratch {
+	if nw.decScr == nil {
+		nw.decScr = new(decay.Scratch)
+	}
+	return nw.decScr
+}
+
+// runNamed dispatches one registered algorithm; the deprecated Network
+// wrappers below are one-line delegations through it.
+func runNamed(name string, nw *Network, req Request) (*Result, error) {
+	return mustGet(name).Run(context.Background(), nw, req)
+}
+
+// BFS computes BFS labels from source with the paper's Recursive-BFS,
+// searching to radius maxDist (pass g.N() when unknown). Labels are hop
+// distances; -1 marks vertices beyond maxDist.
+//
+// Deprecated: resolve the "recursive" entry from the registry instead
+// (Get("recursive-bfs")), which adds cancellation, progress observation and
+// per-run cost reporting. This wrapper delegates to it.
+func (nw *Network) BFS(source int32, maxDist int) ([]int32, error) {
+	res, err := runNamed("recursive", nw, Request{Source: source, MaxDist: maxDist})
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
 }
 
 // BFSBaseline computes the same labels with the classic everyone-awake
 // Decay BFS — the Θ(D log² n)-energy comparator. It always runs on the
-// physical channel: in CostPhysical mode it shares the network's meters; in
-// CostUnit mode it uses a throwaway engine (run CostPhysical to meter it).
+// physical channel: in CostPhysical mode it shares the network's engine and
+// meters; in CostUnit mode it runs on the engine supplied via WithEngine (or
+// a private one), and the baseline's physical-energy report — which this
+// method's return value cannot carry — reaches the caller through the
+// registry entry's Result.Cost: Get("decay-bfs").Run(...).
+//
+// Deprecated: resolve the "decay" entry from the registry instead; this
+// wrapper delegates to it and discards everything but the labels.
 func (nw *Network) BFSBaseline(source int32, maxDist int) []int32 {
-	eng := nw.eng
-	if eng == nil {
-		eng = radio.NewEngine(nw.g)
+	res, err := runNamed("decay", nw, Request{Source: source, MaxDist: maxDist})
+	if err != nil {
+		panic(err)
 	}
-	res := decay.BFS(eng, decay.ParamsFor(nw.g.N(), nw.passes), []int32{source}, maxDist, rng.Derive(nw.seed, 0xd3ca))
-	return res.Dist
+	return res.Labels
 }
 
 // VerifyLabeling checks a candidate labeling with the cheap gradient sweep
 // (O(1) energy per vertex); it returns the number of violations.
+//
+// Deprecated: resolve the "verify" entry from the registry instead; this
+// wrapper delegates to it.
 func (nw *Network) VerifyLabeling(labels []int32, maxLabel int) int {
-	return core.VerifyGradient(nw.base, labels, maxLabel).Violations
+	if maxLabel <= 0 {
+		// Historical behavior: the sweep over labels 1..maxLabel is empty,
+		// so nothing can be violated (the registry entry would instead read
+		// MaxDist 0 as "the whole graph").
+		return 0
+	}
+	res, err := runNamed("verify", nw, Request{Labels: labels, MaxDist: maxLabel})
+	if err != nil {
+		panic(err)
+	}
+	return int(res.Values["violations"])
 }
 
 // Diameter2Approx returns D′ with diam/2 <= D′ <= diam (Theorem 5.3).
+//
+// Deprecated: resolve the "diam2" entry from the registry instead; this
+// wrapper delegates to it.
 func (nw *Network) Diameter2Approx() (int32, error) {
-	p := core.AutoParams(nw.g.N(), nw.g.N())
-	if nw.params != nil {
-		p = *nw.params
-	}
-	st, err := core.BuildStack(nw.base, p, rng.Derive(nw.seed, 0xd1a2))
+	res, err := runNamed("diam2", nw, Request{})
 	if err != nil {
 		return 0, err
 	}
-	res := diameter.TwoApprox(st, diameter.Designated(), nw.g.N())
 	return res.Estimate, nil
 }
 
 // Diameter32Approx returns D′ with ⌊2·diam/3⌋ <= D′ <= diam (Theorem 5.4),
 // at n^(1/2+o(1)) energy.
+//
+// Deprecated: resolve the "diam32" entry from the registry instead; this
+// wrapper delegates to it.
 func (nw *Network) Diameter32Approx() (int32, error) {
-	p := core.AutoParams(nw.g.N(), nw.g.N())
-	if nw.params != nil {
-		p = *nw.params
-	}
-	st, err := core.BuildStack(nw.base, p, rng.Derive(nw.seed, 0xd32))
+	res, err := runNamed("diam32", nw, Request{})
 	if err != nil {
 		return 0, err
 	}
-	res := diameter.ThreeHalvesApprox(st, diameter.Designated(), nw.g.N(), rng.Derive(nw.seed, 0x5eed))
 	return res.Estimate, nil
 }
 
 // Poll runs the duty-cycled dissemination of §1 over an existing labeling:
 // one message from the label-0 vertex with polling period period. It
 // returns delivery latency in slots and whether everyone was reached.
+//
+// Deprecated: resolve the "poll" entry from the registry instead; this
+// wrapper delegates to it. Periods below 1 are clamped to 1 (as the
+// dissemination loop always did); note the slot budget is now computed from
+// the clamped period, where the legacy method used the raw value.
 func (nw *Network) Poll(labels []int32, period int) (latency int64, deliveredAll bool) {
-	res := labelcast.Broadcast(nw.base, labels, period, int64(nw.g.N())*int64(period+2)*4)
-	return res.MaxLatency, res.DeliveredAll
+	if period < 1 {
+		period = 1
+	}
+	res, err := runNamed("poll", nw, Request{Labels: labels, Period: period})
+	if err != nil {
+		panic(err)
+	}
+	return int64(res.Values["latency"]), res.Values["delivered"] == 1
 }
 
 // Alarm runs the full §1 scenario over an existing labeling: a message
 // raised at origin climbs the BFS gradient to the label-0 vertex and is then
 // disseminated to everyone, all on the polling schedule. It returns the
 // total latency in slots and whether the round trip completed.
+//
+// Deprecated: resolve the "alarm" entry from the registry instead; this
+// wrapper delegates to it. Periods below 1 are clamped to 1 (as the
+// dissemination loop always did); note the slot budget is now computed from
+// the clamped period, where the legacy method used the raw value.
 func (nw *Network) Alarm(labels []int32, origin int32, period int) (latency int64, completed bool) {
-	budget := int64(nw.g.N()) * int64(period+2) * 4
-	up := labelcast.ToSource(nw.base, labels, origin, period, 3, budget)
-	if !up.Reached {
-		return up.Slots, false
+	if period < 1 {
+		period = 1
 	}
-	down := labelcast.Broadcast(nw.base, labels, period, budget)
-	return up.Slots + down.MaxLatency, down.DeliveredAll
+	res, err := runNamed("alarm", nw, Request{Labels: labels, Origin: origin, Period: period})
+	if err != nil {
+		panic(err)
+	}
+	return int64(res.Values["latency"]), res.Values["completed"] == 1
 }
