@@ -11,37 +11,23 @@ import (
 	"repro/internal/lbnet"
 	"repro/internal/lowerbound"
 	"repro/internal/rng"
+	"repro/internal/spec"
 	"repro/internal/stats"
 )
 
 // runE10 measures the Theorem 5.1 trade-off: detection success of K_n vs
 // K_n−e scales linearly with the per-vertex energy budget, and the proof's
-// counting identity |X_good| <= 2·energy holds on every transcript.
+// counting identity |X_good| <= 2·energy holds on every transcript. The
+// budget axis lives in scenarios/e10_lowerbound.json (one scenario per
+// budget, the missing edge drawn per trial like the theorem's adversary).
 func runE10(cfg config) {
-	n := 64
-	trials := 80
-	if cfg.quick {
-		n, trials = 48, 30
-	}
-	// The round-robin probe is deterministic — one transcript, no trials.
-	full := lowerbound.RoundRobinProbe(graph.CompleteMinusEdge(n, 1, 2))
-	fmt.Fprintf(cfg.out, "round-robin probe on K_%d−e: detected=%v, per-vertex energy=%d (Θ(n)), |X_good|=%d <= 2·E_total=%d: %v\n\n",
-		n, full.Detected, full.MaxEnergy, full.Stats.GoodPairs, 2*full.Stats.TotalEnergy, full.Stats.BoundHolds())
-
-	var budgets []int
-	for _, budget := range []int{1, 2, 4, 8, 16, 32, 48} {
-		if budget < n {
-			budgets = append(budgets, budget)
-		}
-	}
-	var scs []*harness.Scenario
-	for _, budget := range budgets {
-		budget := budget
-		scs = append(scs, &harness.Scenario{
-			Name:      fmt.Sprintf("E10-b%d", budget),
-			Instances: []harness.Instance{{Family: "complete-e", N: n}},
-			Trials:    trials,
-			Run: func(tr harness.Trial) (harness.Metrics, error) {
+	f, scs := cfg.loadSpec("e10_lowerbound.json", map[string]spec.CustomFunc{
+		"e10/budgeted-probe": func(s *spec.Scenario) (harness.TrialCtxFunc, error) {
+			budget, err := intArg(s, "budget")
+			if err != nil {
+				return nil, err
+			}
+			return func(_ *harness.Context, tr harness.Trial) (harness.Metrics, error) {
 				// The missing edge is the trial's hidden instance: drawn
 				// uniformly from the trial seed, like the adversary of
 				// Theorem 5.1.
@@ -56,14 +42,21 @@ func runE10(cfg config) {
 					"detected": harness.BoolMetric(res.Detected),
 					"holds":    harness.BoolMetric(res.Stats.BoundHolds()),
 				}, nil
-			},
-		})
-	}
+			}, nil
+		},
+	})
+	n := scs[0].Instances[0].N
+
+	// The round-robin probe is deterministic — one transcript, no trials.
+	full := lowerbound.RoundRobinProbe(graph.CompleteMinusEdge(n, 1, 2))
+	fmt.Fprintf(cfg.out, "round-robin probe on K_%d−e: detected=%v, per-vertex energy=%d (Θ(n)), |X_good|=%d <= 2·E_total=%d: %v\n\n",
+		n, full.Detected, full.MaxEnergy, full.Stats.GoodPairs, 2*full.Stats.TotalEnergy, full.Stats.BoundHolds())
+
 	sums := harness.Aggregate(cfg.runAll(scs...))
 	tbl := stats.NewTable("budgeted probe success vs energy (Theorem 5.1 trade-off)",
 		"budget E", "E/n", "success", "analytic 1-(1-E/(n-1))²", "bound holds")
 	for i, s := range sums {
-		budget := budgets[i]
+		budget := int(f.Scenarios[i].Args["budget"])
 		p := float64(budget) / float64(n-1)
 		tbl.AddRowf(budget, float64(budget)/float64(n), s.Metrics["detected"].Mean,
 			1-(1-p)*(1-p), s.Metrics["holds"].Min == 1)
@@ -75,47 +68,39 @@ func runE10(cfg config) {
 
 // runE11 checks the Theorem 5.2 construction: diameter 2 ⟺ disjoint sets,
 // diameter 3 otherwise; arboricity O(log k); and the reduction's bit
-// accounting.
+// accounting. The ℓ axis lives in scenarios/e11_setdisj.json (instances
+// carry k = 2^ℓ in n and ℓ in maxDist — constructed graphs, not
+// graph.Named families).
 func runE11(cfg config) {
-	ells := []int{3, 5, 7}
-	if !cfg.quick {
-		ells = append(ells, 8)
-	}
-	insts := make([]harness.Instance, 0, len(ells))
-	for _, ell := range ells {
-		// N carries k = 2^ℓ; MaxDist carries ℓ (labels for the custom run —
-		// these are constructed graphs, not graph.Named families).
-		insts = append(insts, harness.Instance{Family: "setdisj", N: 1 << ell, MaxDist: ell})
-	}
-	sc := &harness.Scenario{
-		Name:      "E11",
-		Instances: insts,
-		Run: func(tr harness.Trial) (harness.Metrics, error) {
-			ell, k := tr.MaxDist, tr.N
-			// Disjoint pair: evens vs odds. Intersecting: odds + one even.
-			var evens, odds []uint64
-			for x := 0; x < k; x++ {
-				if x%2 == 0 {
-					evens = append(evens, uint64(x))
-				} else {
-					odds = append(odds, uint64(x))
+	_, scs := cfg.loadSpec("e11_setdisj.json", map[string]spec.CustomFunc{
+		"e11/set-disjointness": func(*spec.Scenario) (harness.TrialCtxFunc, error) {
+			return func(_ *harness.Context, tr harness.Trial) (harness.Metrics, error) {
+				ell, k := tr.MaxDist, tr.N
+				// Disjoint pair: evens vs odds. Intersecting: odds + one even.
+				var evens, odds []uint64
+				for x := 0; x < k; x++ {
+					if x%2 == 0 {
+						evens = append(evens, uint64(x))
+					} else {
+						odds = append(odds, uint64(x))
+					}
 				}
-			}
-			r := rng.New(rng.Derive(tr.Seed, 0xe11))
-			inter := append(append([]uint64(nil), odds...), evens[r.Intn(len(evens))])
-			dDisj := lowerbound.BuildDisjointness(evens, odds, ell)
-			dInt := lowerbound.BuildDisjointness(evens, inter, ell)
-			bits := dDisj.ReductionBits([][]int32{append(append([]int32{dDisj.UStar, dDisj.VStar}, dDisj.VC...), dDisj.VD...)})
-			return harness.Metrics{
-				"vertices":   float64(dDisj.G.N()),
-				"diamDisj":   float64(graph.Diameter(dDisj.G)),
-				"diamInt":    float64(graph.Diameter(dInt.G)),
-				"degeneracy": float64(graph.Degeneracy(dDisj.G)),
-				"bits":       float64(bits),
+				r := rng.New(rng.Derive(tr.Seed, 0xe11))
+				inter := append(append([]uint64(nil), odds...), evens[r.Intn(len(evens))])
+				dDisj := lowerbound.BuildDisjointness(evens, odds, ell)
+				dInt := lowerbound.BuildDisjointness(evens, inter, ell)
+				bits := dDisj.ReductionBits([][]int32{append(append([]int32{dDisj.UStar, dDisj.VStar}, dDisj.VC...), dDisj.VD...)})
+				return harness.Metrics{
+					"vertices":   float64(dDisj.G.N()),
+					"diamDisj":   float64(graph.Diameter(dDisj.G)),
+					"diamInt":    float64(graph.Diameter(dInt.G)),
+					"degeneracy": float64(graph.Degeneracy(dDisj.G)),
+					"bits":       float64(bits),
+				}, nil
 			}, nil
 		},
-	}
-	results := cfg.runAll(sc)
+	})
+	results := cfg.runAll(scs...)
 	tbl := stats.NewTable("set-disjointness lower-bound graphs (Theorem 5.2)",
 		"ℓ", "k=2^ℓ", "|V|", "diam disjoint", "diam intersecting", "degeneracy", "O(log n) bound", "bits/listener-round")
 	for _, r := range results {
@@ -130,18 +115,11 @@ func runE11(cfg config) {
 }
 
 // runE12 measures Theorem 5.3: the 2-approximation's band and costs, via
-// the harness's built-in diam2 workload.
+// the registry's diam2 workload on the family grid of
+// scenarios/e12_diam2.json (also runnable via `radiobfs run`).
 func runE12(cfg config) {
-	ns := []int{64, 128}
-	if !cfg.quick {
-		ns = append(ns, 256)
-	}
-	sc := &harness.Scenario{
-		Name:      "E12",
-		Instances: harness.Cross([]string{"path", "cycle", "grid", "gnp", "lollipop"}, ns, nil),
-		Algo:      harness.AlgoDiam2,
-	}
-	results := cfg.runAll(sc)
+	_, scs := cfg.loadSpec("e12_diam2.json", nil)
+	results := cfg.runAll(scs...)
 	tbl := stats.NewTable("2-approximation of diameter (Theorem 5.3)",
 		"family", "n", "diam", "estimate", "in [diam/2, diam]", "maxLB E", "time(LB)")
 	for _, r := range results {
@@ -156,45 +134,49 @@ func runE12(cfg config) {
 }
 
 // runE13 measures Theorem 5.4: the nearly-3/2 approximation band, on the
-// radio stack at small n and via the centralized mirror at larger n.
+// radio stack at small n and via the centralized mirror at larger n (grids
+// from scenarios/e13_diam32.json).
 func runE13(cfg config) {
-	rns := []int{48}
-	if !cfg.quick {
-		rns = append(rns, 96)
-	}
-	radioSc := &harness.Scenario{
-		Name:      "E13-radio",
-		Instances: harness.Cross([]string{"path", "gnp"}, rns, nil),
-		Run:       e13RadioRun(cfg),
-	}
-	mns := []int{512, 1024}
-	if !cfg.quick {
-		mns = append(mns, 2048)
-	}
-	mirrorTrials := 5
-	if cfg.quick {
-		mirrorTrials = 3
-	}
 	graphSeed := rng.Derive(cfg.seed, 0xe13)
-	mirrorSc := &harness.Scenario{
-		Name:      "E13-mirror",
-		Instances: harness.Cross([]string{"path", "cycle", "grid", "lollipop", "geometric"}, mns, nil),
-		Trials:    mirrorTrials,
-		Run: func(tr harness.Trial) (harness.Metrics, error) {
-			// One fixed graph per cell; the trials sample the algorithm's
-			// own randomness, as in the theorem's probability statement.
-			g, _ := graph.Named(tr.Family, tr.N, graphSeed)
-			diam := graph.Diameter(g)
-			res := diameter.MirrorThreeHalves(g, tr.Seed)
-			return harness.Metrics{
-				"estimate": float64(res.Estimate),
-				"diam":     float64(diam),
-				"bandLow":  float64(diam * 2 / 3),
-				"inBand":   harness.BoolMetric(res.Estimate >= diam*2/3 && res.Estimate <= diam),
+	_, scs := cfg.loadSpec("e13_diam32.json", map[string]spec.CustomFunc{
+		"e13/radio": func(*spec.Scenario) (harness.TrialCtxFunc, error) {
+			return func(_ *harness.Context, tr harness.Trial) (harness.Metrics, error) {
+				g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+				diam := graph.Diameter(g)
+				base := lbnet.NewUnitNet(g, 0, tr.Seed)
+				st, err := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, tr.Seed)
+				if err != nil {
+					return nil, err
+				}
+				res := diameter.ThreeHalvesApprox(st, diameter.Designated(), g.N(), tr.Seed)
+				return harness.Metrics{
+					"estimate":   float64(res.Estimate),
+					"diam":       float64(diam),
+					"inBand":     harness.BoolMetric(res.Estimate >= diam*2/3 && res.Estimate <= diam),
+					"sampleSize": float64(res.SampleSize),
+					"rSize":      float64(res.RSize),
+					"bfsRuns":    float64(res.BFSRuns),
+					"maxLB":      float64(lbnet.MaxLBEnergy(base)),
+				}, nil
 			}, nil
 		},
-	}
-	results := cfg.runAll(radioSc, mirrorSc)
+		"e13/mirror": func(*spec.Scenario) (harness.TrialCtxFunc, error) {
+			return func(_ *harness.Context, tr harness.Trial) (harness.Metrics, error) {
+				// One fixed graph per cell; the trials sample the algorithm's
+				// own randomness, as in the theorem's probability statement.
+				g, _ := graph.Named(tr.Family, tr.N, graphSeed)
+				diam := graph.Diameter(g)
+				res := diameter.MirrorThreeHalves(g, tr.Seed)
+				return harness.Metrics{
+					"estimate": float64(res.Estimate),
+					"diam":     float64(diam),
+					"bandLow":  float64(diam * 2 / 3),
+					"inBand":   harness.BoolMetric(res.Estimate >= diam*2/3 && res.Estimate <= diam),
+				}, nil
+			}, nil
+		},
+	})
+	results := cfg.runAll(scs...)
 
 	radioTbl := stats.NewTable("3/2-approximation on the radio stack (Theorem 5.4)",
 		"family", "n", "diam", "estimate", "in [⌊2diam/3⌋, diam]", "|S|", "|R|", "BFS runs", "maxLB E")
@@ -223,46 +205,18 @@ func runE13(cfg config) {
 	mirror.Render(cfg.out)
 }
 
-// e13RadioRun builds the full-stack 3/2-approximation trial.
-func e13RadioRun(cfg config) harness.TrialFunc {
-	graphSeed := rng.Derive(cfg.seed, 0xe13)
-	return func(tr harness.Trial) (harness.Metrics, error) {
-		g, _ := graph.Named(tr.Family, tr.N, graphSeed)
-		diam := graph.Diameter(g)
-		base := lbnet.NewUnitNet(g, 0, tr.Seed)
-		st, err := core.BuildStack(base, core.Params{InvBeta: 4, Depth: 1, W: 24, Alpha: 4}, tr.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res := diameter.ThreeHalvesApprox(st, diameter.Designated(), g.N(), tr.Seed)
-		return harness.Metrics{
-			"estimate":   float64(res.Estimate),
-			"diam":       float64(diam),
-			"inBand":     harness.BoolMetric(res.Estimate >= diam*2/3 && res.Estimate <= diam),
-			"sampleSize": float64(res.SampleSize),
-			"rSize":      float64(res.RSize),
-			"bfsRuns":    float64(res.BFSRuns),
-			"maxLB":      float64(lbnet.MaxLBEnergy(base)),
-		}, nil
-	}
-}
-
 // runE14 measures the §1 motivation: polling period P trades latency for
-// steady-state listening energy.
+// steady-state listening energy (period axis from
+// scenarios/e14_polling.json).
 func runE14(cfg config) {
-	n := 256
-	if cfg.quick {
-		n = 100
-	}
-	periods := []int{1, 2, 4, 8, 16, 32}
 	graphSeed := rng.Derive(cfg.seed, 0xe14)
-	var scs []*harness.Scenario
-	for _, period := range periods {
-		period := period
-		scs = append(scs, &harness.Scenario{
-			Name:      fmt.Sprintf("E14-P%d", period),
-			Instances: []harness.Instance{{Family: "geometric", N: n}},
-			Run: func(tr harness.Trial) (harness.Metrics, error) {
+	f, scs := cfg.loadSpec("e14_polling.json", map[string]spec.CustomFunc{
+		"e14/dissemination": func(s *spec.Scenario) (harness.TrialCtxFunc, error) {
+			period, err := intArg(s, "period")
+			if err != nil {
+				return nil, err
+			}
+			return func(_ *harness.Context, tr harness.Trial) (harness.Metrics, error) {
 				g, _ := graph.Named(tr.Family, tr.N, graphSeed)
 				labels := graph.BFS(g, 0)
 				net := lbnet.NewUnitNet(g, 0, tr.Seed)
@@ -273,10 +227,11 @@ func runE14(cfg config) {
 					"maxLB":     float64(lbnet.MaxLBEnergy(net)),
 					"idle":      float64(res.IdleListens),
 				}, nil
-			},
-		})
-	}
+			}, nil
+		},
+	})
 	results := cfg.runAll(scs...)
+	n := scs[0].Instances[0].N
 	g, _ := graph.Named("geometric", n, graphSeed)
 	labels := graph.BFS(g, 0)
 	depth := int64(0)
@@ -288,8 +243,9 @@ func runE14(cfg config) {
 	tbl := stats.NewTable(fmt.Sprintf("duty-cycled dissemination on a geometric network (n=%d, depth=%d)", g.N(), depth),
 		"period P", "delivered", "latency (slots)", "max LB energy", "idle listens", "steady listens/1000 slots")
 	for i, r := range results {
-		tbl.AddRowf(periods[i], r.Get("delivered") == 1, r.Get("latency"), r.Get("maxLB"),
-			r.Get("idle"), labelcast.SteadyStateListens(1000, periods[i]))
+		period := int(f.Scenarios[i].Args["period"])
+		tbl.AddRowf(period, r.Get("delivered") == 1, r.Get("latency"), r.Get("maxLB"),
+			r.Get("idle"), labelcast.SteadyStateListens(1000, period))
 	}
 	tbl.Render(cfg.out)
 	fmt.Fprintln(cfg.out, "latency grows by ~P while idle listening drops by 1/P — the trade the paper opens with.")

@@ -1,7 +1,15 @@
 // Command experiments regenerates every experiment table of the
 // reproduction: one table or chart per theorem/lemma/figure of the paper
 // (see the package documentation of the root repro package for the claim
-// list, and README.md for the layer map).
+// list, and DESIGN.md for the paper-to-code map).
+//
+// The experiment grids — instances, trial counts, parameters, quick-mode
+// overlays — are NOT defined here: they load from the checked-in spec files
+// embedded by the scenarios package (scenarios/eN_*.json), the same files
+// `radiobfs run` executes. This command contributes only what a data file
+// cannot: the instrumented custom workloads (attached by name through
+// spec.Options.Custom) and the per-theorem table rendering. E6 is the one
+// exception — a trial-free Z-sequence printout with no grid to declare.
 //
 // All instance expansion and metering goes through the shared parallel
 // trial runner in internal/harness, so tables are reproducible from the
@@ -11,9 +19,10 @@
 //
 //	experiments [-quick] [-only E1,E7] [-seed 1] [-workers 0]
 //
-// -quick shrinks instance sizes for CI-scale runs; -only selects a subset;
-// -workers bounds trial parallelism (0 = all cores). Tables go to stdout,
-// per-experiment timing to stderr.
+// -quick compiles the specs' reduced-size overlays for CI-scale runs;
+// -only selects a subset; -workers bounds trial parallelism (0 = all
+// cores); -seed overrides the spec files' seed policy as the runner root.
+// Tables go to stdout, per-experiment timing to stderr.
 package main
 
 import (
@@ -26,6 +35,8 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/profiling"
+	"repro/internal/spec"
+	"repro/scenarios"
 )
 
 type experiment struct {
@@ -44,6 +55,23 @@ type config struct {
 // runAll is cfg sugar: execute scenarios on the shared runner.
 func (cfg config) runAll(scs ...*harness.Scenario) []harness.Result {
 	return cfg.runner.Run(scs...)
+}
+
+// loadSpec loads one embedded spec file and compiles it — honoring -quick —
+// with the experiment's custom workloads attached. The spec files are
+// checked in and validated by tests, so a failure here is a build defect
+// and aborts the run.
+func (cfg config) loadSpec(name string, custom map[string]spec.CustomFunc) (*spec.File, []*harness.Scenario) {
+	f, err := scenarios.Load(name)
+	if err == nil {
+		var scs []*harness.Scenario
+		if scs, err = spec.Compile(f, spec.Options{Quick: cfg.quick, Custom: custom}); err == nil {
+			return f, scs
+		}
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+	os.Exit(1)
+	return nil, nil
 }
 
 func main() {

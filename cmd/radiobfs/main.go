@@ -18,8 +18,16 @@
 //	radiobfs sweep -families cycle,grid -sizes 128,256 -trials 8 -workers 4
 //	radiobfs sweep -families geometric -sizes 256 -algos recursive,decay -json
 //
-// Sweep output on stdout is byte-identical for every -workers value; wall
-// time is reported on stderr.
+// The run subcommand executes declarative scenario specs (internal/spec;
+// the checked-in library lives in scenarios/) and persists their artifacts
+// — per-trial JSONL, aggregated CSV, a Markdown table, and a manifest — to
+// a results directory:
+//
+//	radiobfs run scenarios/e1_recursive.json
+//	radiobfs run -out results -workers 8 -quick scenarios/smoke.json
+//
+// Sweep and run output — stdout and artifacts alike — is byte-identical for
+// every -workers value; wall time is reported on stderr.
 package main
 
 import (
@@ -38,12 +46,21 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		if err := runSweep(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "radiobfs sweep:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			if err := runSweep(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "radiobfs sweep:", err)
+				os.Exit(1)
+			}
+			return
+		case "run":
+			if err := runSpecs(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "radiobfs run:", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "radiobfs:", err)

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/spec"
+)
+
+// runSpecs implements `radiobfs run <spec.json>...`: parse and validate each
+// declarative scenario file, execute it on the pooled parallel runner, and
+// persist its artifacts — per-trial JSONL, aggregated CSV, a rendered
+// Markdown table, and a manifest — under the output directory. Everything
+// written to stdout and to the artifact files is a pure function of the spec
+// and the root seed: re-running at any -workers value produces identical
+// bytes. Specs that reference custom workloads (the instrumented E-series
+// measurement code) are rejected here; cmd/experiments executes those.
+func runSpecs(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	outDir := fs.String("out", "results", "artifact directory; each spec writes to <out>/<spec name>/")
+	workers := fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
+	seed := fs.Uint64("seed", 0, "root seed override (0 = each spec file's own seed policy)")
+	quick := fs.Bool("quick", false, "apply the specs' reduced-size quick overlays")
+	quiet := fs.Bool("quiet", false, "suppress the aggregated text table on stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: radiobfs run [flags] <spec.json>...")
+		fmt.Fprintln(fs.Output(), "Executes declarative scenario specs (see scenarios/ and README.md) and")
+		fmt.Fprintln(fs.Output(), "persists JSONL/CSV/Markdown artifacts. Flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no spec files given")
+	}
+
+	// Parse, validate, AND compile everything up front — compiling is what
+	// rejects custom-workload specs — so a bad last spec cannot waste the
+	// first one's run.
+	files := make([]*spec.File, 0, len(paths))
+	for _, path := range paths {
+		f, err := spec.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := spec.Compile(f, spec.Options{Quick: *quick}); err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+
+	// Ctrl-C cancels in-flight trials at the next phase boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := spec.Options{Quick: *quick, Ctx: ctx}
+
+	failed := 0
+	for i, f := range files {
+		start := time.Now()
+		out, err := spec.ExecuteFile(f, *workers, *seed, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", paths[i], err)
+		}
+		dir, err := out.WriteArtifacts(*outDir)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			harness.WriteTable(os.Stdout, harness.FilterMetrics(out.Summaries, f.Columns))
+		}
+		for _, r := range out.Results {
+			if r.Err != "" {
+				failed++
+				fmt.Fprintf(os.Stderr, "trial %s/%s/n=%d#%d: %s\n", r.Scenario, r.Family, r.N, r.Index, r.Err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "run %s: %d trials, %d errors, seed %d, %v wall → %s\n",
+			f.Name, len(out.Results), out.Errors(), out.Root, time.Since(start).Round(time.Millisecond), dir)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d trials failed", failed)
+	}
+	return nil
+}

@@ -1,15 +1,3 @@
-// Package cluster implements the Miller–Peng–Xu graph clustering at the core
-// of the paper's §2: every vertex draws δ_v ~ Exponential(β), a cluster
-// starts growing from v at time -δ_v, and every vertex joins the first
-// cluster to reach it. The paper's distributed variant (§2.2, Lemma 2.5)
-// rounds start times to integers and grows clusters with one Local-Broadcast
-// per time unit; it is implemented here against the lbnet.Net interface, so
-// it runs on physical radio networks, on the LB-unit cost model, and on
-// virtual cluster graphs (enabling the recursive construction of §4).
-//
-// Centralized mirrors (BuildRounded, BuildIdeal) reproduce the same process
-// without communication, for cross-validation and for measuring the
-// distance-preservation properties of Lemmas 2.1–2.3.
 package cluster
 
 import (

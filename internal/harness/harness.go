@@ -119,12 +119,18 @@ func Cross(families []string, sizes []int, maxDist func(family string, n int) in
 type Metrics map[string]float64
 
 // Trial identifies one unit of work: an instance of a scenario plus a trial
-// index and the derived seed that makes it reproducible in isolation.
+// index and the derived seeds that make it reproducible in isolation.
 type Trial struct {
 	Scenario string `json:"scenario"`
 	Instance
 	Index int    `json:"trial"`
 	Seed  uint64 `json:"seed"`
+	// GraphSeed is the seed registry workloads build their instance graph
+	// from. By default it derives from Seed (independent topology per
+	// trial); under Scenario.PinGraphs it derives from the root seed alone,
+	// so every trial — across scenarios of the same run — samples the same
+	// seeded-family graph and only the protocol randomness varies.
+	GraphSeed uint64 `json:"graphSeed"`
 }
 
 // TrialFunc is a custom workload: it receives a fully-identified Trial and
@@ -158,6 +164,12 @@ type Scenario struct {
 	Period int
 	// Passes is the Decay repetition count for AlgoDecay (default ⌈log₂ n⌉).
 	Passes int
+	// PinGraphs derives every trial's GraphSeed from the root seed instead
+	// of the trial seed: seeded-family graphs then depend only on (root,
+	// family, n), so scenarios of one run form apples-to-apples pairings on
+	// identical topologies and repeated trials sample only the protocol's
+	// randomness. Deterministic families are unaffected.
+	PinGraphs bool
 	// Params overrides the Recursive-BFS parameters for registry workloads.
 	Params *core.Params
 	// Ctx, when non-nil, cancels the scenario: trials poll it at phase
@@ -204,7 +216,11 @@ func TrialFor(sc *Scenario, inst Instance, index int, root uint64) Trial {
 	seed := rng.Derive(root,
 		strTag(sc.Name), strTag(inst.Family),
 		uint64(inst.N), uint64(inst.MaxDist), uint64(index))
-	return Trial{Scenario: sc.Name, Instance: inst, Index: index, Seed: seed}
+	gseed := rng.Derive(seed, 0x6ea9)
+	if sc.PinGraphs {
+		gseed = rng.Derive(root, 0x6ea9)
+	}
+	return Trial{Scenario: sc.Name, Instance: inst, Index: index, Seed: seed, GraphSeed: gseed}
 }
 
 // Expand lists every trial of a scenario in canonical order (instances in
@@ -283,7 +299,13 @@ func runBuiltin(ctx *Context, sc *Scenario, t Trial) (Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := ctx.Graph(t.Family, t.N, rng.Derive(t.Seed, 0x6ea9))
+	gseed := t.GraphSeed
+	if gseed == 0 {
+		// Hand-built Trial (not from TrialFor): fall back to the historical
+		// per-trial derivation.
+		gseed = rng.Derive(t.Seed, 0x6ea9)
+	}
+	g, err := ctx.Graph(t.Family, t.N, gseed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sinkFixture() []Result {
+	return []Result{
+		{Trial: Trial{Scenario: "s", Instance: Instance{Family: "cycle", N: 8, MaxDist: 4}, Index: 0, Seed: 1, GraphSeed: 7},
+			Metrics: Metrics{"b": 2, "a": 1}},
+		{Trial: Trial{Scenario: "s", Instance: Instance{Family: "cycle", N: 8, MaxDist: 4}, Index: 1, Seed: 2},
+			Metrics: Metrics{"b": 4, "a": 3}},
+		{Trial: Trial{Scenario: "t", Instance: Instance{Family: "pi|pe", N: 2, MaxDist: 1}, Index: 0, Seed: 3},
+			Err: "boom"},
+	}
+}
+
+func TestWriteTrialJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrialJSONL(&buf, sinkFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	// Map keys are emitted sorted, so the bytes are canonical.
+	want := `{"scenario":"s","family":"cycle","n":8,"maxDist":4,"trial":0,"seed":1,"graphSeed":7,"metrics":{"a":1,"b":2}}`
+	if lines[0] != want {
+		t.Errorf("line 0:\n got %s\nwant %s", lines[0], want)
+	}
+	if !strings.Contains(lines[2], `"err":"boom"`) {
+		t.Errorf("error trial not recorded: %s", lines[2])
+	}
+}
+
+func TestWriteMarkdownAndFilter(t *testing.T) {
+	sums := Aggregate(sinkFixture())
+	var buf bytes.Buffer
+	WriteMarkdown(&buf, sums)
+	out := buf.String()
+	for _, want := range []string{"### s", "### t", "| a | 2 |", `pi\|pe`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+
+	filtered := FilterMetrics(sums, []string{"a", "nope"})
+	if len(filtered) != len(sums) {
+		t.Fatalf("FilterMetrics dropped cells")
+	}
+	if _, ok := filtered[0].Metrics["b"]; ok {
+		t.Error("metric b should be filtered out")
+	}
+	if _, ok := filtered[0].Metrics["a"]; !ok {
+		t.Error("metric a should be kept")
+	}
+	if len(FilterMetrics(sums, nil)) != len(sums) {
+		t.Error("nil columns must be a no-op")
+	}
+	// The original summaries must be untouched (copies, not mutation).
+	if _, ok := sums[0].Metrics["b"]; !ok {
+		t.Error("FilterMetrics mutated its input")
+	}
+}

@@ -1,0 +1,29 @@
+// Package lbnet defines the abstraction at the heart of the paper's §3: a
+// (possibly virtual) radio network on which algorithms are composed
+// exclusively of collective Local-Broadcast calls. The clustering algorithm,
+// the Up-cast/Down-cast primitives, Recursive-BFS and the diameter
+// algorithms are all written once against the Net interface and run
+// unchanged on:
+//
+//   - PhysNet — a physical RN[O(log n)] network, where each Local-Broadcast
+//     executes the Decay protocol on the radio engine (Lemma 2.4), or
+//   - UnitNet — the paper's own unit of measurement (§4.3: "We use a call to
+//     Local-Broadcast as a unit of measurement of both time and energy"),
+//     where one Local-Broadcast costs one time unit and one energy unit per
+//     participant, with the Lemma 2.4 delivery guarantee taken as given, or
+//   - vnet.VNet — a cluster graph simulated on top of either (Lemma 3.2).
+//
+// Calls carry sparse participant lists, so the cost of a Local-Broadcast is
+// proportional to the number of participants — sleeping vertices are free,
+// in the simulator exactly as in the model; UnitNet additionally takes an
+// exact O(1) fast path for sender-only and receiver-only slots.
+//
+// Control flow above this interface is data-independent: the sequence and
+// duration of collective calls depends only on globally known parameters,
+// never on received data, so sleeping vertices stay synchronized for free.
+//
+// Allocation contract: steady-state Local-Broadcasts on either
+// implementation allocate nothing once warm (PhysNet draws its buffers from
+// decay.Scratch); AllocsPerRun regression tests pin this, which is what
+// keeps large sweeps activity-bound rather than GC-bound.
+package lbnet

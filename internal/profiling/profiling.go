@@ -1,7 +1,3 @@
-// Package profiling wires the standard -cpuprofile/-memprofile flags into
-// the CLI drivers, so performance work on the simulation hot path stays
-// profile-driven: run a sweep or experiment with the flags and feed the
-// output to `go tool pprof`.
 package profiling
 
 import (

@@ -1,0 +1,20 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator with support for the distributions used throughout the radio
+// network simulator: uniform integers, Bernoulli trials, truncated
+// geometrics, and the Exponential(β) variates that drive Miller–Peng–Xu
+// clustering (§2 of the paper).
+//
+// Devices in the RN model (§1.1) have private randomness only (no shared
+// coins), so the package is built around cheap stream splitting: Derive
+// hashes a base seed together with a list of tags (device ID, call counter,
+// ...) into an independent stream seed. All algorithms in this repository
+// obtain their randomness exclusively through this package, which makes
+// every simulation fully reproducible from a single root seed.
+//
+// Derive is also the spine of the repository-wide determinism contract: the
+// experiment harness derives every trial's seed from (root seed, scenario
+// name, instance coordinates, trial index) — never from list positions or
+// scheduling — so sweeps, spec runs, and their persisted artifacts are
+// byte-identical at any worker count. Sources are plain values with no
+// locks or global state; a Source must not be shared across goroutines.
+package rng

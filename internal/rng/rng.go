@@ -1,15 +1,3 @@
-// Package rng provides a small, fast, deterministic pseudo-random number
-// generator with support for the distributions used throughout the radio
-// network simulator: uniform integers, Bernoulli trials, truncated
-// geometrics, and the Exponential(β) variates that drive Miller–Peng–Xu
-// clustering.
-//
-// Devices in the RN model have private randomness only (no shared coins), so
-// the package is built around cheap stream splitting: Derive hashes a base
-// seed together with a list of tags (device ID, call counter, ...) into an
-// independent stream seed. All algorithms in this repository obtain their
-// randomness exclusively through this package, which makes every simulation
-// fully reproducible from a single root seed.
 package rng
 
 import "math"

@@ -1,0 +1,12 @@
+// Package scratch holds the tiny helpers shared by the reusable-buffer
+// ("scratch") types across the simulation packages (decay.Scratch,
+// labelcast.Scratch, the vnet cast buffers).
+//
+// It exists for the zero-allocation contract of the simulation hot path:
+// Grow hands back a buffer's old backing array whenever capacity allows, so
+// a scratch-carrying loop that has reached its working size stops
+// allocating entirely — the property the AllocsPerRun regression tests and
+// the committed benchmark baseline pin. Scratch types built on it belong to
+// one worker at a time (see the harness worker-context contract); they hold
+// no state that outlives a call, so reuse can never change results.
+package scratch

@@ -1,5 +1,3 @@
-// Package scratch holds the tiny helpers shared by the reusable-buffer
-// ("scratch") types across the simulation packages.
 package scratch
 
 // Grow returns s[:n], reallocating only when capacity is insufficient. It is

@@ -1,0 +1,15 @@
+// Package stats provides the statistics and presentation toolkit used by
+// the experiment harness and drivers: summary statistics, streaming
+// accumulators (Stream for moments and extrema, PSquare for quantiles
+// without retaining observations), log-log least-squares fits for the
+// scaling exponents quoted next to the paper's asymptotic claims, aligned
+// text tables, CSV output, and the ASCII chart used to render the Figure 3
+// time-evolution series.
+//
+// Everything here is deterministic formatting and arithmetic: rendering a
+// table or folding a stream is a pure function of its inputs, with no
+// locale, time, or map-iteration dependence — the last link in the chain
+// that makes experiment output and persisted artifacts byte-reproducible.
+// The streaming accumulators exist so aggregation over large sweeps runs in
+// O(1) memory per (cell, metric) regardless of trial count.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the small statistics and presentation toolkit used
-// by the experiment harness: summary statistics, log-log least-squares fits
-// for scaling exponents, aligned text tables, CSV output, and the ASCII
-// chart used to render the Figure 3 time-evolution series.
 package stats
 
 import (

@@ -1,0 +1,87 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/spec"
+)
+
+// TestLibraryValidatesAndCompiles parses, validates, and compiles every
+// checked-in spec file in both full and quick modes, with stub custom
+// workloads standing in for the instrumented code cmd/experiments attaches.
+// This is what lets cmd/experiments treat a spec failure as a build defect.
+func TestLibraryValidatesAndCompiles(t *testing.T) {
+	names := Names()
+	if len(names) < 15 {
+		t.Fatalf("expected the full library, found only %d specs: %v", len(names), names)
+	}
+	for _, name := range names {
+		f, err := Load(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if f.Name != strings.TrimSuffix(name, ".json") {
+			t.Errorf("%s: spec name %q should match its file name", name, f.Name)
+		}
+		if f.Doc == "" {
+			t.Errorf("%s: missing doc line", name)
+		}
+		stubs := map[string]spec.CustomFunc{}
+		for i := range f.Scenarios {
+			if c := f.Scenarios[i].Custom; c != "" {
+				stubs[c] = func(*spec.Scenario) (harness.TrialCtxFunc, error) {
+					return func(*harness.Context, harness.Trial) (harness.Metrics, error) {
+						return harness.Metrics{"stub": 1}, nil
+					}, nil
+				}
+			}
+		}
+		for _, quick := range []bool{false, true} {
+			scs, err := spec.Compile(f, spec.Options{Quick: quick, Custom: stubs})
+			if err != nil {
+				t.Errorf("%s (quick=%v): %v", name, quick, err)
+				continue
+			}
+			for _, sc := range scs {
+				if len(sc.Instances) == 0 {
+					t.Errorf("%s (quick=%v): scenario %s compiled to zero instances", name, quick, sc.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestSmokeSpecRunsEverywhere executes the CI smoke spec at two worker
+// counts and requires identical results — the embedded-library counterpart
+// of the CLI smoke step in CI.
+func TestSmokeSpecRunsEverywhere(t *testing.T) {
+	f, err := Load("smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []harness.Result
+	for _, workers := range []int{1, 4} {
+		out, err := spec.ExecuteFile(f, workers, 0, spec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := out.Errors(); n != 0 {
+			t.Fatalf("workers=%d: %d trials failed", workers, n)
+		}
+		if first == nil {
+			first = out.Results
+			continue
+		}
+		if len(out.Results) != len(first) {
+			t.Fatalf("trial count changed with worker count")
+		}
+		for i := range first {
+			if first[i].Seed != out.Results[i].Seed {
+				t.Fatalf("trial %d seed changed with worker count", i)
+			}
+		}
+	}
+}
