@@ -1,6 +1,6 @@
 # Development targets for the radio-network BFS reproduction.
 
-.PHONY: build test bench bench-check experiments fmt vet
+.PHONY: build test bench bench-pr5 bench-check bench-diff experiments scale-suite fmt vet
 
 build:
 	go build ./...
@@ -23,11 +23,34 @@ bench:
 		-before BENCH_baseline.json \
 		-out BENCH_baseline.json
 
+# bench-pr5 re-records the sharded-execution performance report: the full
+# suite (including the scale-step benchmarks) against the tracked baseline.
+# Run on a quiet multi-core machine; the sharded speedups scale with cores.
+bench-pr5:
+	go run ./cmd/benchjson -benchtime 20x \
+		-before BENCH_baseline.json \
+		-note "PR5 sharded execution; GOMAXPROCS-dependent" \
+		-out BENCH_pr5.json
+
 # bench-check is the CI smoke comparison: every baseline benchmark must
 # still exist, and benchmarks whose committed allocs/op is zero must still
-# allocate nothing. Wall-clock numbers are deliberately not compared.
+# allocate nothing. Wall-clock numbers are deliberately not compared; the
+# bench-diff table that follows makes the tracked baseline transition
+# reviewable in the same CI log.
 bench-check:
 	go run ./cmd/benchjson -check BENCH_baseline.json -benchtime 1x
+	@if [ -f BENCH_pr5.json ]; then $(MAKE) --no-print-directory bench-diff; fi
+
+# bench-diff prints per-benchmark ns/op and allocs/op deltas between the
+# committed baseline and the PR5 report.
+bench-diff:
+	go run ./cmd/benchjson -diff BENCH_baseline.json BENCH_pr5.json
 
 experiments:
 	go run ./cmd/experiments
+
+# scale-suite executes the million-vertex scenario grid end to end and
+# persists its artifacts (see scenarios/scale_suite.json; minutes of wall
+# time, scales with cores).
+scale-suite:
+	go run ./cmd/radiobfs run -out results scenarios/scale_suite.json

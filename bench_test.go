@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
@@ -521,6 +522,89 @@ func BenchmarkEngineStep(b *testing.B) {
 			b.Fatal(res.Err)
 		}
 	}
+}
+
+// BenchmarkScaleStep measures one physical slot in the million-vertex
+// regime the scale suite exercises: a 1024-vertex frontier transmits while
+// every other vertex listens on a random tree with n = 2²⁰. Sub-benchmarks
+// sweep the shard count of the same step; results are byte-identical at
+// every count (see radio.StepParallel), so the spread is pure wall-clock.
+// On a single-core runner the shards > 1 rows only show the fan-out
+// overhead; the speedup scales with GOMAXPROCS.
+func BenchmarkScaleStep(b *testing.B) {
+	n := 1 << 20
+	g := graph.RandomTree(n, rng.New(1))
+	isTx := make([]bool, n)
+	var tx []radio.TX
+	for i := 0; i < 1024; i++ {
+		v := int32(i * (n / 1024))
+		isTx[v] = true
+		tx = append(tx, radio.TX{ID: v, Msg: radio.Msg{Kind: 1, A: uint64(v)}})
+	}
+	var listeners []int32
+	for v := 0; v < n; v++ {
+		if !isTx[v] {
+			listeners = append(listeners, int32(v))
+		}
+	}
+	out := make([]radio.RX, len(listeners))
+	for _, shards := range []int{1, 2, 4, 8} {
+		eng := radio.NewEngine(g, radio.WithShards(shards))
+		b.Run(fmt.Sprintf("n=1M/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.StepParallel(tx, listeners, out)
+			}
+		})
+	}
+}
+
+// BenchmarkScaleDecayTrial measures one full scale-suite trial — seeded
+// graph build plus Decay BFS on the physical channel at n = 2²⁰ — through
+// the pooled worker context, sequentially and with the engine sharded
+// across all cores (the Runner's big-instance scheduling policy).
+func BenchmarkScaleDecayTrial(b *testing.B) {
+	sc := &harness.Scenario{
+		Name:      "bench-scale-decay",
+		Algo:      harness.AlgoDecay,
+		Passes:    2,
+		Instances: []harness.Instance{{Family: "tree", N: 1 << 20, MaxDist: 4}},
+	}
+	inst := sc.Instances[0]
+	shardCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		shardCounts = append(shardCounts, p)
+	}
+	for _, shards := range shardCounts {
+		ctx := harness.NewContext()
+		ctx.SetShards(shards)
+		b.Run(fmt.Sprintf("n=1M/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				execTrial(b, ctx, sc, inst, i)
+			}
+		})
+	}
+}
+
+// BenchmarkSeededGraphBuild measures the per-trial topology rebuild of a
+// seeded-family sweep at scale: the pooled worker-context path (one builder
+// Reset per trial) against a cold build per trial.
+func BenchmarkSeededGraphBuild(b *testing.B) {
+	n := 1 << 20
+	b.Run("pooled", func(b *testing.B) {
+		ctx := harness.NewContext()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Graph("tree", n, uint64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repro.NewGraph("tree", n, uint64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEngineStepRaw measures one bare physics step with allocation

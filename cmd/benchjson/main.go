@@ -20,12 +20,21 @@
 //	                                                   zero-allocation
 //	                                                   benchmarks stayed at
 //	                                                   zero
+//	benchjson -diff OLD NEW                            print per-benchmark
+//	                                                   ns/op and allocs/op
+//	                                                   deltas between two
+//	                                                   recorded reports
 //
 // Check mode deliberately compares only benchmark presence and the
 // allocs/op of benchmarks whose baseline is exactly zero: wall-clock
 // numbers are too machine-dependent for CI, but a steady-state allocation
 // regression is deterministic and is precisely the property the
 // zero-allocation hot path work established.
+//
+// Diff mode renders the OLD → NEW movement of every benchmark the two
+// reports share, plus the benchmarks only one of them has, so a tracked
+// baseline transition (BENCH_baseline.json → BENCH_pr5.json) is reviewable
+// in CI output instead of by eyeballing two JSON files.
 package main
 
 import (
@@ -34,12 +43,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -70,8 +82,21 @@ func main() {
 	input := flag.String("input", "", "parse this go-test bench log instead of running the suite")
 	before := flag.String("before", "", "embed this benchjson JSON as the before section and compute speedups")
 	check := flag.String("check", "", "smoke-compare a fresh run against this baseline JSON and exit non-zero on regression")
+	diff := flag.Bool("diff", false, "diff two recorded reports (positional args: OLD NEW) instead of running the suite")
 	note := flag.String("note", "", "free-form note stored in the report")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two report files: OLD NEW")
+			os.Exit(2)
+		}
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *check != "" {
 		if err := runCheck(*check, *bench, *benchtime); err != nil {
@@ -221,6 +246,61 @@ func speedups(before, after []Benchmark) map[string]float64 {
 		}
 	}
 	return out
+}
+
+// runDiff prints the per-benchmark movement between two recorded reports:
+// ns/op with relative delta, allocs/op with absolute delta, and the
+// benchmarks present on only one side. Output is a fixed-width table sorted
+// by name, so CI logs diff cleanly across runs.
+func runDiff(w io.Writer, oldPath, newPath string) error {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	prev := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		prev[b.Name] = b
+	}
+	next := make(map[string]Benchmark, len(newRep.Benchmarks))
+	names := make([]string, 0, len(prev))
+	for _, b := range newRep.Benchmarks {
+		next[b.Name] = b
+	}
+	for name := range prev {
+		names = append(names, name)
+	}
+	for name := range next {
+		if _, ok := prev[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\tns/op %s\tns/op %s\tΔns/op\tallocs %s\tallocs %s\tΔallocs\t\n",
+		filepath.Base(oldPath), filepath.Base(newPath), filepath.Base(oldPath), filepath.Base(newPath))
+	for _, name := range names {
+		o, hasOld := prev[name]
+		n, hasNew := next[name]
+		switch {
+		case !hasNew:
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t%.0f\t-\t\t\n", name, o.NsPerOp, o.AllocsOp)
+		case !hasOld:
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%.0f\t\t\n", name, n.NsPerOp, n.AllocsOp)
+		default:
+			rel := "n/a"
+			if o.NsPerOp > 0 {
+				rel = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%+g\t\n",
+				name, o.NsPerOp, n.NsPerOp, rel, o.AllocsOp, n.AllocsOp, n.AllocsOp-o.AllocsOp)
+		}
+	}
+	return tw.Flush()
 }
 
 // runCheck reruns the suite and smoke-compares it against the baseline.

@@ -122,9 +122,18 @@ func main() {
 		{"E12", "Theorem 5.3 — 2-approximate diameter", runE12},
 		{"E13", "Theorem 5.4 — 3/2-approximate diameter", runE13},
 		{"E14", "§1 motivation — polling-period dissemination", runE14},
+		{"SCALE", "production-scale physics stress — sharded Step at n ≥ 10⁶", runScale},
 	}
+	// Heavy experiments are opt-in at full size: they run when named in
+	// -only, or via their reduced quick overlay, but not in a default full
+	// sweep (the scale suite alone is about a minute of wall time).
+	heavy := map[string]bool{"SCALE": true}
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		if len(selected) == 0 && heavy[e.id] && !*quick {
+			fmt.Fprintf(os.Stderr, "%s skipped at full size (run with -only %s, or -quick for the overlay)\n", e.id, e.id)
 			continue
 		}
 		start := time.Now()

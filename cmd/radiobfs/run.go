@@ -28,6 +28,7 @@ func runSpecs(args []string) error {
 	seed := fs.Uint64("seed", 0, "root seed override (0 = each spec file's own seed policy)")
 	quick := fs.Bool("quick", false, "apply the specs' reduced-size quick overlays")
 	quiet := fs.Bool("quiet", false, "suppress the aggregated text table on stdout")
+	shardMinN := fs.Int("shardminn", 0, "instance size from which a trial runs alone with the engine sharded across the pool (0 = default threshold, negative = disable); never changes output bytes")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: radiobfs run [flags] <spec.json>...")
 		fmt.Fprintln(fs.Output(), "Executes declarative scenario specs (see scenarios/ and README.md) and")
@@ -61,7 +62,7 @@ func runSpecs(args []string) error {
 	// Ctrl-C cancels in-flight trials at the next phase boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	opts := spec.Options{Quick: *quick, Ctx: ctx}
+	opts := spec.Options{Quick: *quick, Ctx: ctx, ShardMinN: *shardMinN}
 
 	failed := 0
 	for i, f := range files {

@@ -117,3 +117,96 @@ func TestLog2CeilMatchesLoop(t *testing.T) {
 		}
 	}
 }
+
+// graphsEqual reports structural equality of two graphs.
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := int32(0); int(v) < a.N(); v++ {
+		x, y := a.Neighbors(v), b.Neighbors(v)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBuilderResetMatchesFresh pins the pooled-builder contract: a builder
+// Reset and refilled — across size changes, in both directions — produces
+// graphs identical to a fresh builder's.
+func TestBuilderResetMatchesFresh(t *testing.T) {
+	pooled := NewBuilder(0)
+	for _, n := range []int{17, 64, 9, 128, 0, 33} {
+		r := rng.New(uint64(n + 1))
+		edges := make([][2]int32, 0, 2*n)
+		for i := 0; i < 2*n; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			edges = append(edges, [2]int32{u, v})
+		}
+		want := FromEdges(n, edges)
+		pooled.Reset(n)
+		for _, e := range edges {
+			if e[0] != e[1] {
+				pooled.AddEdge(e[0], e[1])
+			}
+		}
+		if got := pooled.Graph(); !graphsEqual(got, want) {
+			t.Fatalf("n=%d: pooled builder graph differs from fresh", n)
+		}
+	}
+}
+
+// TestNamedIntoMatchesNamed pins the pooled registry path to the fresh one
+// for every family, seeded or not.
+func TestNamedIntoMatchesNamed(t *testing.T) {
+	b := NewBuilder(0)
+	for _, fam := range FamilyNames() {
+		for _, seed := range []uint64{1, 7} {
+			want, ok1 := Named(fam, 200, seed)
+			got, ok2 := NamedInto(b, fam, 200, seed)
+			if !ok1 || !ok2 {
+				t.Fatalf("family %q unknown", fam)
+			}
+			if !graphsEqual(got, want) {
+				t.Fatalf("family %q seed %d: NamedInto differs from Named", fam, seed)
+			}
+		}
+	}
+	if _, ok := NamedInto(b, "no-such-family", 10, 1); ok {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestBuilderResetSteadyStateAllocs is the pooled-builder allocation pin: a
+// warmed builder rebuilding a same-size seeded tree must allocate only what
+// the immutable result itself owns (offsets + neighbors + the Graph header)
+// plus the generator's rng — under 8 allocations, where a cold build pays
+// the accumulation arrays and the three counting-sort scratch slices on top.
+func TestBuilderResetSteadyStateAllocs(t *testing.T) {
+	const n = 4096
+	b := FromDegreeHint(n, 2)
+	seed := uint64(0)
+	if _, ok := NamedInto(b, "tree", n, seed); !ok { // warm the pools
+		t.Fatal("tree family missing")
+	}
+	pooled := testing.AllocsPerRun(20, func() {
+		seed++
+		NamedInto(b, "tree", n, seed)
+	})
+	fresh := testing.AllocsPerRun(20, func() {
+		seed++
+		Named("tree", n, seed)
+	})
+	if pooled > 8 {
+		t.Fatalf("pooled seeded build allocates %v per graph, want <= 8", pooled)
+	}
+	if pooled >= fresh {
+		t.Fatalf("pooled build (%v allocs) should beat fresh build (%v allocs)", pooled, fresh)
+	}
+}

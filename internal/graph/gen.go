@@ -105,7 +105,13 @@ func BinaryTree(n int) *Graph {
 // RandomTree returns a uniform-attachment random tree: vertex v attaches to a
 // uniformly random earlier vertex.
 func RandomTree(n int, r *rng.Source) *Graph {
-	b := NewBuilderHint(n, n-1)
+	return RandomTreeInto(NewBuilderHint(n, n-1), n, r)
+}
+
+// RandomTreeInto is RandomTree building through a caller-owned (typically
+// pooled) builder; b is Reset to n first. Identical output to RandomTree.
+func RandomTreeInto(b *Builder, n int, r *rng.Source) *Graph {
+	b.Reset(n)
 	for v := 1; v < n; v++ {
 		b.AddEdge(int32(v), int32(r.Intn(v)))
 	}
@@ -130,7 +136,12 @@ func Hypercube(d int) *Graph {
 // GNP returns an Erdős–Rényi G(n, p) graph. It may be disconnected; use
 // ConnectedGNP when connectivity is required.
 func GNP(n int, p float64, r *rng.Source) *Graph {
-	b := NewBuilder(n)
+	return GNPInto(NewBuilder(n), n, p, r)
+}
+
+// GNPInto is GNP building through a caller-owned builder (Reset to n first).
+func GNPInto(b *Builder, n int, p float64, r *rng.Source) *Graph {
+	b.Reset(n)
 	if p >= 1 {
 		return Complete(n)
 	}
@@ -158,11 +169,18 @@ func GNP(n int, p float64, r *rng.Source) *Graph {
 // ConnectedGNP returns G(n, p) with a uniform random spanning tree's worth of
 // extra edges added to guarantee connectivity (random-tree augmentation).
 func ConnectedGNP(n int, p float64, r *rng.Source) *Graph {
-	g := GNP(n, p, r)
+	return ConnectedGNPInto(NewBuilder(n), n, p, r)
+}
+
+// ConnectedGNPInto is ConnectedGNP through a caller-owned builder. The
+// finalized sample is independent storage, so the augmentation pass can
+// Reset and refill the same builder.
+func ConnectedGNPInto(b *Builder, n int, p float64, r *rng.Source) *Graph {
+	g := GNPInto(b, n, p, r)
 	if IsConnected(g) {
 		return g
 	}
-	b := NewBuilderHint(n, g.M()+n)
+	b.Reset(n)
 	g.Edges(func(u, v int32) { b.AddEdge(u, v) })
 	perm := r.Perm(n)
 	for i := 1; i < n; i++ {
@@ -177,12 +195,18 @@ func ConnectedGNP(n int, p float64, r *rng.Source) *Graph {
 // the closest pair of points in different components (repeatedly), modelling
 // sensors dropped over terrain with a few long-range relays.
 func RandomGeometric(n int, radius float64, r *rng.Source, connect bool) *Graph {
+	return RandomGeometricInto(NewBuilder(n), n, radius, r, connect)
+}
+
+// RandomGeometricInto is RandomGeometric through a caller-owned builder,
+// which is Reset and refilled for every connectivity-stitching rebuild.
+func RandomGeometricInto(b *Builder, n int, radius float64, r *rng.Source, connect bool) *Graph {
 	xs := make([]float64, n)
 	ys := make([]float64, n)
 	for i := 0; i < n; i++ {
 		xs[i], ys[i] = r.Float64(), r.Float64()
 	}
-	b := NewBuilder(n)
+	b.Reset(n)
 	// Cell grid for neighbor queries.
 	cell := radius
 	if cell <= 0 {
@@ -241,10 +265,10 @@ func RandomGeometric(n int, radius float64, r *rng.Source, connect bool) *Graph 
 				}
 			}
 		}
-		nb := NewBuilderHint(n, g.M()+1)
-		g.Edges(func(u, v int32) { nb.AddEdge(u, v) })
-		nb.AddEdge(bu, bv)
-		g = nb.Graph()
+		b.Reset(n)
+		g.Edges(func(u, v int32) { b.AddEdge(u, v) })
+		b.AddEdge(bu, bv)
+		g = b.Graph()
 	}
 }
 
@@ -361,63 +385,95 @@ func max32(a, b int32) int32 {
 }
 
 // family describes one entry of the workload-family registry: whether the
-// topology depends on the generator seed, and the constructor.
+// topology depends on the generator seed, the constructor, and — for the
+// seeded families the harness rebuilds every trial — the pooled-builder
+// constructor NamedInto prefers.
 type family struct {
 	seeded bool
 	build  func(n int, r *rng.Source) *Graph
+	into   func(b *Builder, n int, r *rng.Source) *Graph
 }
 
 // families is the single registry behind Named, FamilyNames and
 // FamilySeeded, so existence and seededness can never disagree. A family
 // whose constructor draws from r MUST be registered seeded: the harness
 // graph cache shares one instance of every unseeded family across trials.
+// gnpP and geoRadius are the size-derived family parameters, shared by the
+// fresh and pooled-builder registry constructors so the two paths can never
+// drift.
+func gnpP(n int) float64 { return 2 * math.Log(float64(n)) / float64(n) }
+
+func geoRadius(n int) float64 {
+	return 1.8 * math.Sqrt(math.Log(float64(n)+2)/(math.Pi*float64(n)))
+}
+
 var families = map[string]family{
-	"path":  {false, func(n int, _ *rng.Source) *Graph { return Path(n) }},
-	"cycle": {false, func(n int, _ *rng.Source) *Graph { return Cycle(n) }},
+	"path":  {false, func(n int, _ *rng.Source) *Graph { return Path(n) }, nil},
+	"cycle": {false, func(n int, _ *rng.Source) *Graph { return Cycle(n) }, nil},
 	"grid": {false, func(n int, _ *rng.Source) *Graph {
 		side := int(math.Round(math.Sqrt(float64(n))))
 		if side < 1 {
 			side = 1
 		}
 		return Grid(side, side)
-	}},
+	}, nil},
 	"torus": {false, func(n int, _ *rng.Source) *Graph {
 		side := int(math.Round(math.Sqrt(float64(n))))
 		if side < 2 {
 			side = 2
 		}
 		return Torus(side, side)
-	}},
-	"star":     {false, func(n int, _ *rng.Source) *Graph { return Star(n) }},
-	"complete": {false, func(n int, _ *rng.Source) *Graph { return Complete(n) }},
-	"tree":     {true, RandomTree},
-	"gnp": {true, func(n int, r *rng.Source) *Graph {
-		p := 2 * math.Log(float64(n)) / float64(n)
-		return ConnectedGNP(n, p, r)
-	}},
-	"geometric": {true, func(n int, r *rng.Source) *Graph {
-		radius := 1.8 * math.Sqrt(math.Log(float64(n)+2)/(math.Pi*float64(n)))
-		return RandomGeometric(n, radius, r, true)
-	}},
+	}, nil},
+	"star":     {false, func(n int, _ *rng.Source) *Graph { return Star(n) }, nil},
+	"complete": {false, func(n int, _ *rng.Source) *Graph { return Complete(n) }, nil},
+	"tree":     {true, RandomTree, RandomTreeInto},
+	"gnp": {true,
+		func(n int, r *rng.Source) *Graph {
+			return ConnectedGNP(n, gnpP(n), r)
+		},
+		func(b *Builder, n int, r *rng.Source) *Graph {
+			return ConnectedGNPInto(b, n, gnpP(n), r)
+		}},
+	"geometric": {true,
+		func(n int, r *rng.Source) *Graph {
+			return RandomGeometric(n, geoRadius(n), r, true)
+		},
+		func(b *Builder, n int, r *rng.Source) *Graph {
+			return RandomGeometricInto(b, n, geoRadius(n), r, true)
+		}},
 	"hypercube": {false, func(n int, _ *rng.Source) *Graph {
 		d := 0
 		for 1<<(d+1) <= n {
 			d++
 		}
 		return Hypercube(d)
-	}},
-	"lollipop":    {false, func(n int, _ *rng.Source) *Graph { return Lollipop(n/2, n-n/2) }},
-	"caterpillar": {false, func(n int, _ *rng.Source) *Graph { return Caterpillar(n/4, 3) }},
+	}, nil},
+	"lollipop":    {false, func(n int, _ *rng.Source) *Graph { return Lollipop(n/2, n-n/2) }, nil},
+	"caterpillar": {false, func(n int, _ *rng.Source) *Graph { return Caterpillar(n/4, 3) }, nil},
 }
 
 // Named returns a standard test-family graph by name; used by the CLI and
 // experiment harness. See FamilyNames for the accepted names.
 func Named(name string, n int, seed uint64) (*Graph, bool) {
+	return NamedInto(nil, name, n, seed)
+}
+
+// NamedInto is Named building through a caller-owned builder pool where the
+// family supports it (the seeded families — the ones rebuilt per trial).
+// Passing a nil builder, or naming a family without a pooled constructor,
+// falls back to a fresh build. The resulting graph is always identical to
+// Named's for the same (name, n, seed): the pooled path reuses only
+// accumulation arrays, never randomness.
+func NamedInto(b *Builder, name string, n int, seed uint64) (*Graph, bool) {
 	f, ok := families[name]
 	if !ok {
 		return nil, false
 	}
-	return f.build(n, rng.New(rng.Derive(seed, 0xfa111e5))), true
+	r := rng.New(rng.Derive(seed, 0xfa111e5))
+	if b != nil && f.into != nil {
+		return f.into(b, n, r), true
+	}
+	return f.build(n, r), true
 }
 
 // FamilySeeded reports whether the named family's topology depends on the

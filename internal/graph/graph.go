@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"repro/internal/scratch"
 )
 
 // Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1 (0 for n ≤ 1). It is the shared
@@ -57,6 +59,47 @@ func (g *Graph) HasEdge(u, v int32) bool {
 	return i < len(adj) && adj[i] == v
 }
 
+// NeighborsRange returns the sub-slice of Neighbors(v) whose values lie in
+// [lo, hi). Adjacency lists are sorted, so the sub-range is located with two
+// binary searches in O(log deg(v)); the result aliases internal storage and
+// must not be modified. It is the per-shard adjacency view behind the radio
+// engine's sharded step: a shard owning the ID range [lo, hi) marks exactly
+// the neighbors this slice holds.
+func (g *Graph) NeighborsRange(v, lo, hi int32) []int32 {
+	adj := g.neighbors[g.offsets[v]:g.offsets[v+1]]
+	a := sort.Search(len(adj), func(i int) bool { return adj[i] >= lo })
+	b := a + sort.Search(len(adj)-a, func(i int) bool { return adj[a+i] >= hi })
+	return adj[a:b]
+}
+
+// ShardBounds appends to buf the k+1 boundaries of a partition of the vertex
+// range into k contiguous shards: shard s owns IDs [bounds[s], bounds[s+1]),
+// with bounds[0] = 0 and bounds[k] = N(). Shards are balanced by work, not
+// by vertex count: the weight of vertex v is deg(v) + 1, so a shard's share
+// of (arcs + vertices) is within one vertex of total/k even on skewed degree
+// distributions. Boundaries are found by binary search on the monotone
+// prefix weight offsets[v] + v. k > N() yields trailing empty shards; the
+// partition is always exhaustive and disjoint.
+func (g *Graph) ShardBounds(k int, buf []int32) []int32 {
+	if k < 1 {
+		panic("graph: shard count must be >= 1")
+	}
+	n := int32(g.N())
+	buf = append(buf[:0], 0)
+	total := int64(len(g.neighbors)) + int64(n)
+	for s := 1; s < k; s++ {
+		target := total * int64(s) / int64(k)
+		v := int32(sort.Search(int(n), func(v int) bool {
+			return int64(g.offsets[v])+int64(v) >= target
+		}))
+		if prev := buf[len(buf)-1]; v < prev {
+			v = prev
+		}
+		buf = append(buf, v)
+	}
+	return append(buf, n)
+}
+
 // Edges calls fn once per undirected edge {u, v} with u < v.
 func (g *Graph) Edges(fn func(u, v int32)) {
 	for u := int32(0); u < int32(g.N()); u++ {
@@ -75,10 +118,21 @@ func (g *Graph) Edges(fn func(u, v int32)) {
 // once per direction), so accumulation is two appends with no per-vertex
 // slice headers, and finalization is a two-pass counting sort rather than a
 // comparison sort per vertex.
+// A Builder may be reused across graphs via Reset: the arc arrays and the
+// finalization scratch persist, so a pooled builder that has reached its
+// working size accumulates and finalizes follow-up graphs with only the two
+// allocations the immutable result itself owns (offsets and neighbors). The
+// trial harness pools one builder per worker for exactly this: seeded-family
+// sweeps stop paying a cold build per trial.
 type Builder struct {
 	n   int
 	src []int32
 	dst []int32
+
+	// finalization scratch, reused across Graph calls.
+	pos    []int32
+	tmpSrc []int32
+	tmpDst []int32
 }
 
 // NewBuilder returns a Builder for an n-vertex graph.
@@ -110,6 +164,18 @@ func FromDegreeHint(n, avgDeg int) *Builder {
 // N returns the number of vertices.
 func (b *Builder) N() int { return b.n }
 
+// Reset re-targets the builder at an empty n-vertex graph, keeping every
+// backing array (arc accumulation and finalization scratch) for reuse. A
+// builder after Reset(n) behaves exactly like NewBuilder(n).
+func (b *Builder) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	b.n = n
+	b.src = b.src[:0]
+	b.dst = b.dst[:0]
+}
+
 // AddEdge adds the undirected edge {u, v}. Out-of-range endpoints panic;
 // self-loops are ignored.
 func (b *Builder) AddEdge(u, v int32) {
@@ -130,7 +196,11 @@ func (b *Builder) AddEdge(u, v int32) {
 // comparison sorting.
 func (b *Builder) Graph() *Graph {
 	n, m := b.n, len(b.src)
-	pos := make([]int32, n+1)
+	pos := scratch.Grow(b.pos, n+1)
+	b.pos = pos
+	for v := range pos {
+		pos[v] = 0
+	}
 
 	// Pass 1: counting sort the arcs by destination.
 	for _, d := range b.dst {
@@ -142,8 +212,9 @@ func (b *Builder) Graph() *Graph {
 		pos[v] = sum
 		sum += c
 	}
-	tmpSrc := make([]int32, m)
-	tmpDst := make([]int32, m)
+	tmpSrc := scratch.Grow(b.tmpSrc, m)
+	tmpDst := scratch.Grow(b.tmpDst, m)
+	b.tmpSrc, b.tmpDst = tmpSrc, tmpDst
 	for i := 0; i < m; i++ {
 		d := b.dst[i]
 		j := pos[d]

@@ -14,7 +14,8 @@ type graphKey struct {
 }
 
 // Context is the per-worker trial state pool: a reusable radio engine, the
-// Decay scratch buffers, and a cache of deterministic workload graphs. The
+// Decay scratch buffers, a pooled graph builder for the seeded families
+// rebuilt every trial, and a cache of deterministic workload graphs. The
 // Runner creates one Context per worker and threads it through every trial
 // that worker executes, so steady-state sweeps reuse their heavy allocations
 // instead of rebuilding them per trial.
@@ -28,6 +29,15 @@ type graphKey struct {
 type Context struct {
 	eng   *radio.Engine
 	decay decay.Scratch
+	// builder is the pooled graph builder seeded-family trials rebuild
+	// their topology through: one pre-sized arc accumulator per worker,
+	// Reset between trials, so steady-state seeded sweeps stop paying a
+	// cold build per trial.
+	builder *graph.Builder
+	// shards is the engine shard count trials executed on this context use
+	// (1 = sequential). The Runner sets it to the worker-pool size for
+	// contexts that execute big instances one at a time.
+	shards int
 	// shared is a read-only cache of deterministic-family graphs built
 	// before worker fan-out, so one instance serves every worker; graphs
 	// are immutable, so lock-free concurrent reads are safe. graphs is the
@@ -84,7 +94,13 @@ func sharedGraphs(scenarios ...*Scenario) map[graphKey]*graph.Graph {
 // draws a different topology.
 func (c *Context) Graph(family string, n int, seed uint64) (*graph.Graph, error) {
 	if graph.FamilySeeded(family) {
-		return repro.NewGraph(family, n, seed)
+		if c.builder == nil {
+			c.builder = graph.FromDegreeHint(n, 8)
+		}
+		// FamilySeeded and NamedInto consult the same registry, so a
+		// seeded family always resolves.
+		g, _ := graph.NamedInto(c.builder, family, n, seed)
+		return g, nil
 	}
 	k := graphKey{family, n}
 	if g, ok := c.shared[k]; ok {
@@ -101,12 +117,22 @@ func (c *Context) Graph(family string, n int, seed uint64) (*graph.Graph, error)
 	return g, nil
 }
 
+// SetShards fixes the engine shard count for trials executed on this
+// context. Sharded and sequential execution are byte-identical (see
+// radio.StepParallel), so this is scheduling policy, never semantics.
+func (c *Context) SetShards(k int) {
+	c.shards = k
+	if c.eng != nil {
+		c.eng.SetShards(k)
+	}
+}
+
 // Engine returns the context's radio engine reset onto g: meters and clock
 // zeroed, scratch reused. The returned engine is valid until the next
 // Engine call on the same context.
 func (c *Context) Engine(g *graph.Graph) *radio.Engine {
 	if c.eng == nil {
-		c.eng = radio.NewEngine(g)
+		c.eng = radio.NewEngine(g, radio.WithShards(c.shards))
 		return c.eng
 	}
 	c.eng.Reset(g)

@@ -15,11 +15,15 @@
 //     gradient verification, the §1 Poll/Alarm applications, plus anything
 //     external packages Register) or a custom TrialFunc;
 //   - a Runner expands scenarios into independent trials and executes them
-//     on a worker pool. The simulation engine is not concurrency-safe, so
-//     parallelism lives strictly at the trial level: every trial builds its
-//     own graph and network from a seed derived with rng.Derive from
-//     (root, scenario, family, n, maxDist, trial index). Results are
-//     therefore bit-identical regardless of worker count or scheduling;
+//     on a worker pool. Every trial builds its own graph and network from a
+//     seed derived with rng.Derive from (root, scenario, family, n,
+//     maxDist, trial index), so results are bit-identical regardless of
+//     worker count or scheduling. Small instances run trial-parallel (one
+//     trial per worker); instances at or above Runner.ShardMinN instead run
+//     one at a time with the radio engine's physics steps sharded across
+//     the whole pool (radio.StepParallel — itself byte-identical to
+//     sequential stepping), so a single million-vertex trial saturates the
+//     machine too;
 //   - Aggregate folds per-trial Metrics into per-cell summaries
 //     (mean/stddev/min/quantiles/max via the streaming accumulators in
 //     internal/stats) and writes text tables, CSV, or JSON.

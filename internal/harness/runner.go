@@ -5,6 +5,15 @@ import (
 	"sync"
 )
 
+// DefaultShardMinN is the instance size at which the Runner switches a
+// trial from competing trial-parallel to running alone with the radio
+// engine sharded across the whole worker pool. Below it, trial-level
+// parallelism dominates (many independent small trials keep every core
+// busy); above it, a single trial's physics steps carry enough activity for
+// intra-trial sharding to win, and running such trials concurrently would
+// only thrash memory.
+const DefaultShardMinN = 1 << 17
+
 // Runner executes scenarios on a worker pool. The zero value runs every
 // trial on GOMAXPROCS workers with root seed 0; set Root to reproduce a
 // specific sweep and Workers to bound parallelism (1 = sequential).
@@ -12,11 +21,33 @@ import (
 // Because every trial derives its seed from its own coordinates (see
 // TrialFor) and results are written to position-indexed slots, Run's output
 // is byte-for-byte independent of Workers and of goroutine scheduling.
+//
+// Trials of big instances (Instance.N >= the shard threshold) are scheduled
+// differently — one at a time, with the engine sharded across the pool (see
+// radio.StepParallel) — but that changes only where the parallelism lives,
+// never the bytes: sharded steps are proven identical to sequential ones,
+// so aggregate output remains independent of Workers and ShardMinN alike.
 type Runner struct {
 	// Workers bounds concurrent trials; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// Root is the root seed every trial seed is derived from.
 	Root uint64
+	// ShardMinN overrides the instance size from which trials run with
+	// intra-trial sharding instead of trial parallelism: 0 selects
+	// DefaultShardMinN, negative disables intra-trial sharding entirely.
+	ShardMinN int
+}
+
+// shardMinN resolves the effective big-instance threshold (0 = disabled).
+func (r *Runner) shardMinN() int {
+	switch {
+	case r.ShardMinN < 0:
+		return 0
+	case r.ShardMinN == 0:
+		return DefaultShardMinN
+	default:
+		return r.ShardMinN
+	}
 }
 
 // Run expands the scenarios into trials, executes them all, and returns the
@@ -39,9 +70,6 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	// Deterministic-family graphs are built once up front and shared
 	// read-only by every worker, so neither the construction work nor the
 	// resident memory scales with the worker count.
@@ -52,6 +80,34 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 			results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
 		}
 		return results
+	}
+	// Big instances do not compete trial-parallel: each runs alone with its
+	// physics steps sharded across the full pool, so one million-vertex
+	// trial saturates the machine instead of serializing behind a worker.
+	small := jobs
+	if minN := r.shardMinN(); minN > 0 {
+		small = small[:0]
+		var big []job
+		for _, j := range jobs {
+			if j.t.N >= minN {
+				big = append(big, j)
+			} else {
+				small = append(small, j)
+			}
+		}
+		if len(big) > 0 {
+			ctx := newContextShared(shared)
+			ctx.SetShards(workers)
+			for _, j := range big {
+				results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
+			}
+		}
+	}
+	if len(small) == 0 {
+		return results
+	}
+	if workers > len(small) {
+		workers = len(small)
 	}
 	ch := make(chan job)
 	var wg sync.WaitGroup
@@ -70,7 +126,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 			}
 		}()
 	}
-	for _, j := range jobs {
+	for _, j := range small {
 		ch <- j
 	}
 	close(ch)

@@ -11,6 +11,11 @@
 //     activity-proportional — the cost of a step is O(Σ deg(transmitters) +
 //     #listeners), and rounds in which nobody is awake are skipped in O(1).
 //     This mirrors the paper's central concern: sleeping radios are free.
+//     Engines built WithShards(k) additionally execute sufficiently large
+//     steps as k parallel shards (deterministically: results are
+//     byte-identical to sequential execution at every shard count — see
+//     StepParallel), which is how million-vertex instances use every core
+//     inside a single trial.
 //
 //   - Sim/Device: a goroutine-per-device blocking API (Listen, Transmit,
 //     Idle) on which free-form protocols can be written as ordinary
@@ -23,6 +28,7 @@ package radio
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -88,6 +94,23 @@ type Engine struct {
 	cnt     []int32
 	from    []int32
 	touched []int32
+
+	// Sharded execution state (see Step and StepParallel). shards is the
+	// configured shard count; bounds caches the vertex ownership boundaries
+	// for the current graph (recomputed lazily after Reset or SetShards);
+	// shardScratch holds one touched list and violation counter per shard.
+	shards       int
+	bounds       []int32
+	shardScratch []shardScratch
+}
+
+// shardScratch is the per-shard private state of one sharded step. Entries
+// are written only by their owning shard goroutine during a step and read by
+// the coordinator after the join, so no field needs atomics.
+type shardScratch struct {
+	touched    []int32
+	violations int64
+	panicked   any
 }
 
 // Option configures an Engine.
@@ -118,6 +141,15 @@ func DefaultMsgBits(n int) int {
 // which the lowerbound package exercises.
 func WithCollisionDetection() Option {
 	return func(e *Engine) { e.cd = true }
+}
+
+// WithShards configures the engine to execute sufficiently large steps as k
+// parallel shards (see StepParallel). k <= 1 keeps every step sequential.
+// Sharded and sequential execution are byte-identical — outputs, meters, the
+// round clock and the message-violation counter never depend on the shard
+// count — so the option is purely a performance knob.
+func WithShards(k int) Option {
+	return func(e *Engine) { e.shards = k }
 }
 
 // NewEngine builds an engine over graph g.
@@ -157,11 +189,32 @@ func (e *Engine) Reset(g *graph.Graph) {
 		}
 	}
 	e.touched = e.touched[:0]
+	e.bounds = e.bounds[:0] // shard ownership is per-graph; recompute lazily
 	e.round = 0
 	e.msgViolations = 0
 	if !e.msgBitsSet {
 		e.maxMsgBits = DefaultMsgBits(n)
 	}
+}
+
+// SetShards reconfigures the shard count of an existing engine (the pooled
+// trial contexts use it when switching between trial-parallel and
+// intra-trial-parallel scheduling). Like WithShards, it never changes
+// results.
+func (e *Engine) SetShards(k int) {
+	if k == e.shards {
+		return
+	}
+	e.shards = k
+	e.bounds = e.bounds[:0]
+}
+
+// Shards returns the configured shard count (1 when sharding is off).
+func (e *Engine) Shards() int {
+	if e.shards < 1 {
+		return 1
+	}
+	return e.shards
 }
 
 // Graph returns the underlying topology.
@@ -231,6 +284,12 @@ func (e *Engine) ResetMeters() {
 // budget. Protocol tests assert this is zero.
 func (e *Engine) MsgViolations() int64 { return e.msgViolations }
 
+// shardStepMinWork is the activity threshold (Σ deg(transmitters) +
+// #listeners) below which Step stays sequential even on a sharded engine:
+// under it, the fixed cost of waking the shard goroutines exceeds the work
+// being split. A var, not a const, so tests can force either path.
+var shardStepMinWork = 1 << 16
+
 // Step executes one physical round. tx lists the transmitting devices with
 // their messages; listeners lists the listening devices. All other devices
 // idle. Results are written to out (which must have len(listeners)):
@@ -238,9 +297,20 @@ func (e *Engine) MsgViolations() int64 { return e.msgViolations }
 // of that listener transmitted. A device must not both transmit and listen
 // in the same round, and must not appear twice in tx; both are programming
 // errors that panic. Listeners must be duplicate-free (caller contract).
+//
+// On an engine configured with WithShards(k > 1), steps whose activity
+// reaches shardStepMinWork execute as k parallel shards; results are
+// byte-identical either way (see StepParallel).
 func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
 	if len(out) != len(listeners) {
 		panic(fmt.Sprintf("radio: out length %d != listeners length %d", len(out), len(listeners)))
+	}
+	// The sequential body lives here, not behind a call: one bare step is
+	// ~50ns and the sub-threshold path must not pay a function call for the
+	// sharding feature it is not using.
+	if e.shards > 1 && e.stepWork(tx, listeners) >= shardStepMinWork {
+		e.stepSharded(tx, listeners, out)
+		return
 	}
 	// Mark transmissions into neighbor counters, recording every counter the
 	// first time it is touched so teardown never re-walks a neighborhood.
@@ -288,4 +358,199 @@ func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
 	}
 	e.touched = e.touched[:0]
 	e.round++
+}
+
+// StepParallel is Step with the activity threshold bypassed: it always runs
+// the sharded path when the engine has more than one shard configured (and
+// falls back to the sequential path otherwise). Outputs, energy/listen/
+// transmit meters, the round clock and the message-violation counter are
+// byte-identical to Step's at any shard count — pinned by the property tests
+// in shard_test.go — so callers choose between them on performance grounds
+// only.
+func (e *Engine) StepParallel(tx []TX, listeners []int32, out []RX) {
+	if len(out) != len(listeners) {
+		panic(fmt.Sprintf("radio: out length %d != listeners length %d", len(out), len(listeners)))
+	}
+	if e.shards > 1 {
+		e.stepSharded(tx, listeners, out)
+		return
+	}
+	e.Step(tx, listeners, out) // shards <= 1: Step's dispatch stays sequential
+}
+
+// stepWork estimates the activity of one step — the quantity the model
+// charges for: Σ deg(transmitters) + #listeners.
+func (e *Engine) stepWork(tx []TX, listeners []int32) int {
+	w := len(listeners)
+	for i := range tx {
+		w += e.g.Degree(tx[i].ID)
+	}
+	return w
+}
+
+// stepSharded executes one physical round as e.shards parallel shards, in
+// three barrier-separated phases:
+//
+//   - Mark: vertex IDs are partitioned into contiguous ranges balanced by
+//     CSR arc count (graph.ShardBounds). Shard s owns the IDs in
+//     [bounds[s], bounds[s+1]) exclusively: it alone writes their cnt/from
+//     counters and transmitter meters, so marking needs no atomics. Each
+//     shard scans the tx slice in index order — exactly the sequential
+//     order — and marks, per transmitter, only the sub-range of its sorted
+//     adjacency list the shard owns (graph.NeighborsRange): per-shard mark
+//     work is O(Σdeg/k + |tx|·(1 + log deg)).
+//
+//   - Listen: listeners are partitioned by position, |listeners|/k
+//     contiguous slots per shard, so resolution is balanced and scan-free.
+//     Listeners are duplicate-free (Step's caller contract), so position
+//     ownership gives every listener's meters and out slot exactly one
+//     writer; the phase only reads the counters the mark phase settled,
+//     which is why the barrier sits between them.
+//
+//   - Teardown: each shard resets exactly the counters it recorded during
+//     its mark phase, after every reader is done.
+//
+// Because ownership is exclusive within every phase and the mark scan order
+// matches the sequential path, every counter, winner index, meter and
+// delivery is byte-identical to stepSeq's.
+//
+// Programming-error panics (duplicate transmitter, transmit+listen) are
+// recovered inside the shard, joined, and re-raised here — first shard wins
+// — so they surface on the caller's goroutine just as in the sequential
+// path. As with stepSeq, engine state after such a panic is unspecified.
+func (e *Engine) stepSharded(tx []TX, listeners []int32, out []RX) {
+	k := e.shards
+	if len(e.bounds) != k+1 {
+		e.bounds = e.g.ShardBounds(k, e.bounds)
+	}
+	if len(e.shardScratch) < k {
+		e.shardScratch = append(e.shardScratch, make([]shardScratch, k-len(e.shardScratch))...)
+	}
+	e.parallelShards(k, func(s int) { e.shardMark(s, tx) })
+	if !e.shardsPanicked(k) {
+		e.parallelShards(k, func(s int) { e.shardListen(s, k, tx, listeners, out) })
+	}
+	e.parallelShards(k, func(s int) { e.shardTeardown(s) })
+	var panicked any
+	for s := 0; s < k; s++ {
+		st := &e.shardScratch[s]
+		e.msgViolations += st.violations
+		st.violations = 0
+		if st.panicked != nil && panicked == nil {
+			panicked = st.panicked
+		}
+		st.panicked = nil
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
+	e.round++
+}
+
+// parallelShards runs phase(s) for every shard s in [0, k), shard 0 on the
+// calling goroutine, and joins. A shard panic is captured into its scratch
+// slot (first one per shard wins) rather than crashing the process.
+func (e *Engine) parallelShards(k int, phase func(s int)) {
+	run := func(s int) {
+		defer func() {
+			if r := recover(); r != nil && e.shardScratch[s].panicked == nil {
+				e.shardScratch[s].panicked = r
+			}
+		}()
+		phase(s)
+	}
+	var wg sync.WaitGroup
+	wg.Add(k - 1)
+	for s := 1; s < k; s++ {
+		go func(s int) {
+			defer wg.Done()
+			run(s)
+		}(s)
+	}
+	run(0)
+	wg.Wait()
+}
+
+// shardsPanicked reports whether any shard has captured a panic — the
+// signal to skip the listen phase, whose reads would be meaningless over a
+// half-marked round.
+func (e *Engine) shardsPanicked(k int) bool {
+	for s := 0; s < k; s++ {
+		if e.shardScratch[s].panicked != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// shardMark is the mark phase of one shard: transmitter accounting for the
+// IDs it owns and counter updates for the owned sub-range of every
+// transmitter's adjacency.
+func (e *Engine) shardMark(s int, tx []TX) {
+	st := &e.shardScratch[s]
+	lo, hi := e.bounds[s], e.bounds[s+1]
+	touched := st.touched[:0]
+	// The deferred store keeps the full list — the teardown phase walks it —
+	// and survives a mid-mark panic, so teardown still resets what was
+	// marked before the abort.
+	defer func() { st.touched = touched }()
+	for i := range tx {
+		t := &tx[i]
+		own := t.ID >= lo && t.ID < hi
+		if own {
+			if e.cnt[t.ID] == -1 {
+				panic(fmt.Sprintf("radio: device %d transmits twice in round %d", t.ID, e.round))
+			}
+			if e.maxMsgBits > 0 && t.Msg.Bits() > e.maxMsgBits {
+				st.violations++
+			}
+			e.energy[t.ID]++
+			e.transmits[t.ID]++
+		}
+		for _, u := range e.g.NeighborsRange(t.ID, lo, hi) {
+			if e.cnt[u] >= 0 {
+				if e.cnt[u] == 0 {
+					touched = append(touched, u)
+				}
+				e.cnt[u]++
+				e.from[u] = int32(i)
+			}
+		}
+		if own {
+			touched = append(touched, t.ID)
+			e.cnt[t.ID] = -1
+		}
+	}
+}
+
+// shardListen resolves the contiguous position range of listeners shard s
+// owns, identically to the sequential listener loop.
+func (e *Engine) shardListen(s, k int, tx []TX, listeners []int32, out []RX) {
+	plo, phi := s*len(listeners)/k, (s+1)*len(listeners)/k
+	for i := plo; i < phi; i++ {
+		v := listeners[i]
+		c := e.cnt[v]
+		if c == -1 {
+			panic(fmt.Sprintf("radio: device %d both transmits and listens in round %d", v, e.round))
+		}
+		e.energy[v]++
+		e.listens[v]++
+		switch {
+		case c == 1:
+			out[i] = RX{Msg: tx[e.from[v]].Msg, OK: true}
+		case c >= 2 && e.cd:
+			out[i] = RX{Noise: true}
+		default:
+			out[i] = RX{}
+		}
+	}
+}
+
+// shardTeardown resets exactly the counters shard s recorded while marking.
+func (e *Engine) shardTeardown(s int) {
+	st := &e.shardScratch[s]
+	for _, t := range st.touched {
+		e.cnt[t] = 0
+	}
+	st.touched = st.touched[:0]
 }

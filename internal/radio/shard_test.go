@@ -1,0 +1,228 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// randomShardGraph builds a random test topology with deliberately awkward
+// shape for shard ownership: a G(n,p)-style random core, a high-degree hub,
+// and a tail of isolated (degree-0) vertices.
+func randomShardGraph(n int, r *rng.Source) *graph.Graph {
+	b := graph.NewBuilder(n)
+	core := n - n/8 // last n/8 vertices stay isolated
+	if core < 2 {
+		core = n
+	}
+	for u := 0; u < core; u++ {
+		for e := 0; e < 3; e++ {
+			v := r.Intn(core)
+			if v != u {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	// Hub: vertex 0 is adjacent to every fourth core vertex, so one
+	// adjacency list spans many shard ranges.
+	for v := 1; v < core; v += 4 {
+		b.AddEdge(0, int32(v))
+	}
+	return b.Graph()
+}
+
+// stepPattern draws one random, non-overlapping transmitter/listener split.
+func stepPattern(n int, r *rng.Source) (tx []TX, listeners []int32) {
+	for v := 0; v < n; v++ {
+		switch r.Intn(5) {
+		case 0:
+			tx = append(tx, TX{ID: int32(v), Msg: Msg{Kind: 3, A: uint64(v), B: r.Uint64()}})
+		case 1, 2:
+			listeners = append(listeners, int32(v))
+		}
+	}
+	return tx, listeners
+}
+
+// TestStepParallelMatchesSequential is the central byte-identity property
+// test: over random graphs × random slot patterns, a sharded engine must
+// produce exactly the sequential engine's deliveries, per-device meters,
+// round clock and violation counter, at every shard count — including CD
+// engines, tight message budgets, and k > n.
+func TestStepParallelMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 5, 33, 200} {
+		for _, shards := range []int{2, 3, 7, 16, 200 + 5} {
+			for _, cd := range []bool{false, true} {
+				seed := uint64(n*1000 + shards*2 + 1)
+				g := randomShardGraph(n, rng.New(seed))
+				opts := []Option{WithMaxMsgBits(40)} // tight: some messages violate
+				if cd {
+					opts = append(opts, WithCollisionDetection())
+				}
+				seq := NewEngine(g, opts...)
+				par := NewEngine(g, append(opts, WithShards(shards))...)
+				r := rng.New(rng.Derive(seed, 0x51a7))
+				for round := 0; round < 30; round++ {
+					tx, listeners := stepPattern(n, r)
+					outSeq := make([]RX, len(listeners))
+					outPar := make([]RX, len(listeners))
+					seq.Step(tx, listeners, outSeq)
+					par.StepParallel(tx, listeners, outPar)
+					for i := range outSeq {
+						if outSeq[i] != outPar[i] {
+							t.Fatalf("n=%d shards=%d cd=%v round %d: listener %d got %+v, sequential %+v",
+								n, shards, cd, round, listeners[i], outPar[i], outSeq[i])
+						}
+					}
+				}
+				if seq.Round() != par.Round() || seq.MsgViolations() != par.MsgViolations() {
+					t.Fatalf("n=%d shards=%d cd=%v: clock/violations (%d, %d) vs sequential (%d, %d)",
+						n, shards, cd, par.Round(), par.MsgViolations(), seq.Round(), seq.MsgViolations())
+				}
+				for v := int32(0); int(v) < n; v++ {
+					if seq.Energy(v) != par.Energy(v) || seq.Listens(v) != par.Listens(v) || seq.Transmits(v) != par.Transmits(v) {
+						t.Fatalf("n=%d shards=%d cd=%v: device %d meters (%d,%d,%d) vs sequential (%d,%d,%d)",
+							n, shards, cd, v,
+							par.Energy(v), par.Listens(v), par.Transmits(v),
+							seq.Energy(v), seq.Listens(v), seq.Transmits(v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepThresholdDispatchMatches forces Step's transparent dispatch (not
+// StepParallel) down the sharded path by lowering the activity threshold,
+// and checks byte-identity end to end — the configuration the harness's big
+// instances actually run.
+func TestStepThresholdDispatchMatches(t *testing.T) {
+	defer func(old int) { shardStepMinWork = old }(shardStepMinWork)
+	shardStepMinWork = 1
+
+	n := 150
+	g := randomShardGraph(n, rng.New(7))
+	seq := NewEngine(g)
+	par := NewEngine(g, WithShards(4))
+	r := rng.New(99)
+	for round := 0; round < 40; round++ {
+		tx, listeners := stepPattern(n, r)
+		outSeq := make([]RX, len(listeners))
+		outPar := make([]RX, len(listeners))
+		seq.Step(tx, listeners, outSeq)
+		par.Step(tx, listeners, outPar)
+		for i := range outSeq {
+			if outSeq[i] != outPar[i] {
+				t.Fatalf("round %d listener %d: %+v vs %+v", round, listeners[i], outPar[i], outSeq[i])
+			}
+		}
+	}
+	if seq.MaxEnergy() != par.MaxEnergy() || seq.TotalEnergy() != par.TotalEnergy() || seq.Round() != par.Round() {
+		t.Fatalf("aggregate divergence: (%d,%d,%d) vs (%d,%d,%d)",
+			par.MaxEnergy(), par.TotalEnergy(), par.Round(),
+			seq.MaxEnergy(), seq.TotalEnergy(), seq.Round())
+	}
+}
+
+// TestSetShardsMidRun switches an engine between sequential and sharded
+// execution between rounds — the pooled-context reconfiguration path — and
+// requires the trajectory to match an always-sequential twin.
+func TestSetShardsMidRun(t *testing.T) {
+	n := 80
+	g := randomShardGraph(n, rng.New(21))
+	seq := NewEngine(g)
+	par := NewEngine(g)
+	r := rng.New(rng.Derive(21, 2))
+	for round := 0; round < 30; round++ {
+		par.SetShards(1 + round%5) // 1, 2, 3, 4, 5, 1, ...
+		tx, listeners := stepPattern(n, r)
+		outSeq := make([]RX, len(listeners))
+		outPar := make([]RX, len(listeners))
+		seq.Step(tx, listeners, outSeq)
+		par.StepParallel(tx, listeners, outPar)
+		for i := range outSeq {
+			if outSeq[i] != outPar[i] {
+				t.Fatalf("round %d: %+v vs %+v", round, outPar[i], outSeq[i])
+			}
+		}
+	}
+	if par.Shards() != 5 {
+		t.Fatalf("Shards() = %d, want 5", par.Shards())
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if seq.Energy(v) != par.Energy(v) {
+			t.Fatalf("device %d energy %d, sequential %d", v, par.Energy(v), seq.Energy(v))
+		}
+	}
+}
+
+// TestShardedDoubleTransmitPanics pins the duplicate-transmitter programming
+// error to a panic on the caller's goroutine under sharded execution.
+func TestShardedDoubleTransmitPanics(t *testing.T) {
+	e := NewEngine(graph.Path(64), WithShards(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate transmitter")
+		}
+	}()
+	e.StepParallel([]TX{{ID: 5}, {ID: 5}}, nil, nil)
+}
+
+// TestShardedTransmitAndListenPanics pins the transmit+listen programming
+// error under sharded execution, with the two roles owned by one shard.
+func TestShardedTransmitAndListenPanics(t *testing.T) {
+	e := NewEngine(graph.Path(64), WithShards(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on transmit+listen")
+		}
+	}()
+	e.StepParallel([]TX{{ID: 5}}, []int32{5}, make([]RX, 1))
+}
+
+// TestShardedReset checks an engine reused across graphs via Reset
+// recomputes its shard ownership for the new topology.
+func TestShardedReset(t *testing.T) {
+	e := NewEngine(graph.Star(32), WithShards(3))
+	out := make([]RX, 1)
+	e.StepParallel([]TX{{ID: 0, Msg: Msg{A: 9}}}, []int32{5}, out)
+	if !out[0].OK || out[0].Msg.A != 9 {
+		t.Fatalf("star delivery: %+v", out[0])
+	}
+	big := graph.Cycle(500)
+	e.Reset(big)
+	seq := NewEngine(big)
+	r := rng.New(3)
+	for round := 0; round < 10; round++ {
+		tx, listeners := stepPattern(500, r)
+		outSeq := make([]RX, len(listeners))
+		outPar := make([]RX, len(listeners))
+		seq.Step(tx, listeners, outSeq)
+		e.StepParallel(tx, listeners, outPar)
+		for i := range outSeq {
+			if outSeq[i] != outPar[i] {
+				t.Fatalf("round %d after Reset: %+v vs %+v", round, outPar[i], outSeq[i])
+			}
+		}
+	}
+}
+
+// BenchmarkStepShardedSmall guards the dispatch overhead: a sharded engine
+// on a sub-threshold step must stay on the sequential fast path.
+func BenchmarkStepShardedSmall(b *testing.B) {
+	g := graph.Grid(64, 64)
+	for _, shards := range []int{1, 4} {
+		e := NewEngine(g, WithShards(shards))
+		tx := []TX{{ID: 2000, Msg: Msg{A: 1}}}
+		listeners := []int32{2001, 2002, 2064}
+		out := make([]RX, len(listeners))
+		e.Step(tx, listeners, out)
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Step(tx, listeners, out)
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package radio
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/rng"
@@ -133,18 +132,81 @@ func (s *Sim) Run(body func(d *Device)) {
 	<-coordDone
 }
 
+// simAction is one heap entry of the coordinator: a device and the round of
+// its pending action. Entries order by (round, id), so popping all entries
+// that share the minimum round yields the batch already in ID order — the
+// determinism the old sort.Slice provided, without sorting.
+type simAction struct {
+	round int64
+	id    int32
+}
+
+// actionHeap is a hand-rolled binary min-heap over (round, id). A device has
+// at most one outstanding action, so keys are unique and the heap never
+// holds more than n entries. It lives on reused backing storage: push/pop
+// allocate nothing once the slice has grown to the device count.
+type actionHeap []simAction
+
+func (h actionHeap) less(i, j int) bool {
+	return h[i].round < h[j].round || (h[i].round == h[j].round && h[i].id < h[j].id)
+}
+
+func (h *actionHeap) push(a simAction) {
+	*h = append(*h, a)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *actionHeap) pop() simAction {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	*h = q[:last]
+	q = q[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(q) && q.less(l, m) {
+			m = l
+		}
+		if r < len(q) && q.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}
+
 // coordinate implements the conservative round loop: collect one pending
-// action from every live device, then resolve the earliest round.
+// action from every live device, then resolve the earliest round. Pending
+// actions live in an ID-indexed array and a (round, id) min-heap, so each
+// round costs O(batch · log n) instead of the full-roster scans and per-round
+// sort the map-based coordinator paid, and the batch/tx/listener slices are
+// reused across rounds.
 func (s *Sim) coordinate(live int, req <-chan reqMsg, done chan<- struct{}) {
 	defer close(done)
-	waiting := make(map[int32]pending, live)
+	pend := make([]pending, s.eng.N()) // indexed by device ID; kind == actNone means empty
+	var heap actionHeap
 	var tx []TX
 	var listeners []int32
 	var out []RX
 	var batch []int32
+	waiting := 0
 	for live > 0 {
 		// Fill: block until every live device has an outstanding action.
-		for len(waiting) < live {
+		for waiting < live {
 			r, ok := <-req
 			if !ok {
 				return
@@ -153,30 +215,21 @@ func (s *Sim) coordinate(live int, req <-chan reqMsg, done chan<- struct{}) {
 				live--
 				continue
 			}
-			waiting[r.id] = r.p
+			pend[r.id] = r.p
+			heap.push(simAction{round: r.p.round, id: r.id})
+			waiting++
 		}
 		if live == 0 {
 			break
 		}
-		// Find the earliest action round.
-		var minRound int64 = -1
-		for _, p := range waiting {
-			if minRound < 0 || p.round < minRound {
-				minRound = p.round
-			}
-		}
-		// Batch all devices acting at minRound, in ID order for determinism.
-		batch = batch[:0]
-		for id, p := range waiting {
-			if p.round == minRound {
-				batch = append(batch, id)
-			}
-		}
-		sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
-		tx, listeners, out = tx[:0], listeners[:0], out[:0]
-		for _, id := range batch {
-			p := waiting[id]
-			switch p.kind {
+		// Drain every action at the earliest round; (round, id) ordering
+		// hands them over in ID order.
+		minRound := heap[0].round
+		batch, tx, listeners, out = batch[:0], tx[:0], listeners[:0], out[:0]
+		for len(heap) > 0 && heap[0].round == minRound {
+			id := heap.pop().id
+			batch = append(batch, id)
+			switch p := &pend[id]; p.kind {
 			case actTransmit:
 				tx = append(tx, TX{ID: id, Msg: p.msg})
 			case actListen:
@@ -191,8 +244,9 @@ func (s *Sim) coordinate(live int, req <-chan reqMsg, done chan<- struct{}) {
 		// Reply: transmitters get a zero RX, listeners their delivery.
 		li := 0
 		for _, id := range batch {
-			p := waiting[id]
-			delete(waiting, id)
+			p := pend[id]
+			pend[id] = pending{}
+			waiting--
 			if p.kind == actListen {
 				p.reply <- out[li]
 				li++

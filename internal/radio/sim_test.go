@@ -183,6 +183,31 @@ func TestSimSequentialRuns(t *testing.T) {
 	}
 }
 
+func TestActionHeapOrdering(t *testing.T) {
+	// Pushing in adversarial order must pop in (round, id) order — the
+	// property that hands the coordinator its batches pre-sorted by ID.
+	var h actionHeap
+	var want []simAction
+	for round := int64(4); round >= 0; round-- {
+		for id := int32(9); id >= 0; id-- {
+			h.push(simAction{round: round, id: id})
+		}
+	}
+	for round := int64(0); round <= 4; round++ {
+		for id := int32(0); id <= 9; id++ {
+			want = append(want, simAction{round: round, id: id})
+		}
+	}
+	for i, w := range want {
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("%d entries left in heap", len(h))
+	}
+}
+
 func TestSimHaltWithoutActing(t *testing.T) {
 	// Devices that halt immediately must not wedge the coordinator.
 	e := NewEngine(graph.Cycle(6))
@@ -195,5 +220,30 @@ func TestSimHaltWithoutActing(t *testing.T) {
 	})
 	if e.TotalEnergy() != 3 {
 		t.Fatalf("energy = %d, want 3", e.TotalEnergy())
+	}
+}
+
+// BenchmarkSimCoordinator measures the coordinator round loop under a
+// protocol-shaped load: every device alternates randomized transmit, listen
+// and idle stretches, so rounds have skewed batches and the pending set
+// churns — the access pattern examples/rawproto exhibits.
+func BenchmarkSimCoordinator(b *testing.B) {
+	g := graph.Cycle(256)
+	e := NewEngine(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := NewSim(e, uint64(i+1))
+		sim.Run(func(d *Device) {
+			for op := 0; op < 16; op++ {
+				switch d.Rand().Intn(4) {
+				case 0:
+					d.Transmit(Msg{A: uint64(d.ID())})
+				case 1:
+					d.Idle(int64(d.Rand().Intn(3)))
+				default:
+					d.Listen()
+				}
+			}
+		})
 	}
 }

@@ -27,6 +27,10 @@ type Options struct {
 	// Compiling a spec whose Custom name has no entry here is an error —
 	// `radiobfs run` passes none and therefore executes registry-only specs.
 	Custom map[string]CustomFunc
+	// ShardMinN overrides the Runner's big-instance threshold for
+	// ExecuteFile (see harness.Runner.ShardMinN): 0 keeps the default,
+	// negative disables intra-trial sharding. Results never depend on it.
+	ShardMinN int
 }
 
 // Compile lowers a validated file onto harness scenarios, in declaration
