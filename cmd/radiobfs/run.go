@@ -29,6 +29,7 @@ func runSpecs(args []string) error {
 	quick := fs.Bool("quick", false, "apply the specs' reduced-size quick overlays")
 	quiet := fs.Bool("quiet", false, "suppress the aggregated text table on stdout")
 	shardMinN := fs.Int("shardminn", 0, "instance size from which a trial runs alone with the engine sharded across the pool (0 = default threshold, negative = disable); never changes output bytes")
+	denseMin := fs.Int("densemin", 0, "transmitter coverage from which the engine uses the packed-bitmap dense kernel (0 = default density rule, positive = coverage floor, negative = disable); never changes output bytes")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: radiobfs run [flags] <spec.json>...")
 		fmt.Fprintln(fs.Output(), "Executes declarative scenario specs (see scenarios/ and README.md) and")
@@ -62,7 +63,7 @@ func runSpecs(args []string) error {
 	// Ctrl-C cancels in-flight trials at the next phase boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	opts := spec.Options{Quick: *quick, Ctx: ctx, ShardMinN: *shardMinN}
+	opts := spec.Options{Quick: *quick, Ctx: ctx, ShardMinN: *shardMinN, DenseMin: *denseMin}
 
 	failed := 0
 	for i, f := range files {

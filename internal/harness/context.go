@@ -38,6 +38,11 @@ type Context struct {
 	// (1 = sequential). The Runner sets it to the worker-pool size for
 	// contexts that execute big instances one at a time.
 	shards int
+	// denseMin is the engine's dense-kernel threshold override (see
+	// radio.WithDenseMin): 0 keeps the engine default, positive engages the
+	// packed-bitmap kernel from that transmitter coverage, negative
+	// disables it.
+	denseMin int
 	// shared is a read-only cache of deterministic-family graphs built
 	// before worker fan-out, so one instance serves every worker; graphs
 	// are immutable, so lock-free concurrent reads are safe. graphs is the
@@ -127,12 +132,23 @@ func (c *Context) SetShards(k int) {
 	}
 }
 
+// SetDenseMin fixes the engine dense-kernel threshold for trials executed
+// on this context (see radio.WithDenseMin). Like SetShards this is purely
+// kernel-selection policy: every kernel is byte-identical, so results never
+// depend on it.
+func (c *Context) SetDenseMin(min int) {
+	c.denseMin = min
+	if c.eng != nil {
+		c.eng.SetDenseMin(min)
+	}
+}
+
 // Engine returns the context's radio engine reset onto g: meters and clock
 // zeroed, scratch reused. The returned engine is valid until the next
 // Engine call on the same context.
 func (c *Context) Engine(g *graph.Graph) *radio.Engine {
 	if c.eng == nil {
-		c.eng = radio.NewEngine(g, radio.WithShards(c.shards))
+		c.eng = radio.NewEngine(g, radio.WithShards(c.shards), radio.WithDenseMin(c.denseMin))
 		return c.eng
 	}
 	c.eng.Reset(g)

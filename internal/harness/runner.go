@@ -36,6 +36,12 @@ type Runner struct {
 	// intra-trial sharding instead of trial parallelism: 0 selects
 	// DefaultShardMinN, negative disables intra-trial sharding entirely.
 	ShardMinN int
+	// DenseMin overrides the engines' dense-kernel coverage threshold (see
+	// radio.WithDenseMin): 0 keeps the engine default, positive is the
+	// transmitter coverage (Σ deg) from which the packed-bitmap kernel
+	// engages, negative disables it. Like ShardMinN this selects kernels,
+	// never semantics — results are byte-identical at any setting.
+	DenseMin int
 }
 
 // shardMinN resolves the effective big-instance threshold (0 = disabled).
@@ -76,6 +82,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 	shared := sharedGraphs(scenarios...)
 	if workers <= 1 {
 		ctx := newContextShared(shared)
+		ctx.SetDenseMin(r.DenseMin)
 		for _, j := range jobs {
 			results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
 		}
@@ -98,6 +105,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 		if len(big) > 0 {
 			ctx := newContextShared(shared)
 			ctx.SetShards(workers)
+			ctx.SetDenseMin(r.DenseMin)
 			for _, j := range big {
 				results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
 			}
@@ -121,6 +129,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 			// is a pure function of its Trial value (see the package doc's
 			// worker-context contract).
 			ctx := newContextShared(shared)
+			ctx.SetDenseMin(r.DenseMin)
 			for j := range ch {
 				results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
 			}

@@ -44,6 +44,10 @@ func TestShardSchedulingMatchesTrialParallel(t *testing.T) {
 		{Workers: 4, Root: 5, ShardMinN: 1},   // every trial takes the sharded path
 		{Workers: 4, Root: 5, ShardMinN: -1},  // sharding disabled explicitly
 		{Workers: 2, Root: 5, ShardMinN: 200},
+		{Workers: 4, Root: 5, DenseMin: 1},               // every step on the dense bitmap kernel
+		{Workers: 4, Root: 5, DenseMin: -1},              // dense kernel disabled explicitly
+		{Workers: 4, Root: 5, ShardMinN: 1, DenseMin: 1}, // sharded dense kernel for every trial
+		{Workers: 1, Root: 5, DenseMin: 1},               // sequential, dense forced
 	}
 	for _, runner := range cases {
 		got := runner.Run(shardPolicyScenarios()...)

@@ -1,0 +1,260 @@
+package radio
+
+// dense.go is the packed-bitmap step kernel for the dense regime. The RN[b]
+// model makes a radio step a set-intersection problem — a listener hears
+// iff exactly one neighbor transmits — and when a large fraction of the
+// network is awake, resolving it through per-neighbor int32 counters
+// (engine.go's CSR walk) streams O(n) words of counter memory per step. The
+// dense kernel replaces the counters with three ⌈n/64⌉-word bitmaps:
+//
+//	txbit     bit v set ⇔ v transmits this round
+//	covered   bit v set ⇔ ≥ 1 neighbor of v transmits
+//	collided  bit v set ⇔ ≥ 2 neighbors of v transmit
+//
+// Marking a transmitter's adjacency is word-batched: consecutive sorted
+// neighbors sharing a 64-vertex word fold into one mask, applied with the
+// collision-carry trick — bits of the mask already covered carry into
+// collided (collided |= covered & mask; covered |= mask) — so coverage
+// counting is two bit-ops per touched word instead of a read-modify-write
+// per neighbor, and the whole coverage state of a million-vertex graph is
+// 3 × 16 KiB of words instead of 4 MiB of counters. The winner index
+// (from[v], the tx slot delivered to a singly-covered listener) is written
+// only for mask bits still singly covered after the word update
+// (mask &^ collided, walked with bits.TrailingZeros64): a bit that has
+// collided can never be read back, so saturated rounds skip most winner
+// writes entirely. Resolution then reads two bits plus — only for the
+// singly-covered — one from[] slot, and teardown is three word-range
+// clears, O(n/64) instead of a touched-list walk.
+//
+// Equivalence with the CSR kernels: a listener's observable outcome is a
+// function of (c == 1, c ≥ 2, winner-if-c==1) where c counts transmitting
+// neighbors — exactly (covered ∧ ¬collided, collided, from[v]). from[v] is
+// read only when v is singly covered, in which case every kernel stores the
+// index of the unique covering transmitter. Meters and the violation
+// counter are per-device/additive, and the programming-error panics test
+// the same predicates (transmitter marked twice; listener marked as
+// transmitter), so the kernels agree on every observable byte — pinned by
+// the property tests in dense_test.go.
+//
+// The sharded variant partitions the bitmaps by word: shard ownership
+// boundaries are the CSR-arc-balanced ShardBounds rounded to 64-vertex
+// multiples (graph.ShardBoundsAligned), so every bitmap word — and every
+// vertex's meters and from[] slot — has exactly one writing shard and the
+// three barrier-separated phases (mark, listen, teardown) need no atomics,
+// mirroring the CSR sharded design. Each shard applies the tx list in
+// index order over its owned word range, which is the sequential order, so
+// results are byte-identical at every shard count.
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// denseStepMinDensityDiv is the default coverage-density rule: the dense
+// kernel is selected when a step's coverage work — Σ deg(transmitters),
+// the arcs the mark phase walks — reaches n/denseStepMinDensityDiv.
+// Coverage, not total activity, is the predictor because the kernel's win
+// is concentrated in marking (word-wide ORs against ~n/8 bytes of bitmap
+// versus counter read-modify-writes scattered over 4n bytes), while its
+// per-listener resolution is marginally more expensive than the CSR
+// counter read; a listener-heavy step with few transmitters is faster on
+// CSR no matter how high its total activity. The divisor is calibrated
+// from BenchmarkDenseStep on the million-vertex random tree (recorded in
+// BENCH_pr6.json): dense wins every measured pattern with coverage ≥
+// n/128 and loses the 1024-transmitter/10⁶-listener pattern at ≈ n/512,
+// so n/128 stays comfortably on the winning side. A var, not a const, so
+// tests can force either side; per-engine overrides go through
+// WithDenseMin/SetDenseMin.
+var denseStepMinDensityDiv = 128
+
+// denseThreshold resolves the engine's dense-kernel coverage threshold
+// (callers have already checked denseMin >= 0, i.e. the kernel is
+// enabled). Never zero, so transmitter-free steps stay on the CSR path
+// even on graphs smaller than the divisor.
+func (e *Engine) denseThreshold() int {
+	if e.denseMin > 0 {
+		return e.denseMin
+	}
+	if th := e.g.N() / denseStepMinDensityDiv; th > 1 {
+		return th
+	}
+	return 1
+}
+
+// denseWords sizes the bitmap scratch for the current graph and returns the
+// word count. The bitmaps keep an all-zero invariant between steps (the
+// kernel's teardown restores it, Reset re-establishes it), so growth is the
+// only work here.
+func (e *Engine) denseWords() int {
+	words := (e.g.N() + 63) >> 6
+	if cap(e.txbit) < words {
+		e.txbit = make([]uint64, words)
+		e.covered = make([]uint64, words)
+		e.collided = make([]uint64, words)
+	}
+	e.txbit = e.txbit[:words]
+	e.covered = e.covered[:words]
+	e.collided = e.collided[:words]
+	return words
+}
+
+// stepDense executes one round on the packed-bitmap kernel, sharded over
+// word ranges when the engine is configured for it and the step carries
+// enough activity to amortize the phase barriers.
+func (e *Engine) stepDense(tx []TX, listeners []int32, out []RX, work int) {
+	if e.shards > 1 && work >= shardStepMinWork {
+		e.stepDenseSharded(tx, listeners, out)
+		return
+	}
+	e.stepDenseSeq(tx, listeners, out)
+}
+
+// stepDenseSeq is the sequential bitmap kernel: transmitter accounting and
+// word-batched coverage marking in tx order, two-bit resolution per
+// listener, then three word-range clears.
+func (e *Engine) stepDenseSeq(tx []TX, listeners []int32, out []RX) {
+	e.denseWords()
+	txbit := e.txbit
+	for i := range tx {
+		t := &tx[i]
+		w, b := t.ID>>6, uint64(1)<<(t.ID&63)
+		if txbit[w]&b != 0 {
+			panic(fmt.Sprintf("radio: device %d transmits twice in round %d", t.ID, e.round))
+		}
+		txbit[w] |= b
+		if e.maxMsgBits > 0 && t.Msg.Bits() > e.maxMsgBits {
+			e.msgViolations++
+		}
+		e.energy[t.ID]++
+		e.transmits[t.ID]++
+		e.denseMark(e.g.Neighbors(t.ID), int32(i))
+	}
+	e.denseResolve(tx, listeners, out, 0, len(listeners))
+	clear(e.txbit)
+	clear(e.covered)
+	clear(e.collided)
+	e.round++
+}
+
+// denseMark ORs one transmitter's (sub-)adjacency into the coverage
+// bitmaps. Consecutive sorted neighbors sharing a word fold into one mask;
+// the carry trick routes re-covered bits into collided; winner indices are
+// written only for bits still singly covered after the word update.
+func (e *Engine) denseMark(adj []int32, i int32) {
+	covered, collided := e.covered, e.collided
+	for len(adj) > 0 {
+		w := adj[0] >> 6
+		mask := uint64(1) << (adj[0] & 63)
+		j := 1
+		for ; j < len(adj) && adj[j]>>6 == w; j++ {
+			mask |= uint64(1) << (adj[j] & 63)
+		}
+		adj = adj[j:]
+		collided[w] |= covered[w] & mask
+		covered[w] |= mask
+		if single := mask &^ collided[w]; single != 0 {
+			base := w << 6
+			for m := single; m != 0; m &= m - 1 {
+				e.from[base+int32(bits.TrailingZeros64(m))] = i
+			}
+		}
+	}
+}
+
+// denseResolve delivers to the listeners in positions [plo, phi): two bit
+// reads decide silence / delivery / collision, and only a singly-covered
+// listener touches the winner index. Identical in every observable to the
+// CSR listener loop.
+func (e *Engine) denseResolve(tx []TX, listeners []int32, out []RX, plo, phi int) {
+	txbit, covered, collided := e.txbit, e.covered, e.collided
+	for i := plo; i < phi; i++ {
+		v := listeners[i]
+		w, b := v>>6, uint64(1)<<(v&63)
+		if txbit[w]&b != 0 {
+			panic(fmt.Sprintf("radio: device %d both transmits and listens in round %d", v, e.round))
+		}
+		e.energy[v]++
+		e.listens[v]++
+		switch {
+		case covered[w]&b != 0 && collided[w]&b == 0:
+			out[i] = RX{Msg: tx[e.from[v]].Msg, OK: true}
+		case collided[w]&b != 0 && e.cd:
+			out[i] = RX{Noise: true}
+		default:
+			out[i] = RX{}
+		}
+	}
+}
+
+// stepDenseSharded executes one round on the bitmap kernel as e.shards
+// parallel shards over word-aligned vertex ranges, in the same three
+// barrier-separated phases as the CSR sharded step. Ownership is exclusive
+// within every phase (one shard per bitmap word, one shard per listener
+// position) and each shard scans tx in index order, so results are
+// byte-identical to the sequential kernel's; panics are captured per shard
+// and re-raised on the caller's goroutine by joinShards.
+func (e *Engine) stepDenseSharded(tx []TX, listeners []int32, out []RX) {
+	k := e.shards
+	e.denseWords()
+	if len(e.wordBounds) != k+1 {
+		e.wordBounds = e.g.ShardBoundsAligned(k, 64, e.wordBounds)
+	}
+	e.growShardScratch(k)
+	e.curTX, e.curListeners, e.curOut = tx, listeners, out
+	e.parallelShards(k, phaseDenseMark)
+	if !e.shardsPanicked(k) {
+		e.parallelShards(k, phaseDenseListen)
+	}
+	e.parallelShards(k, phaseDenseTeardown)
+	e.curTX, e.curListeners, e.curOut = nil, nil, nil
+	e.joinShards(k)
+}
+
+// denseShardMark is the mark phase of one dense shard: transmitter
+// accounting for the IDs it owns plus coverage marking for the owned
+// sub-range of every transmitter's adjacency. The bounds are 64-aligned, so
+// every txbit/covered/collided word and from[] slot it writes is owned.
+func (e *Engine) denseShardMark(s int, tx []TX) {
+	st := &e.shardScratch[s]
+	lo, hi := e.wordBounds[s], e.wordBounds[s+1]
+	txbit := e.txbit
+	for i := range tx {
+		t := &tx[i]
+		if t.ID >= lo && t.ID < hi {
+			w, b := t.ID>>6, uint64(1)<<(t.ID&63)
+			if txbit[w]&b != 0 {
+				panic(fmt.Sprintf("radio: device %d transmits twice in round %d", t.ID, e.round))
+			}
+			txbit[w] |= b
+			if e.maxMsgBits > 0 && t.Msg.Bits() > e.maxMsgBits {
+				st.violations++
+			}
+			e.energy[t.ID]++
+			e.transmits[t.ID]++
+		}
+		e.denseMark(e.g.NeighborsRange(t.ID, lo, hi), int32(i))
+	}
+}
+
+// denseShardListen resolves the contiguous position range of listeners
+// shard s owns, identically to the CSR listen phase's partition.
+func (e *Engine) denseShardListen(s, k int, tx []TX, listeners []int32, out []RX) {
+	e.denseResolve(tx, listeners, out, s*len(listeners)/k, (s+1)*len(listeners)/k)
+}
+
+// denseShardTeardown clears the word range shard s owns in all three
+// bitmaps. Bounds are 64-aligned except the final one (n), so the trailing
+// partial word belongs to the last non-empty shard alone and the cleared
+// ranges are disjoint. Unlike the CSR teardown there is no touched list:
+// the owned range is cleared wholesale, which also restores the all-zero
+// invariant after a mid-mark panic.
+func (e *Engine) denseShardTeardown(s int) {
+	lo, hi := e.wordBounds[s], e.wordBounds[s+1]
+	if lo >= hi {
+		return
+	}
+	wlo, whi := int(lo)>>6, (int(hi)+63)>>6
+	clear(e.txbit[wlo:whi])
+	clear(e.covered[wlo:whi])
+	clear(e.collided[wlo:whi])
+}

@@ -1,0 +1,211 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestDenseStepMatchesSequential is the central byte-identity property test
+// for the packed-bitmap kernel: over random graphs × random slot patterns,
+// a dense engine — sequential and at every shard count — must produce
+// exactly the sequential CSR engine's deliveries, per-device meters, round
+// clock and violation counter, including CD engines, tight message budgets,
+// and k > n. Together with TestStepParallelMatchesSequential (CSR sharded ≡
+// CSR sequential) this pins all three kernels to one another.
+func TestDenseStepMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 5, 33, 200} {
+		for _, shards := range []int{1, 2, 3, 7, 16, 200 + 5} {
+			for _, cd := range []bool{false, true} {
+				seed := uint64(n*4000 + shards*2 + 1)
+				g := randomShardGraph(n, rng.New(seed))
+				opts := []Option{WithMaxMsgBits(40)} // tight: some messages violate
+				if cd {
+					opts = append(opts, WithCollisionDetection())
+				}
+				seq := NewEngine(g, append(opts, WithDenseMin(-1))...) // CSR, sequential
+				dense := NewEngine(g, append(opts, WithDenseMin(1), WithShards(shards))...)
+				r := rng.New(rng.Derive(seed, 0xd5e))
+				for round := 0; round < 30; round++ {
+					tx, listeners := stepPattern(n, r)
+					outSeq := make([]RX, len(listeners))
+					outDense := make([]RX, len(listeners))
+					seq.Step(tx, listeners, outSeq)
+					dense.StepParallel(tx, listeners, outDense)
+					for i := range outSeq {
+						if outSeq[i] != outDense[i] {
+							t.Fatalf("n=%d shards=%d cd=%v round %d: listener %d got %+v, sequential CSR %+v",
+								n, shards, cd, round, listeners[i], outDense[i], outSeq[i])
+						}
+					}
+				}
+				if seq.Round() != dense.Round() || seq.MsgViolations() != dense.MsgViolations() {
+					t.Fatalf("n=%d shards=%d cd=%v: clock/violations (%d, %d) vs sequential CSR (%d, %d)",
+						n, shards, cd, dense.Round(), dense.MsgViolations(), seq.Round(), seq.MsgViolations())
+				}
+				for v := int32(0); int(v) < n; v++ {
+					if seq.Energy(v) != dense.Energy(v) || seq.Listens(v) != dense.Listens(v) || seq.Transmits(v) != dense.Transmits(v) {
+						t.Fatalf("n=%d shards=%d cd=%v: device %d meters (%d,%d,%d) vs sequential CSR (%d,%d,%d)",
+							n, shards, cd, v,
+							dense.Energy(v), dense.Listens(v), dense.Transmits(v),
+							seq.Energy(v), seq.Listens(v), seq.Transmits(v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelDispatchByteIdentity forces each of the three execution paths —
+// sequential CSR, sharded CSR, dense bitmap (sequential and sharded) — on
+// the same (graph, tx, listeners) inputs via the exported knobs, and
+// requires byte-identical RX and meter state across all of them. This is
+// the dispatch-level contract Step's self-selection relies on.
+func TestKernelDispatchByteIdentity(t *testing.T) {
+	defer func(old int) { shardStepMinWork = old }(shardStepMinWork)
+	shardStepMinWork = 1
+
+	n := 160
+	g := randomShardGraph(n, rng.New(11))
+	type path struct {
+		name string
+		e    *Engine
+	}
+	paths := []path{
+		{"seq-csr", NewEngine(g, WithDenseMin(-1))},
+		{"sharded-csr", NewEngine(g, WithDenseMin(-1), WithShards(4))},
+		{"seq-dense", NewEngine(g, WithDenseMin(1))},
+		{"sharded-dense", NewEngine(g, WithDenseMin(1), WithShards(4))},
+	}
+	ref := paths[0].e
+	r := rng.New(77)
+	for round := 0; round < 40; round++ {
+		tx, listeners := stepPattern(n, r)
+		outs := make([][]RX, len(paths))
+		for pi, p := range paths {
+			outs[pi] = make([]RX, len(listeners))
+			p.e.Step(tx, listeners, outs[pi])
+		}
+		for pi := 1; pi < len(paths); pi++ {
+			for i := range outs[0] {
+				if outs[0][i] != outs[pi][i] {
+					t.Fatalf("round %d path %s: listener %d got %+v, seq-csr %+v",
+						round, paths[pi].name, listeners[i], outs[pi][i], outs[0][i])
+				}
+			}
+		}
+	}
+	for _, p := range paths[1:] {
+		if p.e.Round() != ref.Round() || p.e.MsgViolations() != ref.MsgViolations() {
+			t.Fatalf("path %s: clock/violations (%d, %d) vs seq-csr (%d, %d)",
+				p.name, p.e.Round(), p.e.MsgViolations(), ref.Round(), ref.MsgViolations())
+		}
+		for v := int32(0); int(v) < n; v++ {
+			if p.e.Energy(v) != ref.Energy(v) || p.e.Listens(v) != ref.Listens(v) || p.e.Transmits(v) != ref.Transmits(v) {
+				t.Fatalf("path %s: device %d meters diverge", p.name, v)
+			}
+		}
+	}
+}
+
+// recoverFrom runs f and returns the value it panicked with (nil if none).
+func recoverFrom(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}
+
+// TestDensePanicContracts pins the two programming-error panics — duplicate
+// transmitter, transmit+listen — to the exact panic value of the sequential
+// CSR kernel, from both the sequential and the sharded dense path.
+func TestDensePanicContracts(t *testing.T) {
+	g := graph.Path(64)
+	dupTX := func(e *Engine) func() {
+		return func() { e.StepParallel([]TX{{ID: 5}, {ID: 5}}, nil, nil) }
+	}
+	txAndListen := func(e *Engine) func() {
+		return func() { e.StepParallel([]TX{{ID: 5}}, []int32{5}, make([]RX, 1)) }
+	}
+	wantDup := recoverFrom(dupTX(NewEngine(g, WithDenseMin(-1))))
+	wantBoth := recoverFrom(txAndListen(NewEngine(g, WithDenseMin(-1))))
+	if wantDup == nil || wantBoth == nil {
+		t.Fatal("CSR kernel did not panic on programming errors")
+	}
+	for _, shards := range []int{1, 4} {
+		if got := recoverFrom(dupTX(NewEngine(g, WithDenseMin(1), WithShards(shards)))); got != wantDup {
+			t.Fatalf("shards=%d: duplicate-transmitter panic %v, want %v", shards, got, wantDup)
+		}
+		if got := recoverFrom(txAndListen(NewEngine(g, WithDenseMin(1), WithShards(shards)))); got != wantBoth {
+			t.Fatalf("shards=%d: transmit+listen panic %v, want %v", shards, got, wantBoth)
+		}
+	}
+}
+
+// TestDenseAutoSelection pins Step's default dispatch rule: transmitter
+// coverage (Σ deg) at or above n/denseStepMinDensityDiv engages the bitmap
+// kernel (observable through its lazily allocated scratch), anything below
+// stays on CSR no matter how many listeners, and a negative threshold
+// disables the kernel at any density.
+func TestDenseAutoSelection(t *testing.T) {
+	n := 640 // cycle: every vertex has degree 2; default threshold n/128 = 5
+	g := graph.Cycle(n)
+	denseTX := []TX{{ID: 0}, {ID: 3}, {ID: 6}} // coverage 6 ≥ 5
+	listeners := make([]int32, n/2)
+	for i := range listeners {
+		listeners[i] = int32(n/2 + i)
+	}
+	out := make([]RX, len(listeners))
+
+	e := NewEngine(g)
+	e.Step([]TX{{ID: 0}}, listeners, out) // coverage 2 < 5, despite n/2 listeners
+	if e.txbit != nil {
+		t.Fatal("dense kernel engaged below the coverage threshold")
+	}
+	e.Step(denseTX, listeners, out)
+	if e.txbit == nil {
+		t.Fatal("dense kernel not engaged at high coverage density")
+	}
+
+	off := NewEngine(g, WithDenseMin(-1))
+	off.Step(denseTX, listeners, out)
+	if off.txbit != nil {
+		t.Fatal("disabled dense kernel still engaged")
+	}
+	off.SetDenseMin(1)
+	off.Step([]TX{{ID: 0}}, []int32{2}, make([]RX, 1)) // coverage 2 ≥ 1
+	if off.txbit == nil {
+		t.Fatal("SetDenseMin(1) did not force the dense kernel")
+	}
+}
+
+// TestDenseResetMatchesFresh reuses one dense engine across graphs of
+// different sizes via Reset — including a shrink, which exercises the
+// bitmap-scratch clearing — and requires the trajectory of a fresh engine.
+func TestDenseResetMatchesFresh(t *testing.T) {
+	graphs := []*graph.Graph{graph.Cycle(100), graph.Grid(16, 16), graph.Star(40)}
+	opts := []Option{WithDenseMin(1), WithShards(3)}
+	reused := NewEngine(graphs[0], opts...)
+	for gi, g := range graphs {
+		seed := uint64(500 + gi)
+		fresh := NewEngine(g, opts...)
+		reused.Reset(g)
+		r1, r2 := rng.New(seed), rng.New(seed)
+		for round := 0; round < 20; round++ {
+			txF, lF := stepPattern(g.N(), r1)
+			txR, lR := stepPattern(g.N(), r2)
+			outF := make([]RX, len(lF))
+			outR := make([]RX, len(lR))
+			fresh.StepParallel(txF, lF, outF)
+			reused.StepParallel(txR, lR, outR)
+			for i := range outF {
+				if outF[i] != outR[i] {
+					t.Fatalf("graph %d round %d: %+v vs fresh %+v", gi, round, outR[i], outF[i])
+				}
+			}
+		}
+		if fresh.MaxEnergy() != reused.MaxEnergy() || fresh.TotalEnergy() != reused.TotalEnergy() {
+			t.Fatalf("graph %d: aggregate meters diverge after Reset", gi)
+		}
+	}
+}

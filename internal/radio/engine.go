@@ -11,11 +11,16 @@
 //     activity-proportional — the cost of a step is O(Σ deg(transmitters) +
 //     #listeners), and rounds in which nobody is awake are skipped in O(1).
 //     This mirrors the paper's central concern: sleeping radios are free.
-//     Engines built WithShards(k) additionally execute sufficiently large
-//     steps as k parallel shards (deterministically: results are
-//     byte-identical to sequential execution at every shard count — see
-//     StepParallel), which is how million-vertex instances use every core
-//     inside a single trial.
+//     One step executes on one of three interchangeable kernels, selected
+//     per step by activity: a sequential CSR walk (the baseline), the same
+//     walk split into k parallel shards for engines built WithShards(k)
+//     (see StepParallel), and a packed-bitmap kernel for the dense regime —
+//     coverage and collisions tracked as word-wide bit operations instead
+//     of per-neighbor counters (see dense.go; threshold via WithDenseMin).
+//     All three are byte-identical in every observable — outputs, meters,
+//     clock, violation counter — at every shard count, so kernel choice is
+//     purely a performance decision, which is how million-vertex instances
+//     use every core inside a single trial.
 //
 //   - Sim/Device: a goroutine-per-device blocking API (Listen, Transmit,
 //     Idle) on which free-form protocols can be written as ordinary
@@ -28,6 +33,7 @@ package radio
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 
 	"repro/internal/graph"
@@ -102,6 +108,28 @@ type Engine struct {
 	shards       int
 	bounds       []int32
 	shardScratch []shardScratch
+
+	// Persistent shard workers (see parallelShards): pool holds the parked
+	// goroutines executing shards 1..k-1, phaseWG joins each phase, and
+	// curTX/curListeners/curOut stage the step arguments for the workers —
+	// passing them through a closure would allocate on every step.
+	pool         *shardPool
+	phaseWG      sync.WaitGroup
+	curTX        []TX
+	curListeners []int32
+	curOut       []RX
+
+	// Dense-kernel state (see dense.go): txbit/covered/collided are
+	// ⌈n/64⌉-word bitmaps holding the transmitter set, the ≥1-coverage set
+	// and the ≥2-coverage (collision) set; wordBounds caches the
+	// word-aligned shard ownership for the current graph; denseMin is the
+	// step-activity threshold from which the dense kernel is selected
+	// (0 = default density rule, negative = disabled).
+	txbit      []uint64
+	covered    []uint64
+	collided   []uint64
+	wordBounds []int32
+	denseMin   int
 }
 
 // shardScratch is the per-shard private state of one sharded step. Entries
@@ -152,6 +180,17 @@ func WithShards(k int) Option {
 	return func(e *Engine) { e.shards = k }
 }
 
+// WithDenseMin sets the coverage threshold from which Step executes via
+// the packed-bitmap dense kernel (see dense.go): a positive min selects it
+// when a step's coverage work Σ deg(transmitters) reaches min, 0 keeps the
+// default density rule (coverage ≥ n/denseStepMinDensityDiv), and a
+// negative min disables the dense kernel entirely. Dense and CSR execution
+// are byte-identical — outputs, meters, clock and violation counter never
+// depend on the kernel — so the option is purely a performance knob.
+func WithDenseMin(min int) Option {
+	return func(e *Engine) { e.denseMin = min }
+}
+
 // NewEngine builds an engine over graph g.
 func NewEngine(g *graph.Graph, opts ...Option) *Engine {
 	e := &Engine{}
@@ -183,13 +222,22 @@ func (e *Engine) Reset(g *graph.Graph) {
 		e.transmits = e.transmits[:n]
 		e.cnt = e.cnt[:n]
 		e.from = e.from[:n]
-		for i := 0; i < n; i++ {
-			e.energy[i], e.listens[i], e.transmits[i] = 0, 0, 0
-			e.cnt[i], e.from[i] = 0, 0
-		}
+		clear(e.energy)
+		clear(e.listens)
+		clear(e.transmits)
+		clear(e.cnt)
+		clear(e.from)
 	}
+	// The bitmap scratch keeps an all-zero invariant between steps (dense
+	// teardown restores it), but a mid-step panic leaves it dirty; clearing
+	// the full capacity — ⌈n/64⌉ words per map, cheap — keeps Reset's
+	// fresh-engine contract unconditional.
+	clear(e.txbit[:cap(e.txbit)])
+	clear(e.covered[:cap(e.covered)])
+	clear(e.collided[:cap(e.collided)])
 	e.touched = e.touched[:0]
 	e.bounds = e.bounds[:0] // shard ownership is per-graph; recompute lazily
+	e.wordBounds = e.wordBounds[:0]
 	e.round = 0
 	e.msgViolations = 0
 	if !e.msgBitsSet {
@@ -207,7 +255,13 @@ func (e *Engine) SetShards(k int) {
 	}
 	e.shards = k
 	e.bounds = e.bounds[:0]
+	e.wordBounds = e.wordBounds[:0]
 }
+
+// SetDenseMin reconfigures the dense-kernel coverage threshold of an
+// existing engine (same semantics as WithDenseMin). Like SetShards, it
+// never changes results.
+func (e *Engine) SetDenseMin(min int) { e.denseMin = min }
 
 // Shards returns the configured shard count (1 when sharding is off).
 func (e *Engine) Shards() int {
@@ -273,9 +327,9 @@ func (e *Engine) EnergySnapshot() []int64 {
 
 // ResetMeters zeroes energy counters and the clock (topology unchanged).
 func (e *Engine) ResetMeters() {
-	for i := range e.energy {
-		e.energy[i], e.listens[i], e.transmits[i] = 0, 0, 0
-	}
+	clear(e.energy)
+	clear(e.listens)
+	clear(e.transmits)
 	e.round = 0
 	e.msgViolations = 0
 }
@@ -298,17 +352,28 @@ var shardStepMinWork = 1 << 16
 // in the same round, and must not appear twice in tx; both are programming
 // errors that panic. Listeners must be duplicate-free (caller contract).
 //
-// On an engine configured with WithShards(k > 1), steps whose activity
-// reaches shardStepMinWork execute as k parallel shards; results are
-// byte-identical either way (see StepParallel).
+// Step selects one of three byte-identical kernels. Steps whose coverage
+// work (Σ deg(transmitters)) reaches the dense threshold (n/128 by
+// default; see WithDenseMin) run on the packed-bitmap kernel; other steps
+// on an engine configured with WithShards(k > 1) whose activity
+// (coverage + #listeners) reaches shardStepMinWork execute the CSR walk
+// as k parallel shards; everything below stays on the sequential CSR
+// walk. A sufficiently dense step on a sharded engine runs the bitmap
+// kernel itself sharded over word ranges. Results are byte-identical on
+// every path (see StepParallel and dense.go).
 func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
 	if len(out) != len(listeners) {
 		panic(fmt.Sprintf("radio: out length %d != listeners length %d", len(out), len(listeners)))
 	}
 	// The sequential body lives here, not behind a call: one bare step is
 	// ~50ns and the sub-threshold path must not pay a function call for the
-	// sharding feature it is not using.
-	if e.shards > 1 && e.stepWork(tx, listeners) >= shardStepMinWork {
+	// kernel features it is not using.
+	work := e.stepWork(tx, listeners)
+	if e.denseMin >= 0 && work-len(listeners) >= e.denseThreshold() {
+		e.stepDense(tx, listeners, out, work)
+		return
+	}
+	if e.shards > 1 && work >= shardStepMinWork {
 		e.stepSharded(tx, listeners, out)
 		return
 	}
@@ -360,22 +425,28 @@ func (e *Engine) Step(tx []TX, listeners []int32, out []RX) {
 	e.round++
 }
 
-// StepParallel is Step with the activity threshold bypassed: it always runs
-// the sharded path when the engine has more than one shard configured (and
-// falls back to the sequential path otherwise). Outputs, energy/listen/
-// transmit meters, the round clock and the message-violation counter are
-// byte-identical to Step's at any shard count — pinned by the property tests
-// in shard_test.go — so callers choose between them on performance grounds
+// StepParallel is Step with the sharding activity threshold bypassed: when
+// the engine has more than one shard configured it always runs a sharded
+// kernel — the packed-bitmap one if the step reaches the dense threshold,
+// the CSR walk otherwise — and falls back to Step's dispatch when it does
+// not. Outputs, energy/listen/transmit meters, the round clock and the
+// message-violation counter are byte-identical to Step's at any shard count
+// and on every kernel — pinned by the property tests in shard_test.go and
+// dense_test.go — so callers choose between them on performance grounds
 // only.
 func (e *Engine) StepParallel(tx []TX, listeners []int32, out []RX) {
 	if len(out) != len(listeners) {
 		panic(fmt.Sprintf("radio: out length %d != listeners length %d", len(out), len(listeners)))
 	}
 	if e.shards > 1 {
+		if e.denseMin >= 0 && e.stepWork(tx, listeners)-len(listeners) >= e.denseThreshold() {
+			e.stepDenseSharded(tx, listeners, out)
+			return
+		}
 		e.stepSharded(tx, listeners, out)
 		return
 	}
-	e.Step(tx, listeners, out) // shards <= 1: Step's dispatch stays sequential
+	e.Step(tx, listeners, out) // shards <= 1: Step's dispatch decides
 }
 
 // stepWork estimates the activity of one step — the quantity the model
@@ -423,14 +494,28 @@ func (e *Engine) stepSharded(tx []TX, listeners []int32, out []RX) {
 	if len(e.bounds) != k+1 {
 		e.bounds = e.g.ShardBounds(k, e.bounds)
 	}
+	e.growShardScratch(k)
+	e.curTX, e.curListeners, e.curOut = tx, listeners, out
+	e.parallelShards(k, phaseCSRMark)
+	if !e.shardsPanicked(k) {
+		e.parallelShards(k, phaseCSRListen)
+	}
+	e.parallelShards(k, phaseCSRTeardown)
+	e.curTX, e.curListeners, e.curOut = nil, nil, nil
+	e.joinShards(k)
+}
+
+// growShardScratch sizes the per-shard scratch for a k-shard step.
+func (e *Engine) growShardScratch(k int) {
 	if len(e.shardScratch) < k {
 		e.shardScratch = append(e.shardScratch, make([]shardScratch, k-len(e.shardScratch))...)
 	}
-	e.parallelShards(k, func(s int) { e.shardMark(s, tx) })
-	if !e.shardsPanicked(k) {
-		e.parallelShards(k, func(s int) { e.shardListen(s, k, tx, listeners, out) })
-	}
-	e.parallelShards(k, func(s int) { e.shardTeardown(s) })
+}
+
+// joinShards folds the per-shard violation counters into the engine,
+// re-raises the first captured panic on the caller's goroutine, and
+// advances the clock. It is the common epilogue of both sharded kernels.
+func (e *Engine) joinShards(k int) {
 	var panicked any
 	for s := 0; s < k; s++ {
 		st := &e.shardScratch[s]
@@ -447,28 +532,106 @@ func (e *Engine) stepSharded(tx []TX, listeners []int32, out []RX) {
 	e.round++
 }
 
-// parallelShards runs phase(s) for every shard s in [0, k), shard 0 on the
-// calling goroutine, and joins. A shard panic is captured into its scratch
-// slot (first one per shard wins) rather than crashing the process.
-func (e *Engine) parallelShards(k int, phase func(s int)) {
-	run := func(s int) {
-		defer func() {
-			if r := recover(); r != nil && e.shardScratch[s].panicked == nil {
-				e.shardScratch[s].panicked = r
+// phaseCode names one barrier-separated phase of a sharded step. Phases are
+// dispatched by code, not by closure: a closure handed to a worker
+// goroutine would allocate on every step, and the sharded hot paths are
+// pinned at zero allocations in steady state.
+type phaseCode uint8
+
+const (
+	phaseCSRMark phaseCode = iota
+	phaseCSRListen
+	phaseCSRTeardown
+	phaseDenseMark
+	phaseDenseListen
+	phaseDenseTeardown
+)
+
+// shardPool holds the parked worker goroutines of one engine: chans[i]
+// feeds the worker that executes shard i+1 (shard 0 runs on the caller).
+// The pool is a separate allocation referencing only its channels — never
+// the engine — so an unreachable engine stays collectable and its runtime
+// cleanup can close the channels, letting the workers exit instead of
+// leaking.
+type shardPool struct {
+	chans []chan shardReq
+}
+
+// shardReq asks a parked worker to run one phase of one step. The engine
+// pointer rides along in the request so idle workers hold no reference to
+// their engine between steps.
+type shardReq struct {
+	e     *Engine
+	code  phaseCode
+	shard int
+}
+
+func shardWorker(ch chan shardReq) {
+	for req := range ch {
+		req.e.runShard(req.code, req.shard)
+		req.e.phaseWG.Done()
+	}
+}
+
+// ensureWorkers grows the persistent worker pool to serve k shards. Workers
+// are spawned once and parked on per-shard channels between phases, so a
+// steady-state sharded step costs 2(k-1) channel operations per phase and
+// zero allocations or goroutine spawns. A shrunken shard count simply
+// leaves the extra workers parked.
+func (e *Engine) ensureWorkers(k int) {
+	if e.pool == nil {
+		e.pool = &shardPool{}
+		runtime.AddCleanup(e, func(p *shardPool) {
+			for _, ch := range p.chans {
+				close(ch)
 			}
-		}()
-		phase(s)
+		}, e.pool)
 	}
-	var wg sync.WaitGroup
-	wg.Add(k - 1)
+	for len(e.pool.chans) < k-1 {
+		ch := make(chan shardReq, 1)
+		e.pool.chans = append(e.pool.chans, ch)
+		go shardWorker(ch)
+	}
+}
+
+// parallelShards runs one phase on every shard s in [0, k): shard 0 on the
+// calling goroutine, shards 1..k-1 on the engine's persistent workers, and
+// joins. The phase reads its step arguments from curTX/curListeners/curOut,
+// staged by the caller; the channel send publishes them to the workers and
+// the WaitGroup join publishes the workers' writes back.
+func (e *Engine) parallelShards(k int, code phaseCode) {
+	e.ensureWorkers(k)
+	e.phaseWG.Add(k - 1)
 	for s := 1; s < k; s++ {
-		go func(s int) {
-			defer wg.Done()
-			run(s)
-		}(s)
+		e.pool.chans[s-1] <- shardReq{e: e, code: code, shard: s}
 	}
-	run(0)
-	wg.Wait()
+	e.runShard(code, 0)
+	e.phaseWG.Wait()
+}
+
+// runShard executes one phase on one shard, capturing a panic (first one
+// per shard wins) into the shard's scratch slot rather than crashing the
+// process; stepSharded/stepDenseSharded re-raise it after the join.
+func (e *Engine) runShard(code phaseCode, s int) {
+	defer func() {
+		if r := recover(); r != nil && e.shardScratch[s].panicked == nil {
+			e.shardScratch[s].panicked = r
+		}
+	}()
+	switch code {
+	case phaseCSRMark:
+		e.shardMark(s, e.curTX)
+	case phaseCSRListen:
+		e.shardListen(s, e.shards, e.curTX, e.curListeners, e.curOut)
+	case phaseCSRTeardown:
+		e.shardTeardown(s)
+	case phaseDenseMark:
+		e.denseShardMark(s, e.curTX)
+	case phaseDenseListen:
+		e.denseShardListen(s, e.shards, e.curTX, e.curListeners, e.curOut)
+	case phaseDenseTeardown:
+		e.denseShardTeardown(s)
+	}
 }
 
 // shardsPanicked reports whether any shard has captured a panic — the

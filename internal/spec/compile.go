@@ -31,6 +31,12 @@ type Options struct {
 	// ExecuteFile (see harness.Runner.ShardMinN): 0 keeps the default,
 	// negative disables intra-trial sharding. Results never depend on it.
 	ShardMinN int
+	// DenseMin overrides the engines' dense-kernel coverage threshold for
+	// ExecuteFile (see harness.Runner.DenseMin): 0 keeps the engine
+	// default, positive engages the packed-bitmap kernel from that
+	// transmitter coverage, negative disables it. Results never depend on
+	// it.
+	DenseMin int
 }
 
 // Compile lowers a validated file onto harness scenarios, in declaration
