@@ -1,6 +1,6 @@
 # Development targets for the radio-network BFS reproduction.
 
-.PHONY: build test bench bench-pr5 bench-pr6 bench-check bench-diff experiments scale-suite fmt vet
+.PHONY: build test bench bench-pr5 bench-pr6 bench-check bench-diff experiments scale-suite chaos-check fmt vet
 
 build:
 	go build ./...
@@ -65,3 +65,18 @@ experiments:
 # time, scales with cores).
 scale-suite:
 	go run ./cmd/radiobfs run -out results scenarios/scale_suite.json
+
+# chaos-check is the local mirror of the CI chaos job: run the quick scale
+# suite across 3 worker processes under deterministic fault injection
+# (seeded crashes, then 100% stalls) and byte-diff every artifact against a
+# single-process run. Wedged workers cost a heartbeat timeout each, so the
+# stall pass takes a few seconds.
+chaos-check:
+	go build -o /tmp/radiobfs_chaos ./cmd/radiobfs
+	rm -rf /tmp/chaos_base /tmp/chaos_kill /tmp/chaos_stall
+	/tmp/radiobfs_chaos run -quick -out /tmp/chaos_base -workers 1 scenarios/scale_suite.json > /dev/null
+	/tmp/radiobfs_chaos run -quick -out /tmp/chaos_kill -workers 3 -chaos "seed=1,killafter=1" scenarios/scale_suite.json > /dev/null
+	/tmp/radiobfs_chaos run -quick -out /tmp/chaos_stall -workers 3 -chaos "seed=1,killafter=1,stall=100" scenarios/scale_suite.json > /dev/null
+	diff -r /tmp/chaos_base /tmp/chaos_kill
+	diff -r /tmp/chaos_base /tmp/chaos_stall
+	@echo "chaos-check: artifacts byte-identical under kills and stalls"

@@ -283,15 +283,19 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(tw, "benchmark\tns/op %s\tns/op %s\tΔns/op\tallocs %s\tallocs %s\tΔallocs\t\n",
 		filepath.Base(oldPath), filepath.Base(newPath), filepath.Base(oldPath), filepath.Base(newPath))
+	shared, added, removed := 0, 0, 0
 	for _, name := range names {
 		o, hasOld := prev[name]
 		n, hasNew := next[name]
 		switch {
 		case !hasNew:
+			removed++
 			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t%.0f\t-\t\t\n", name, o.NsPerOp, o.AllocsOp)
 		case !hasOld:
+			added++
 			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%.0f\t\t\n", name, n.NsPerOp, n.AllocsOp)
 		default:
+			shared++
 			rel := "n/a"
 			if o.NsPerOp > 0 {
 				rel = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
@@ -300,7 +304,14 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 				name, o.NsPerOp, n.NsPerOp, rel, o.AllocsOp, n.AllocsOp, n.AllocsOp-o.AllocsOp)
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// The suite-shape summary: a reviewer scanning CI output sees coverage
+	// drift (benchmarks added or removed between the reports) without
+	// reading every table row.
+	fmt.Fprintf(w, "%d benchmarks compared, %d added, %d removed\n", shared, added, removed)
+	return nil
 }
 
 // runCheck reruns the suite and smoke-compares it against the baseline.

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	log := `goos: linux
+BenchmarkStep/dense-8     	     100	   1234.5 ns/op	      64 B/op	       2 allocs/op	   17.00 rounds
+BenchmarkAlloc-8          	  100000	     10.0 ns/op	       0 B/op	       0 allocs/op
+not a benchmark line
+BenchmarkNoSuffix 	      50	    99.5 ns/op
+`
+	bs := parseBench([]byte(log))
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(bs), bs)
+	}
+	// Sorted by name, GOMAXPROCS suffix trimmed.
+	if bs[0].Name != "BenchmarkAlloc" || bs[1].Name != "BenchmarkNoSuffix" || bs[2].Name != "BenchmarkStep/dense" {
+		t.Fatalf("names = %q, %q, %q", bs[0].Name, bs[1].Name, bs[2].Name)
+	}
+	dense := bs[2]
+	if dense.Iters != 100 || dense.NsPerOp != 1234.5 || dense.BPerOp != 64 || dense.AllocsOp != 2 {
+		t.Errorf("dense = %+v", dense)
+	}
+	if dense.Metrics["rounds"] != 17 {
+		t.Errorf("custom metric rounds = %v, want 17", dense.Metrics["rounds"])
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	before := []Benchmark{{Name: "A", NsPerOp: 100}, {Name: "Gone", NsPerOp: 5}}
+	after := []Benchmark{{Name: "A", NsPerOp: 50}, {Name: "New", NsPerOp: 7}}
+	s := speedups(before, after)
+	if len(s) != 1 || s["A"] != 2 {
+		t.Fatalf("speedups = %v, want map[A:2]", s)
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, benchmarks []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(&Report{Tool: "cmd/benchjson", Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunDiffReportsAddedAndRemoved: benchmarks present in only one report
+// must show up as explicit new/removed rows and be counted in the summary
+// footer, never silently dropped from the comparison.
+func TestRunDiffReportsAddedAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkShared", NsPerOp: 100, AllocsOp: 2},
+		{Name: "BenchmarkRemoved", NsPerOp: 70, AllocsOp: 1},
+	})
+	newPath := writeReport(t, dir, "new.json", []Benchmark{
+		{Name: "BenchmarkShared", NsPerOp: 50, AllocsOp: 2},
+		{Name: "BenchmarkAdded", NsPerOp: 30, AllocsOp: 0},
+	})
+	var buf bytes.Buffer
+	if err := runDiff(&buf, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkRemoved", "removed",
+		"BenchmarkAdded", "new",
+		"-50.0%", // the shared benchmark halved
+		"1 benchmarks compared, 1 added, 1 removed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// Row shape: the removed benchmark's NEW columns are dashes, and vice
+	// versa — the table never invents numbers for an absent side.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkRemoved") && strings.Count(line, "-") < 2 {
+			t.Errorf("removed row lacks dashes for the new side: %q", line)
+		}
+		if strings.Contains(line, "BenchmarkAdded") && strings.Count(line, "-") < 2 {
+			t.Errorf("added row lacks dashes for the old side: %q", line)
+		}
+	}
+}
+
+func TestRunDiffIdenticalReports(t *testing.T) {
+	dir := t.TempDir()
+	bs := []Benchmark{{Name: "BenchmarkX", NsPerOp: 10, AllocsOp: 0}}
+	oldPath := writeReport(t, dir, "old.json", bs)
+	newPath := writeReport(t, dir, "new.json", bs)
+	var buf bytes.Buffer
+	if err := runDiff(&buf, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 benchmarks compared, 0 added, 0 removed") {
+		t.Errorf("identical reports summary wrong:\n%s", buf.String())
+	}
+}

@@ -26,8 +26,19 @@
 //	radiobfs run scenarios/e1_recursive.json
 //	radiobfs run -out results -workers 8 -quick scenarios/smoke.json
 //
+// With -dist, run executes the spec across -workers worker processes under a
+// lease-based fault-tolerant coordinator (internal/dist); -chaos injects
+// deterministic worker crashes and stalls to exercise it:
+//
+//	radiobfs run -dist -workers 4 scenarios/scale_suite.json
+//	radiobfs run -workers 3 -chaos seed=7,killafter=2,stall=25 -quick scenarios/smoke.json
+//
+// The work subcommand is the worker half of that protocol: spawned by the
+// coordinator, never run by hand, it serves trial leases over stdin/stdout.
+//
 // Sweep and run output — stdout and artifacts alike — is byte-identical for
-// every -workers value; wall time is reported on stderr.
+// every -workers value, in-process or distributed, faulted or not; wall time
+// and coordination logs are reported on stderr.
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/dist"
 	"repro/internal/graph"
 )
 
@@ -57,6 +69,14 @@ func main() {
 		case "run":
 			if err := runSpecs(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "radiobfs run:", err)
+				os.Exit(1)
+			}
+			return
+		case "work":
+			// The distributed-run worker: speaks the internal/dist frame
+			// protocol over stdin/stdout until shutdown or EOF.
+			if err := dist.ServeWorker(os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "radiobfs work:", err)
 				os.Exit(1)
 			}
 			return

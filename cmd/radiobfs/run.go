@@ -4,30 +4,48 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/harness"
+	"repro/internal/progress"
 	"repro/internal/spec"
 )
 
 // runSpecs implements `radiobfs run <spec.json>...`: parse and validate each
-// declarative scenario file, execute it on the pooled parallel runner, and
-// persist its artifacts — per-trial JSONL, aggregated CSV, a rendered
-// Markdown table, and a manifest — under the output directory. Everything
-// written to stdout and to the artifact files is a pure function of the spec
-// and the root seed: re-running at any -workers value produces identical
-// bytes. Specs that reference custom workloads (the instrumented E-series
+// declarative scenario file, execute it — on the pooled in-process runner, or
+// across worker processes under -dist — and persist its artifacts under the
+// output directory. Everything written to stdout and to the artifact files is
+// a pure function of the spec and the root seed: re-running at any -workers
+// value, in-process or distributed, faulted or not, produces identical bytes.
+// Specs that reference custom workloads (the instrumented E-series
 // measurement code) are rejected here; cmd/experiments executes those.
+//
+// SIGINT/SIGTERM cancels the shared context: in-flight trials settle at their
+// next phase boundary, no partial artifacts are written, and the command
+// exits non-zero.
 func runSpecs(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return execSpecs(ctx, args, os.Stdout, os.Stderr)
+}
+
+// execSpecs is runSpecs minus the signal plumbing, so interruption behavior
+// is testable with a pre-canceled context.
+func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	outDir := fs.String("out", "results", "artifact directory; each spec writes to <out>/<spec name>/")
-	workers := fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
+	workers := fs.Int("workers", 0, "concurrent trials, or worker processes under -dist (0 = GOMAXPROCS, 1 = sequential)")
 	seed := fs.Uint64("seed", 0, "root seed override (0 = each spec file's own seed policy)")
 	quick := fs.Bool("quick", false, "apply the specs' reduced-size quick overlays")
 	quiet := fs.Bool("quiet", false, "suppress the aggregated text table on stdout")
+	distFlag := fs.Bool("dist", false, "execute each spec across -workers worker processes with lease-based fault-tolerant coordination; bytes are identical to in-process runs")
+	chaosFlag := fs.String("chaos", "", "deterministic fault injection for -dist workers, as seed=S,killafter=K,stall=P (implies -dist)")
+	progressFlag := fs.Bool("progress", false, "log lease lifecycle events on stderr under -dist")
 	shardMinN := fs.Int("shardminn", 0, "instance size from which a trial runs alone with the engine sharded across the pool (0 = default threshold, negative = disable); never changes output bytes")
 	denseMin := fs.Int("densemin", 0, "transmitter coverage from which the engine uses the packed-bitmap dense kernel (0 = default density rule, positive = coverage floor, negative = disable); never changes output bytes")
 	fs.Usage = func() {
@@ -44,6 +62,11 @@ func runSpecs(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("no spec files given")
 	}
+	chaos, err := dist.ParseChaos(*chaosFlag)
+	if err != nil {
+		return err
+	}
+	distributed := *distFlag || chaos.Enabled()
 
 	// Parse, validate, AND compile everything up front — compiling is what
 	// rejects custom-workload specs — so a bad last spec cannot waste the
@@ -60,36 +83,80 @@ func runSpecs(args []string) error {
 		files = append(files, f)
 	}
 
-	// Ctrl-C cancels in-flight trials at the next phase boundary.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	opts := spec.Options{Quick: *quick, Ctx: ctx, ShardMinN: *shardMinN, DenseMin: *denseMin}
+	dcfg := dist.Config{Workers: *workers, Chaos: chaos, Log: stderr}
+	if *progressFlag {
+		dcfg.Observer = leaseLogger{w: stderr}
+	}
 
 	failed := 0
 	for i, f := range files {
 		start := time.Now()
-		out, err := spec.ExecuteFile(f, *workers, *seed, opts)
+		var out *spec.Output
+		var err error
+		if distributed {
+			out, err = dist.Execute(f, *seed, opts, dcfg)
+		} else {
+			out, err = spec.ExecuteFile(f, *workers, *seed, opts)
+		}
 		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted (%w) — no artifacts written for %s", ctx.Err(), f.Name)
+			}
 			return fmt.Errorf("%s: %w", paths[i], err)
+		}
+		// A canceled run settles its in-flight trials and stops; whatever it
+		// produced is partial, so nothing may reach the artifact directory.
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted (%w) — no artifacts written for %s", ctx.Err(), f.Name)
 		}
 		dir, err := out.WriteArtifacts(*outDir)
 		if err != nil {
 			return err
 		}
 		if !*quiet {
-			harness.WriteTable(os.Stdout, harness.FilterMetrics(out.Summaries, f.Columns))
+			harness.WriteTable(stdout, harness.FilterMetrics(out.Summaries, f.Columns))
 		}
 		for _, r := range out.Results {
 			if r.Err != "" {
 				failed++
-				fmt.Fprintf(os.Stderr, "trial %s/%s/n=%d#%d: %s\n", r.Scenario, r.Family, r.N, r.Index, r.Err)
+				fmt.Fprintf(stderr, "trial %s/%s/n=%d#%d: %s\n", r.Scenario, r.Family, r.N, r.Index, r.Err)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "run %s: %d trials, %d errors, seed %d, %v wall → %s\n",
+		fmt.Fprintf(stderr, "run %s: %d trials, %d errors, seed %d, %v wall → %s\n",
 			f.Name, len(out.Results), out.Errors(), out.Root, time.Since(start).Round(time.Millisecond), dir)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d trials failed", failed)
 	}
 	return nil
+}
+
+// leaseLogger narrates lease lifecycle events on stderr for `run -dist
+// -progress`. Event timing depends on scheduling, so this output never goes
+// to stdout, which stays byte-deterministic.
+type leaseLogger struct {
+	w io.Writer
+}
+
+var _ progress.LeaseObserver = leaseLogger{}
+
+func (l leaseLogger) LeaseGranted(lease, worker, start, end int) {
+	fmt.Fprintf(l.w, "dist: lease %d [%d, %d) → worker %d\n", lease, start, end, worker)
+}
+
+func (l leaseLogger) LeaseDone(lease int) {
+	fmt.Fprintf(l.w, "dist: lease %d done\n", lease)
+}
+
+func (l leaseLogger) LeaseRevoked(lease, worker int, reason string) {
+	fmt.Fprintf(l.w, "dist: lease %d revoked from worker %d: %s\n", lease, worker, reason)
+}
+
+func (l leaseLogger) WorkerStarted(worker int) {
+	fmt.Fprintf(l.w, "dist: worker %d ready\n", worker)
+}
+
+func (l leaseLogger) WorkerExited(worker int, reason string) {
+	fmt.Fprintf(l.w, "dist: worker %d exited: %s\n", worker, reason)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,7 +36,19 @@ func (o *roundObserver) RoundBatch(_ string, n int64) {
 // print aggregated statistics. Everything written to stdout is a pure
 // function of the flags — timing goes to stderr — so sweeps diff cleanly
 // across machines and worker counts.
+//
+// SIGINT/SIGTERM cancels the shared context: in-flight trials settle at
+// their next phase boundary, the partial aggregate is NOT printed, and the
+// command exits non-zero.
 func runSweep(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return execSweep(ctx, args, os.Stdout, os.Stderr)
+}
+
+// execSweep is runSweep minus the signal plumbing, so interruption behavior
+// is testable with a pre-canceled context.
+func execSweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	families := fs.String("families", "cycle,grid", "comma-separated graph families: "+strings.Join(graph.FamilyNames(), ", "))
 	sizes := fs.String("sizes", "128,256", "comma-separated instance sizes")
@@ -62,7 +75,7 @@ func runSweep(args []string) error {
 	}
 	defer func() {
 		if err := stopProfiles(); err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: profile: %v\n", err)
+			fmt.Fprintf(stderr, "sweep: profile: %v\n", err)
 		}
 	}()
 
@@ -103,7 +116,7 @@ func runSweep(args []string) error {
 	}
 	for _, a := range algoNames {
 		if a == "help" {
-			printAlgorithms(os.Stdout)
+			printAlgorithms(stdout)
 			return nil
 		}
 		// Fail on unknown names before any trial runs, with the full listing.
@@ -112,10 +125,6 @@ func runSweep(args []string) error {
 		}
 	}
 
-	// Ctrl-C cancels in-flight trials at the next phase boundary; trials not
-	// yet started fail fast with the context error.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	var observer *roundObserver
 	if *progressFlag {
 		observer = &roundObserver{}
@@ -144,27 +153,32 @@ func runSweep(args []string) error {
 	results := runner.Run(scenarios...)
 	elapsed := time.Since(start)
 
+	// A canceled sweep settles its in-flight trials and stops; the aggregate
+	// would describe a partial grid, so none of it reaches stdout.
+	if ctx.Err() != nil {
+		return fmt.Errorf("interrupted (%w) — partial aggregate not written", ctx.Err())
+	}
 	errs := 0
 	for _, r := range results {
 		if r.Err != "" {
 			errs++
-			fmt.Fprintf(os.Stderr, "trial %s/%s/n=%d#%d: %s\n", r.Scenario, r.Family, r.N, r.Index, r.Err)
+			fmt.Fprintf(stderr, "trial %s/%s/n=%d#%d: %s\n", r.Scenario, r.Family, r.N, r.Index, r.Err)
 		}
 	}
 	sums := harness.Aggregate(results)
 	switch {
 	case *jsonOut:
-		if err := harness.WriteJSON(os.Stdout, sums); err != nil {
+		if err := harness.WriteJSON(stdout, sums); err != nil {
 			return err
 		}
 	case *csvOut:
-		harness.WriteCSV(os.Stdout, sums)
+		harness.WriteCSV(stdout, sums)
 	default:
-		harness.WriteTable(os.Stdout, sums)
+		harness.WriteTable(stdout, sums)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d trials, %d errors, %v wall\n", len(results), errs, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stderr, "sweep: %d trials, %d errors, %v wall\n", len(results), errs, elapsed.Round(time.Millisecond))
 	if observer != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %d simulated rounds observed\n", observer.rounds.Load())
+		fmt.Fprintf(stderr, "sweep: %d simulated rounds observed\n", observer.rounds.Load())
 	}
 	if errs > 0 {
 		return fmt.Errorf("%d of %d trials failed", errs, len(results))

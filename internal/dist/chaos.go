@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// ChaosExitCode is the exit status of a chaos-killed worker, distinct from
+// ordinary failures so logs attribute the crash correctly.
+const ChaosExitCode = 3
+
+// chaosTag salts the chaos seed's Derive stream so chaos draws never
+// collide with trial seeds derived from the same root.
+const chaosTag = 0xc4a05
+
+// ChaosSpec is the deterministic fault-injection schedule for worker
+// processes, parsed from `-chaos seed=S,killafter=K,stall=P`. The zero
+// value injects nothing.
+//
+// Each worker incarnation i draws its fault plan from (Seed, i) alone — not
+// from timing, pids, or scheduling — so a chaos run's failure pattern is
+// reproducible and every incarnation's fate is known up front: with
+// probability StallPct percent it stalls (stops heartbeating and hangs),
+// otherwise, when KillAfter > 0, it crashes with ChaosExitCode; either fault
+// fires after the incarnation completes a seeded number of trials in
+// [1, max(1, KillAfter)]. Faulting only after at least one completed trial
+// keeps chaos sweeps live: every incarnation makes progress, so the
+// coordinator's checkpointing converges no matter how hostile the schedule.
+type ChaosSpec struct {
+	Seed      uint64 `json:"seed,omitempty"`
+	KillAfter int    `json:"killAfter,omitempty"`
+	StallPct  int    `json:"stallPct,omitempty"`
+}
+
+// Enabled reports whether the spec injects any fault.
+func (c ChaosSpec) Enabled() bool { return c.KillAfter > 0 || c.StallPct > 0 }
+
+// String renders the spec in the flag syntax ParseChaos accepts.
+func (c ChaosSpec) String() string {
+	if !c.Enabled() {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed=%d", c.Seed)}
+	if c.KillAfter > 0 {
+		parts = append(parts, fmt.Sprintf("killafter=%d", c.KillAfter))
+	}
+	if c.StallPct > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%d", c.StallPct))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseChaos parses a `seed=S,killafter=K,stall=P` flag value. All keys are
+// optional; an empty string disables chaos entirely.
+func ParseChaos(s string) (ChaosSpec, error) {
+	var c ChaosSpec
+	if strings.TrimSpace(s) == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return c, fmt.Errorf("dist: chaos term %q is not key=value (known keys: seed, killafter, stall)", part)
+		}
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("dist: chaos seed %q: %w", val, err)
+			}
+			c.Seed = u
+		case "killafter":
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 0 {
+				return c, fmt.Errorf("dist: chaos killafter %q must be a non-negative integer", val)
+			}
+			c.KillAfter = k
+		case "stall":
+			p, err := strconv.Atoi(val)
+			if err != nil || p < 0 || p > 100 {
+				return c, fmt.Errorf("dist: chaos stall %q must be a percentage in [0, 100]", val)
+			}
+			c.StallPct = p
+		default:
+			return c, fmt.Errorf("dist: unknown chaos key %q (known: seed, killafter, stall)", key)
+		}
+	}
+	return c, nil
+}
+
+// FaultKind is what a worker incarnation does at its fault boundary.
+type FaultKind int
+
+const (
+	// FaultNone lets the incarnation run to completion.
+	FaultNone FaultKind = iota
+	// FaultKill exits the process with ChaosExitCode.
+	FaultKill
+	// FaultStall stops heartbeats and hangs until killed, the injected
+	// straggler the coordinator must detect by heartbeat loss.
+	FaultStall
+)
+
+// Fault is one incarnation's planned failure: Kind fires once the
+// incarnation has completed After trials (across all its leases).
+type Fault struct {
+	Kind  FaultKind
+	After int
+}
+
+// Plan derives the fault for worker incarnation number inc. It is a pure
+// function of (c, inc).
+func (c ChaosSpec) Plan(inc int) Fault {
+	if !c.Enabled() {
+		return Fault{}
+	}
+	r := rng.New(rng.Derive(c.Seed, chaosTag, uint64(inc)))
+	span := c.KillAfter
+	if span < 1 {
+		span = 1
+	}
+	after := 1 + r.Intn(span)
+	if c.StallPct > 0 && r.Intn(100) < c.StallPct {
+		return Fault{Kind: FaultStall, After: after}
+	}
+	if c.KillAfter > 0 {
+		return Fault{Kind: FaultKill, After: after}
+	}
+	return Fault{}
+}

@@ -1,0 +1,88 @@
+package dist
+
+import "testing"
+
+func TestParseChaos(t *testing.T) {
+	good := []struct {
+		in   string
+		want ChaosSpec
+	}{
+		{"", ChaosSpec{}},
+		{"  ", ChaosSpec{}},
+		{"seed=7", ChaosSpec{Seed: 7}},
+		{"seed=7,killafter=2", ChaosSpec{Seed: 7, KillAfter: 2}},
+		{"seed=7,killafter=2,stall=25", ChaosSpec{Seed: 7, KillAfter: 2, StallPct: 25}},
+		{" stall=100 , seed=1 ", ChaosSpec{Seed: 1, StallPct: 100}},
+	}
+	for _, tc := range good {
+		got, err := ParseChaos(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseChaos(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
+		}
+	}
+	bad := []string{"seed", "seed=x", "killafter=-1", "stall=101", "stall=-2", "pct=5", "seed=7;stall=2"}
+	for _, in := range bad {
+		if _, err := ParseChaos(in); err == nil {
+			t.Errorf("ParseChaos(%q): want error", in)
+		}
+	}
+}
+
+func TestChaosStringRoundTrips(t *testing.T) {
+	for _, c := range []ChaosSpec{
+		{},
+		{Seed: 7, KillAfter: 2},
+		{Seed: 0, StallPct: 100},
+		{Seed: 9, KillAfter: 5, StallPct: 25},
+	} {
+		back, err := ParseChaos(c.String())
+		if err != nil || back != c {
+			t.Errorf("ParseChaos(%q) = %+v, %v; want %+v", c.String(), back, err, c)
+		}
+	}
+}
+
+func TestChaosPlan(t *testing.T) {
+	if f := (ChaosSpec{}).Plan(3); f.Kind != FaultNone {
+		t.Errorf("disabled spec planned %+v", f)
+	}
+
+	c := ChaosSpec{Seed: 11, KillAfter: 4, StallPct: 30}
+	kills, stalls := 0, 0
+	for inc := 0; inc < 200; inc++ {
+		f := c.Plan(inc)
+		if f != c.Plan(inc) {
+			t.Fatalf("incarnation %d: plan is not deterministic", inc)
+		}
+		switch f.Kind {
+		case FaultKill:
+			kills++
+		case FaultStall:
+			stalls++
+		default:
+			t.Fatalf("incarnation %d: no fault planned under killafter+stall", inc)
+		}
+		// The progress guarantee: every incarnation completes at least one
+		// trial before faulting, so chaos sweeps always converge.
+		if f.After < 1 || f.After > c.KillAfter {
+			t.Fatalf("incarnation %d: After = %d outside [1, %d]", inc, f.After, c.KillAfter)
+		}
+	}
+	if kills == 0 || stalls == 0 {
+		t.Errorf("200 incarnations: %d kills, %d stalls; want a mix", kills, stalls)
+	}
+
+	// stall=100 stalls every incarnation; stall=0 kills every one.
+	for inc := 0; inc < 50; inc++ {
+		if f := (ChaosSpec{Seed: 5, KillAfter: 1, StallPct: 100}).Plan(inc); f.Kind != FaultStall {
+			t.Fatalf("stall=100, incarnation %d: %+v", inc, f)
+		}
+		if f := (ChaosSpec{Seed: 5, KillAfter: 3}).Plan(inc); f.Kind != FaultKill {
+			t.Fatalf("stall=0, incarnation %d: %+v", inc, f)
+		}
+		// Pure stall chaos (no killafter) must still fault after >= 1 trial.
+		if f := (ChaosSpec{Seed: 5, StallPct: 100}).Plan(inc); f.Kind != FaultStall || f.After != 1 {
+			t.Fatalf("pure stall, incarnation %d: %+v", inc, f)
+		}
+	}
+}

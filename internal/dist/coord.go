@@ -1,0 +1,653 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/progress"
+	"repro/internal/spec"
+)
+
+// Config tunes the coordinator. The zero value is usable: GOMAXPROCS worker
+// processes, automatic lease sizing, production-scale heartbeat and backoff
+// parameters, no chaos, and `<this binary> work` as the worker command.
+type Config struct {
+	// Workers is the number of worker processes (<= 0 = GOMAXPROCS),
+	// capped at the lease count.
+	Workers int
+	// LeaseSize is the number of trial slots per lease (<= 0 = automatic:
+	// about four leases per worker).
+	LeaseSize int
+	// Heartbeat is the interval workers emit liveness frames at
+	// (default 500ms).
+	Heartbeat time.Duration
+	// HeartbeatTimeout is the silence after which a worker is declared dead,
+	// killed, and its leases revoked (default 3s). Results count as
+	// heartbeats, so only a truly wedged worker trips it.
+	HeartbeatTimeout time.Duration
+	// RetryBudget bounds consecutive no-progress grants of one lease and
+	// consecutive failed (re)spawns of one worker slot before the
+	// coordinator stops trusting processes and runs the work in-process
+	// (default 8).
+	RetryBudget int
+	// BackoffBase/BackoffMax shape the capped exponential backoff between
+	// respawns of a failed worker slot (defaults 100ms / 5s). Backoff
+	// resets whenever the slot acks a trial.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Chaos is the deterministic fault-injection schedule shipped to
+	// workers (zero value = none).
+	Chaos ChaosSpec
+	// Command is the worker argv (default: this binary with the single
+	// argument "work").
+	Command []string
+	// Log receives warnings and the end-of-run coordination summary
+	// (default: discard). It is written only from the coordinator's event
+	// loop.
+	Log io.Writer
+	// Observer, when non-nil, receives lease lifecycle events.
+	Observer progress.LeaseObserver
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 3 * time.Second
+	}
+	if cfg.HeartbeatTimeout < 2*cfg.Heartbeat {
+		cfg.HeartbeatTimeout = 2 * cfg.Heartbeat
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 8
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if len(cfg.Command) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			exe = os.Args[0]
+		}
+		cfg.Command = []string{exe, "work"}
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if cfg.Observer == nil {
+		cfg.Observer = progress.LeaseFuncs{}
+	}
+	return cfg
+}
+
+// workerProc is one worker slot: a position in the fleet that successive
+// process incarnations occupy.
+type workerProc struct {
+	slot int
+	inc  int // incarnation number of the current/last process
+	cmd  *exec.Cmd
+	fw   *FrameWriter
+
+	live      bool
+	readySeen bool
+	lastSeen  time.Time
+	leases    []*leaseState
+	// fails counts consecutive spawn failures / exits without an ack;
+	// it drives backoff and the give-up decision, and resets on progress.
+	fails     int
+	nextSpawn time.Time
+	gaveUp    bool
+	killedFor string // set when the coordinator killed the process
+}
+
+// event is one item on the coordinator's single event stream: a frame from
+// a worker, or (msg == nil) its exit.
+type event struct {
+	w   *workerProc
+	msg *Message
+	err error
+}
+
+type coordinator struct {
+	cfg     Config
+	file    *spec.File
+	opts    spec.Options
+	root    uint64
+	raw     []byte
+	scs     []*harness.Scenario
+	runner  harness.Runner
+	refs    []harness.TrialRef
+	results []harness.Result
+	tbl     *table
+	events  chan event
+	done    chan struct{}
+	workers []*workerProc
+	incs    int
+	stream  *harness.Stream // lazy; in-process execution of poisoned leases
+	fatal   error
+
+	stats struct {
+		spawns, releases, duplicates, dupResults, inproc int
+	}
+}
+
+// Execute runs the spec file across worker processes and returns an Output
+// byte-for-byte equal to spec.ExecuteFile's for the same (file, root, opts):
+// per-trial results in canonical slot order, merged by first-writer-wins on
+// the slot index. root == 0 selects the file's own seed policy. Specs that
+// reference custom workloads cannot cross a process boundary and are
+// rejected. When no worker process can be spawned at all, Execute degrades
+// to in-process execution with a warning instead of failing.
+func Execute(f *spec.File, root uint64, opts spec.Options, cfg Config) (*spec.Output, error) {
+	cfg = cfg.withDefaults()
+	if len(opts.Custom) > 0 {
+		return nil, fmt.Errorf("dist: custom workloads cannot cross process boundaries — run them in-process")
+	}
+	scs, err := spec.Compile(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	if root == 0 {
+		root = f.RootSeed()
+	}
+	raw, err := f.Encode()
+	if err != nil {
+		return nil, err
+	}
+	c := &coordinator{
+		cfg:    cfg,
+		file:   f,
+		opts:   opts,
+		root:   root,
+		raw:    raw,
+		scs:    scs,
+		runner: harness.Runner{Workers: cfg.Workers, Root: root, ShardMinN: opts.ShardMinN, DenseMin: opts.DenseMin},
+	}
+	c.refs = c.runner.ExpandAll(scs...)
+	c.results = make([]harness.Result, len(c.refs))
+	size := cfg.LeaseSize
+	if size <= 0 {
+		size = defaultLeaseSize(len(c.refs), cfg.Workers)
+	}
+	c.tbl = newTable(len(c.refs), size)
+	c.events = make(chan event, 64)
+	c.done = make(chan struct{})
+	defer close(c.done)
+
+	if len(c.refs) > 0 {
+		if err := c.run(); err != nil {
+			return nil, err
+		}
+	}
+	return &spec.Output{
+		File:      f,
+		Root:      root,
+		Quick:     opts.Quick,
+		Results:   c.results,
+		Summaries: harness.Aggregate(c.results),
+	}, nil
+}
+
+// run spawns the fleet and drives the event loop to completion.
+func (c *coordinator) run() error {
+	fleet := c.cfg.Workers
+	if fleet > len(c.tbl.leases) {
+		fleet = len(c.tbl.leases)
+	}
+	c.workers = make([]*workerProc, fleet)
+	started := 0
+	for slot := 0; slot < fleet; slot++ {
+		c.workers[slot] = &workerProc{slot: slot}
+		if c.spawn(c.workers[slot]) {
+			started++
+		}
+	}
+	if started == 0 {
+		// No worker process could be spawned at all: degrade gracefully to
+		// the in-process parallel runner — identical bytes, no coordination.
+		fmt.Fprintf(c.cfg.Log, "dist: warning: no worker process could be spawned (%q); running %d trials in-process\n",
+			c.cfg.Command[0], len(c.refs))
+		c.results = c.runner.Run(c.scs...)
+		for i := range c.results {
+			c.tbl.ack(i)
+		}
+		return nil
+	}
+	err := c.loop()
+	c.shutdownAll()
+	if err == nil {
+		fmt.Fprintf(c.cfg.Log, "dist: %d trials over %d leases on %d worker slots: %d spawns, %d re-leases, %d speculative grants, %d duplicate results dropped, %d leases finished in-process\n",
+			len(c.refs), len(c.tbl.leases), len(c.workers),
+			c.stats.spawns, c.stats.releases, c.stats.duplicates, c.stats.dupResults, c.stats.inproc)
+	}
+	return err
+}
+
+// loop is the single-threaded coordination core: every state change —
+// frames, exits, liveness, respawns, give-up — happens here.
+func (c *coordinator) loop() error {
+	tick := c.cfg.HeartbeatTimeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	var ctxDone <-chan struct{}
+	if c.opts.Ctx != nil {
+		ctxDone = c.opts.Ctx.Done()
+	}
+	for !c.tbl.allDone() && c.fatal == nil {
+		select {
+		case ev := <-c.events:
+			if ev.msg != nil {
+				c.handleMsg(ev.w, ev.msg)
+			} else {
+				c.handleExit(ev.w, ev.err)
+			}
+		case <-ticker.C:
+			now := time.Now()
+			c.checkLiveness(now)
+			c.respawnDue(now)
+			c.assignIdle()
+			c.maybeRunInProcess()
+		case <-ctxDone:
+			return c.opts.Ctx.Err()
+		}
+	}
+	return c.fatal
+}
+
+func (c *coordinator) handleMsg(w *workerProc, m *Message) {
+	w.lastSeen = time.Now()
+	switch m.Kind {
+	case KindReady:
+		w.readySeen = true
+		c.cfg.Observer.WorkerStarted(w.inc)
+		c.assign(w)
+	case KindHeartbeat:
+		// lastSeen already advanced.
+	case KindResult:
+		if m.Slot < 0 || m.Slot >= c.tbl.total() {
+			c.fatal = fmt.Errorf("dist: worker %d reported slot %d outside [0, %d)", w.inc, m.Slot, c.tbl.total())
+			return
+		}
+		if want := c.refs[m.Slot].Trial.Seed; m.Seed != want {
+			// The worker expanded a different trial list — a spec or binary
+			// skew no amount of retrying fixes. Results are already suspect.
+			c.fatal = fmt.Errorf("dist: worker %d disagrees on slot %d's trial seed (%d != %d) — coordinator and worker are not running the same spec/binary", w.inc, m.Slot, m.Seed, want)
+			return
+		}
+		if c.tbl.ack(m.Slot) {
+			c.results[m.Slot] = harness.Result{Trial: c.refs[m.Slot].Trial, Metrics: m.Metrics, Err: m.TrialErr}
+			w.fails = 0
+			if l := c.tbl.leaseOf(m.Slot); !l.done && c.tbl.remaining(l) == 0 {
+				l.done = true
+				c.cfg.Observer.LeaseDone(l.id)
+			}
+		} else {
+			c.stats.dupResults++
+		}
+	case KindLeaseDone:
+		if m.LeaseID < 0 || m.LeaseID >= len(c.tbl.leases) {
+			c.fatal = fmt.Errorf("dist: worker %d finished unknown lease %d", w.inc, m.LeaseID)
+			return
+		}
+		l := c.tbl.leases[m.LeaseID]
+		if l.heldBy(w.slot) {
+			c.tbl.release(l, w.slot)
+			w.leases = removeLease(w.leases, l)
+		}
+		if !l.done && c.tbl.remaining(l) == 0 {
+			l.done = true
+			c.cfg.Observer.LeaseDone(l.id)
+		}
+		c.assign(w)
+	default:
+		c.fatal = fmt.Errorf("dist: unexpected %q frame from worker %d", m.Kind, w.inc)
+	}
+}
+
+// handleExit revokes a dead worker's leases and schedules its respawn.
+func (c *coordinator) handleExit(w *workerProc, err error) {
+	if !w.live {
+		return
+	}
+	w.live = false
+	w.readySeen = false
+	reason := "exit"
+	if w.killedFor != "" {
+		reason = w.killedFor
+	} else if err != nil {
+		reason = err.Error()
+	}
+	c.cfg.Observer.WorkerExited(w.inc, reason)
+	progressed := false
+	for _, l := range w.leases {
+		before := l.retries
+		c.tbl.release(l, w.slot)
+		if !l.done {
+			c.stats.releases++
+			c.cfg.Observer.LeaseRevoked(l.id, w.inc, reason)
+			if l.retries == 0 && before >= 0 {
+				progressed = true
+			}
+			if l.retries > c.cfg.RetryBudget {
+				c.runLeaseInProcess(l)
+			}
+		}
+	}
+	w.leases = w.leases[:0]
+	if progressed {
+		w.fails = 0
+	} else {
+		w.fails++
+	}
+	if c.tbl.allDone() {
+		return
+	}
+	if w.fails > c.cfg.RetryBudget {
+		if !w.gaveUp {
+			w.gaveUp = true
+			fmt.Fprintf(c.cfg.Log, "dist: warning: worker slot %d failed %d times without progress; not respawning it\n", w.slot, w.fails)
+		}
+		return
+	}
+	w.nextSpawn = time.Now().Add(c.backoff(w.fails))
+}
+
+// backoff is the capped exponential respawn delay after fails consecutive
+// no-progress failures.
+func (c *coordinator) backoff(fails int) time.Duration {
+	d := c.cfg.BackoffBase
+	for i := 1; i < fails; i++ {
+		d *= 2
+		if d >= c.cfg.BackoffMax {
+			return c.cfg.BackoffMax
+		}
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d
+}
+
+// assign hands an idle worker its next unit of work: the lowest pending
+// lease, else a speculative duplicate of the most-behind outstanding lease
+// (straggler hedging near the end of the sweep).
+func (c *coordinator) assign(w *workerProc) {
+	if !w.live || !w.readySeen || len(w.leases) > 0 {
+		return
+	}
+	l := c.tbl.pending()
+	speculative := false
+	if l == nil {
+		l = c.tbl.straggler(w.slot)
+		speculative = l != nil
+	}
+	if l == nil {
+		return // idle; shutdown arrives once the sweep completes
+	}
+	skip := c.tbl.skipList(l)
+	if err := w.fw.Write(&Message{Kind: KindLease, Lease: &Lease{ID: l.id, Start: l.start, End: l.end, Skip: skip}}); err != nil {
+		// The pipe is gone; the reader goroutine delivers the exit event.
+		c.kill(w, "lease write failed: "+err.Error())
+		return
+	}
+	c.tbl.grant(l, w.slot)
+	w.leases = append(w.leases, l)
+	if speculative {
+		c.stats.duplicates++
+	}
+	c.cfg.Observer.LeaseGranted(l.id, w.inc, l.start, l.end)
+}
+
+// assignIdle offers work to every idle live worker. A lease released by a
+// dead peer must not wait for one of the survivors to produce a
+// ready/leaseDone event — they may all be idle already.
+func (c *coordinator) assignIdle() {
+	for _, w := range c.workers {
+		c.assign(w)
+	}
+}
+
+// checkLiveness kills workers silent past the heartbeat timeout.
+func (c *coordinator) checkLiveness(now time.Time) {
+	for _, w := range c.workers {
+		if w.live && now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout {
+			c.kill(w, "heartbeat timeout")
+		}
+	}
+}
+
+// respawnDue restarts dead worker slots whose backoff has elapsed, as long
+// as unfinished leases remain.
+func (c *coordinator) respawnDue(now time.Time) {
+	if c.tbl.allDone() {
+		return
+	}
+	for _, w := range c.workers {
+		if !w.live && !w.gaveUp && !now.Before(w.nextSpawn) {
+			c.spawn(w)
+		}
+	}
+}
+
+// maybeRunInProcess is the last line of the degradation ladder: when every
+// worker slot has given up and leases remain, the coordinator finishes them
+// itself so the sweep still completes with correct bytes.
+func (c *coordinator) maybeRunInProcess() {
+	if c.tbl.allDone() || c.fatal != nil {
+		return
+	}
+	for _, w := range c.workers {
+		if w.live || !w.gaveUp {
+			return
+		}
+	}
+	fmt.Fprintf(c.cfg.Log, "dist: warning: all %d worker slots gave up; finishing the sweep in-process\n", len(c.workers))
+	for _, l := range c.tbl.leases {
+		if !l.done {
+			c.runLeaseInProcess(l)
+			if c.fatal != nil {
+				return
+			}
+		}
+	}
+}
+
+// runLeaseInProcess executes a lease's remaining slots on the coordinator's
+// own pooled stream — the fallback for poisoned leases and spawn-starved
+// runs. Acked slots are skipped and newly settled ones checkpointed exactly
+// as worker results are, so mixing in-process and worker execution cannot
+// change bytes.
+func (c *coordinator) runLeaseInProcess(l *leaseState) {
+	if l.done || c.fatal != nil {
+		return
+	}
+	c.stats.inproc++
+	fmt.Fprintf(c.cfg.Log, "dist: warning: lease %d [%d, %d) exhausted its retry budget; running its remaining %d trials in-process\n",
+		l.id, l.start, l.end, c.tbl.remaining(l))
+	if c.stream == nil {
+		c.stream = c.runner.Stream(c.scs...)
+	}
+	err := c.stream.RunRange(c.opts.Ctx, l.start, l.end,
+		func(slot int) bool { return c.tbl.acked[slot] },
+		func(ref harness.TrialRef, res harness.Result) {
+			if c.tbl.ack(ref.Slot) {
+				c.results[ref.Slot] = res
+			}
+		})
+	if err != nil {
+		c.fatal = err
+		return
+	}
+	if !l.done && c.tbl.remaining(l) == 0 {
+		l.done = true
+		c.cfg.Observer.LeaseDone(l.id)
+	}
+}
+
+// spawn starts the next incarnation on a worker slot; false on failure
+// (backoff already scheduled).
+func (c *coordinator) spawn(w *workerProc) bool {
+	inc := c.incs
+	c.incs++
+	cmd := exec.Command(c.cfg.Command[0], c.cfg.Command[1:]...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err == nil {
+		var stdout io.ReadCloser
+		stdout, err = cmd.StdoutPipe()
+		if err == nil {
+			err = cmd.Start()
+			if err == nil {
+				c.stats.spawns++
+				w.inc = inc
+				w.cmd = cmd
+				w.fw = NewFrameWriter(stdin)
+				w.live = true
+				w.readySeen = false
+				w.killedFor = ""
+				w.lastSeen = time.Now()
+				if werr := w.fw.Write(&Message{Kind: KindHello, Hello: &Hello{
+					Worker:      inc,
+					Spec:        c.raw,
+					Quick:       c.opts.Quick,
+					Root:        c.root,
+					ShardMinN:   c.opts.ShardMinN,
+					DenseMin:    c.opts.DenseMin,
+					HeartbeatMS: int(c.cfg.Heartbeat / time.Millisecond),
+					Chaos:       c.cfg.Chaos,
+				}}); werr != nil {
+					c.kill(w, "hello write failed: "+werr.Error())
+				}
+				go c.read(w, stdout)
+				return true
+			}
+		}
+	}
+	fmt.Fprintf(c.cfg.Log, "dist: warning: spawning worker %d (%q): %v\n", inc, c.cfg.Command[0], err)
+	w.fails++
+	if w.fails > c.cfg.RetryBudget {
+		w.gaveUp = true
+	} else {
+		w.nextSpawn = time.Now().Add(c.backoff(w.fails))
+	}
+	return false
+}
+
+// read is the per-process reader goroutine: it forwards frames to the event
+// loop and, when the stream ends, reaps the process and reports the exit.
+func (c *coordinator) read(w *workerProc, stdout io.Reader) {
+	fr := NewFrameReader(stdout)
+	for {
+		m, err := fr.Read()
+		if err != nil {
+			werr := w.cmd.Wait()
+			if werr != nil && err == io.EOF {
+				err = werr
+			}
+			if err == io.EOF {
+				err = nil // clean exit
+			}
+			select {
+			case c.events <- event{w: w, err: err}:
+			case <-c.done:
+			}
+			return
+		}
+		select {
+		case c.events <- event{w: w, msg: m}:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// kill terminates a worker process; bookkeeping happens when its reader
+// goroutine reports the exit.
+func (c *coordinator) kill(w *workerProc, reason string) {
+	if w.killedFor == "" {
+		w.killedFor = reason
+	}
+	if w.cmd != nil && w.cmd.Process != nil {
+		_ = w.cmd.Process.Kill()
+	}
+}
+
+// shutdownAll asks live workers to exit and kills whatever lingers.
+func (c *coordinator) shutdownAll() {
+	for _, w := range c.workers {
+		if w != nil && w.live {
+			_ = w.fw.Write(&Message{Kind: KindShutdown})
+		}
+	}
+	// Clean workers exit on the shutdown frame within milliseconds; anything
+	// slower is wedged and gets killed — every result is already streamed
+	// and checkpointed, so there is nothing to flush. A kill on an
+	// already-exited process is a no-op, and the reader goroutines reap
+	// every child via cmd.Wait.
+	const grace = 250 * time.Millisecond
+	deadline := time.After(grace)
+	live := func() int {
+		n := 0
+		for _, w := range c.workers {
+			if w != nil && w.live {
+				n++
+			}
+		}
+		return n
+	}
+	for live() > 0 {
+		select {
+		case ev := <-c.events:
+			if ev.msg == nil {
+				c.handleExit(ev.w, ev.err)
+			}
+		case <-deadline:
+			for _, w := range c.workers {
+				if w != nil && w.live {
+					c.kill(w, "shutdown deadline")
+				}
+			}
+			deadline = time.After(grace)
+			// One more drain round; if they still will not die we abandon
+			// them to the reader goroutines, which reap on c.done.
+			for live() > 0 {
+				select {
+				case ev := <-c.events:
+					if ev.msg == nil {
+						c.handleExit(ev.w, ev.err)
+					}
+				case <-deadline:
+					return
+				}
+			}
+			return
+		}
+	}
+}
+
+func removeLease(ls []*leaseState, l *leaseState) []*leaseState {
+	for i, x := range ls {
+		if x == l {
+			return append(ls[:i], ls[i+1:]...)
+		}
+	}
+	return ls
+}

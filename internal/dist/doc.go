@@ -1,0 +1,58 @@
+// Package dist executes a compiled scenario spec across multiple worker
+// processes under a lease-based coordinator, producing output byte-identical
+// to the single-process `radiobfs run` path — including under injected
+// worker crashes, stalls, and duplicated work.
+//
+// # Why leases, and why the bytes cannot change
+//
+// Every trial of a sweep derives its seed from its own coordinates (see
+// harness.TrialFor), never from scheduling, so a trial's Result is a pure
+// function of its global slot in the canonical trial order
+// (harness.Runner.ExpandAll). Distribution is therefore "only" a
+// coordination problem: partition the slot space [0, T) into leases —
+// contiguous slot ranges — hand them to workers, and merge the streamed
+// results back into the position-indexed layout Runner.Run would have
+// produced. Re-executing a slot (after a crash, or speculatively on a
+// duplicated lease) reproduces the identical Result, so the coordinator
+// resolves races by first-writer-wins on the slot index and the merged
+// artifacts stay byte-identical to an unfaulted in-process run.
+//
+// # Lease lifecycle and failure model
+//
+// A lease is granted to a worker together with the set of slots in its
+// range that are already completed (the skip list). Workers stream one
+// result frame per trial the moment it settles, so a worker crash mid-lease
+// loses no completed trials: the coordinator has already checkpointed every
+// acked slot. Liveness is heartbeat-based — workers emit heartbeat frames on
+// a timer, and results double as heartbeats; a worker silent past the
+// heartbeat timeout is killed and its leases are revoked. A revoked or
+// orphaned lease is narrowed to its remaining slots and re-queued; grants
+// that end without acking a single new slot count against the lease's retry
+// budget, and a lease that exhausts the budget is executed in-process by the
+// coordinator itself, which also happens wholesale when no worker process
+// can be spawned at all (graceful degradation, with a warning). Worker
+// respawns back off exponentially with a cap, resetting on progress. When
+// every lease is granted and a worker goes idle, the coordinator
+// speculatively duplicates the most-behind outstanding lease (straggler
+// hedging); duplicate results are deduplicated by slot.
+//
+// # Protocol
+//
+// Coordinator and workers speak length-prefixed JSON frames over the
+// worker's stdin/stdout (see proto.go): hello → ready, then lease → result*
+// → leaseDone, interleaved with heartbeats, until shutdown. Workers are
+// fork/exec'd instances of the same binary (`radiobfs work`), so the
+// coordinator and every worker compile the identical embedded registries
+// and expand the identical trial list from the spec bytes shipped in the
+// hello frame.
+//
+// # Deterministic fault injection
+//
+// ChaosSpec ("seed=S,killafter=K,stall=P") makes worker incarnations crash
+// (os.Exit) or stall (stop heartbeating and hang) after a seeded number of
+// completed trials. The fault schedule is a pure function of (chaos seed,
+// worker incarnation number), so every failure path — crash re-lease,
+// heartbeat-timeout revocation, straggler duplication, backoff — is
+// exercised deterministically in tests and CI, with the merged artifacts
+// byte-diffed against an unfaulted single-process run.
+package dist

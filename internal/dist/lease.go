@@ -1,0 +1,180 @@
+package dist
+
+// The coordinator's lease table: a uniform partition of the sweep's global
+// slot space [0, total) into contiguous ranges, plus the acked-slot
+// checkpoint that makes re-leasing loss-free. Completed slots are recorded
+// the moment their result frame arrives, so a revoked lease re-issues only
+// its remainder, and duplicated grants resolve by first-writer-wins on the
+// slot index — re-executing a slot reproduces the identical Result, so the
+// winner is irrelevant to the bytes.
+
+// leaseState tracks one lease through its grant/revoke/complete lifecycle.
+type leaseState struct {
+	id         int
+	start, end int // global slots [start, end)
+	// grants counts outstanding grants; holders lists the worker slots
+	// currently serving it (≥ 2 during speculative duplication).
+	grants  int
+	holders []int
+	// retries counts consecutive grants that ended without acking a single
+	// new slot; it resets whenever a revocation finds fresh progress. A
+	// lease whose retries exceed the budget is executed in-process.
+	retries int
+	// remainingAtGrant snapshots the unacked count at the latest grant, the
+	// reference point for the progress test above.
+	remainingAtGrant int
+	done             bool
+}
+
+// table is the lease table plus the acked-slot checkpoint.
+type table struct {
+	leases []*leaseState
+	size   int // slots per lease (last lease may be shorter)
+	acked  []bool
+	ackedN int
+}
+
+// defaultLeaseSize targets roughly four leases per worker so re-lease and
+// straggler-duplication granularity stays fine without drowning the
+// protocol in tiny grants.
+func defaultLeaseSize(total, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	size := total / (workers * 4)
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// newTable partitions [0, total) into ⌈total/size⌉ contiguous leases.
+func newTable(total, size int) *table {
+	if size < 1 {
+		size = 1
+	}
+	t := &table{size: size, acked: make([]bool, total)}
+	for start := 0; start < total; start += size {
+		end := start + size
+		if end > total {
+			end = total
+		}
+		t.leases = append(t.leases, &leaseState{id: len(t.leases), start: start, end: end})
+	}
+	return t
+}
+
+// total returns the slot count.
+func (t *table) total() int { return len(t.acked) }
+
+// allDone reports whether every slot is acked.
+func (t *table) allDone() bool { return t.ackedN == len(t.acked) }
+
+// ack checkpoints a completed slot; it returns false when the slot was
+// already acked (a duplicate to drop).
+func (t *table) ack(slot int) bool {
+	if t.acked[slot] {
+		return false
+	}
+	t.acked[slot] = true
+	t.ackedN++
+	return true
+}
+
+// leaseOf maps a slot to its owning lease.
+func (t *table) leaseOf(slot int) *leaseState {
+	return t.leases[slot/t.size]
+}
+
+// remaining counts the lease's unacked slots.
+func (t *table) remaining(l *leaseState) int {
+	n := 0
+	for s := l.start; s < l.end; s++ {
+		if !t.acked[s] {
+			n++
+		}
+	}
+	return n
+}
+
+// skipList lists the lease's already-acked slots, for the grant frame.
+func (t *table) skipList(l *leaseState) []int {
+	var skip []int
+	for s := l.start; s < l.end; s++ {
+		if t.acked[s] {
+			skip = append(skip, s)
+		}
+	}
+	return skip
+}
+
+// grant records that worker w now holds the lease.
+func (t *table) grant(l *leaseState, w int) {
+	l.grants++
+	l.holders = append(l.holders, w)
+	l.remainingAtGrant = t.remaining(l)
+}
+
+// release records that worker w's grant ended (completion, exit, or
+// revocation) and updates the retry counter: a grant that made no progress
+// counts against the budget, one that did resets it.
+func (t *table) release(l *leaseState, w int) {
+	l.grants--
+	for i, h := range l.holders {
+		if h == w {
+			l.holders = append(l.holders[:i], l.holders[i+1:]...)
+			break
+		}
+	}
+	if l.done {
+		return
+	}
+	if rem := t.remaining(l); rem >= l.remainingAtGrant {
+		l.retries++
+	} else {
+		l.retries = 0
+	}
+}
+
+// heldBy reports whether worker w currently holds the lease.
+func (l *leaseState) heldBy(w int) bool {
+	for _, h := range l.holders {
+		if h == w {
+			return true
+		}
+	}
+	return false
+}
+
+// pending returns the lowest-id lease that is incomplete and currently
+// granted to nobody, or nil.
+func (t *table) pending() *leaseState {
+	for _, l := range t.leases {
+		if !l.done && l.grants == 0 && t.remaining(l) > 0 {
+			return l
+		}
+	}
+	return nil
+}
+
+// maxGrants caps speculative duplication: at most two workers chew on one
+// lease, the original holder plus one hedge.
+const maxGrants = 2
+
+// straggler picks the lease to speculatively duplicate for an idle worker w:
+// among incomplete leases already granted elsewhere (but not to w, and not
+// yet at the duplication cap), the one with the most remaining work, ties to
+// the lowest id. Returns nil when nothing qualifies.
+func (t *table) straggler(w int) *leaseState {
+	var best *leaseState
+	bestRem := 0
+	for _, l := range t.leases {
+		if l.done || l.grants == 0 || l.grants >= maxGrants || l.heldBy(w) {
+			continue
+		}
+		if rem := t.remaining(l); rem > bestRem {
+			best, bestRem = l, rem
+		}
+	}
+	return best
+}

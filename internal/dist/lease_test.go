@@ -1,0 +1,114 @@
+package dist
+
+import "testing"
+
+func TestTablePartition(t *testing.T) {
+	tbl := newTable(10, 4)
+	if len(tbl.leases) != 3 {
+		t.Fatalf("10 slots at size 4: %d leases, want 3", len(tbl.leases))
+	}
+	bounds := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	for i, l := range tbl.leases {
+		if l.id != i || l.start != bounds[i][0] || l.end != bounds[i][1] {
+			t.Errorf("lease %d: [%d, %d), want %v", l.id, l.start, l.end, bounds[i])
+		}
+	}
+	for s := 0; s < 10; s++ {
+		want := s / 4
+		if tbl.leaseOf(s).id != want {
+			t.Errorf("leaseOf(%d) = %d, want %d", s, tbl.leaseOf(s).id, want)
+		}
+	}
+	if defaultLeaseSize(100, 4) != 6 { // ~4 leases per worker
+		t.Errorf("defaultLeaseSize(100, 4) = %d, want 6", defaultLeaseSize(100, 4))
+	}
+	if defaultLeaseSize(3, 8) != 1 {
+		t.Errorf("defaultLeaseSize(3, 8) = %d, want 1", defaultLeaseSize(3, 8))
+	}
+}
+
+func TestTableAckAndSkip(t *testing.T) {
+	tbl := newTable(6, 3)
+	if !tbl.ack(2) || tbl.ack(2) {
+		t.Fatal("first ack must succeed, duplicate must not")
+	}
+	l := tbl.leases[0]
+	if rem := tbl.remaining(l); rem != 2 {
+		t.Errorf("remaining = %d, want 2", rem)
+	}
+	if skip := tbl.skipList(l); len(skip) != 1 || skip[0] != 2 {
+		t.Errorf("skipList = %v, want [2]", skip)
+	}
+	tbl.ack(0)
+	tbl.ack(1)
+	tbl.ack(3)
+	tbl.ack(4)
+	if tbl.allDone() {
+		t.Fatal("allDone with slot 5 unacked")
+	}
+	tbl.ack(5)
+	if !tbl.allDone() {
+		t.Fatal("allDone after every ack")
+	}
+}
+
+func TestLeaseRetryAccounting(t *testing.T) {
+	tbl := newTable(4, 4)
+	l := tbl.leases[0]
+
+	// A grant that ends with no new acks counts against the budget.
+	tbl.grant(l, 0)
+	tbl.release(l, 0)
+	if l.retries != 1 {
+		t.Fatalf("no-progress release: retries = %d, want 1", l.retries)
+	}
+	// A grant that acked something resets the counter.
+	tbl.grant(l, 1)
+	tbl.ack(0)
+	tbl.release(l, 1)
+	if l.retries != 0 {
+		t.Fatalf("progressing release: retries = %d, want 0", l.retries)
+	}
+	if l.grants != 0 || len(l.holders) != 0 {
+		t.Fatalf("after releases: grants=%d holders=%v", l.grants, l.holders)
+	}
+}
+
+func TestPendingAndStraggler(t *testing.T) {
+	tbl := newTable(9, 3) // leases 0,1,2
+	if p := tbl.pending(); p == nil || p.id != 0 {
+		t.Fatalf("pending = %v, want lease 0", p)
+	}
+	tbl.grant(tbl.leases[0], 0)
+	tbl.grant(tbl.leases[1], 1)
+	tbl.grant(tbl.leases[2], 2)
+	if p := tbl.pending(); p != nil {
+		t.Fatalf("pending = lease %d with everything granted", p.id)
+	}
+
+	// Worker 0 finishes lease 0 and goes idle: it must duplicate the
+	// most-behind lease it does not already hold.
+	tbl.ack(0)
+	tbl.ack(1)
+	tbl.ack(2)
+	tbl.leases[0].done = true
+	tbl.release(tbl.leases[0], 0)
+	tbl.ack(3) // lease 1 is one trial ahead of lease 2
+	s := tbl.straggler(0)
+	if s == nil || s.id != 2 {
+		t.Fatalf("straggler = %v, want lease 2 (most remaining)", s)
+	}
+	// The duplication cap: once two workers hold lease 2, nobody else joins.
+	tbl.grant(s, 0)
+	if again := tbl.straggler(3); again == nil || again.id != 1 {
+		t.Fatalf("straggler with lease 2 at cap = %v, want lease 1", again)
+	}
+	tbl.grant(tbl.leases[1], 3)
+	if again := tbl.straggler(4); again != nil {
+		t.Fatalf("straggler with every lease at cap = lease %d, want none", again.id)
+	}
+	// A holder never duplicates its own lease.
+	if own := tbl.straggler(2); own != nil && own.heldBy(2) {
+		t.Fatalf("worker 2 offered its own lease %d", own.id)
+	}
+}

@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The wire protocol between the coordinator and a worker process: JSON
+// messages framed by a 4-byte big-endian length prefix, exchanged over the
+// worker's stdin (coordinator → worker) and stdout (worker → coordinator).
+// Framing keeps the stream self-synchronizing — a crashed worker can at
+// worst truncate the final frame, which the reader surfaces as an error
+// instead of a half-parsed message.
+
+// MaxFrame bounds a single frame. Result frames carry one trial's metrics
+// and hello frames one spec file; both are far below this.
+const MaxFrame = 16 << 20
+
+// Kind discriminates protocol messages.
+type Kind string
+
+// Coordinator → worker kinds.
+const (
+	// KindHello is the first frame on a worker's stdin: the spec, execution
+	// options, and the worker's incarnation number.
+	KindHello Kind = "hello"
+	// KindLease grants a slot range to the worker.
+	KindLease Kind = "lease"
+	// KindShutdown asks the worker to exit cleanly.
+	KindShutdown Kind = "shutdown"
+)
+
+// Worker → coordinator kinds.
+const (
+	// KindReady acknowledges the hello: the spec compiled and the worker is
+	// accepting leases.
+	KindReady Kind = "ready"
+	// KindResult reports one settled trial of the current lease.
+	KindResult Kind = "result"
+	// KindLeaseDone reports that every non-skipped slot of a lease was
+	// executed and its results streamed.
+	KindLeaseDone Kind = "leaseDone"
+	// KindHeartbeat is the liveness signal workers emit on a timer.
+	KindHeartbeat Kind = "heartbeat"
+)
+
+// Hello carries everything a worker needs to reconstruct the coordinator's
+// exact trial list: the spec bytes, the resolved root seed, and the kernel
+// policy knobs (which never change result bytes).
+type Hello struct {
+	// Worker is the incarnation number of this worker process, unique
+	// across respawns; it keys the deterministic chaos fault plan.
+	Worker int `json:"worker"`
+	// Spec is the JSON-encoded spec.File (registry workloads only).
+	Spec json.RawMessage `json:"spec"`
+	// Quick applies the spec's reduced-size overlays, exactly as compiled
+	// by the coordinator.
+	Quick bool `json:"quick,omitempty"`
+	// Root is the resolved root seed (never 0).
+	Root uint64 `json:"root"`
+	// ShardMinN / DenseMin mirror harness.Runner's kernel-policy fields.
+	ShardMinN int `json:"shardMinN,omitempty"`
+	DenseMin  int `json:"denseMin,omitempty"`
+	// HeartbeatMS is the interval between worker heartbeat frames.
+	HeartbeatMS int `json:"heartbeatMS,omitempty"`
+	// Chaos is the fault-injection schedule (zero value = none).
+	Chaos ChaosSpec `json:"chaos,omitempty"`
+}
+
+// Lease is one granted unit of work: the slots in [Start, End) minus Skip.
+type Lease struct {
+	ID    int `json:"id"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Skip lists slots within the range that are already completed
+	// elsewhere (re-leases and speculative duplicates carry them).
+	Skip []int `json:"skip,omitempty"`
+}
+
+// Message is the frame envelope. Kind selects which fields are meaningful.
+type Message struct {
+	Kind  Kind   `json:"kind"`
+	Hello *Hello `json:"hello,omitempty"`
+	Lease *Lease `json:"lease,omitempty"`
+
+	// Result / leaseDone fields.
+	LeaseID int `json:"leaseID,omitempty"`
+	// Slot is the trial's global index in the canonical order.
+	Slot int `json:"slot,omitempty"`
+	// Seed echoes the trial's derived seed so the coordinator can verify
+	// both processes expanded the identical trial list.
+	Seed     uint64             `json:"seed,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	TrialErr string             `json:"trialErr,omitempty"`
+}
+
+// FrameWriter writes length-prefixed frames. It is safe for concurrent use —
+// a worker's heartbeat timer and its result stream share one writer — and
+// flushes after every frame so a subsequent crash cannot swallow an emitted
+// result.
+type FrameWriter struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+// NewFrameWriter wraps w for frame output.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{bw: bufio.NewWriter(w)}
+}
+
+// Write marshals, frames, and flushes one message.
+func (fw *FrameWriter) Write(m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s frame: %w", m.Kind, err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("dist: %s frame of %d bytes exceeds the %d-byte limit", m.Kind, len(body), MaxFrame)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if _, err := fw.bw.Write(prefix[:]); err != nil {
+		return err
+	}
+	if _, err := fw.bw.Write(body); err != nil {
+		return err
+	}
+	return fw.bw.Flush()
+}
+
+// FrameReader reads length-prefixed frames. It is not safe for concurrent
+// use; each peer dedicates one goroutine to its read side.
+type FrameReader struct {
+	br *bufio.Reader
+}
+
+// NewFrameReader wraps r for frame input.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReader(r)}
+}
+
+// Read returns the next message. io.EOF (clean close between frames) passes
+// through unchanged; a stream truncated mid-frame reports ErrUnexpectedEOF.
+func (fr *FrameReader) Read() (*Message, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(fr.br, prefix[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("dist: stream truncated mid-prefix: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("dist: incoming frame of %d bytes exceeds the %d-byte limit", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(fr.br, body); err != nil {
+		return nil, fmt.Errorf("dist: stream truncated mid-frame: %w", err)
+	}
+	m := new(Message)
+	if err := json.Unmarshal(body, m); err != nil {
+		return nil, fmt.Errorf("dist: bad frame: %w", err)
+	}
+	if m.Kind == "" {
+		return nil, fmt.Errorf("dist: frame without a kind")
+	}
+	return m, nil
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func cancelScenario(ctx context.Context) *Scenario {
+	return &Scenario{
+		Name:   "cancel",
+		Algo:   AlgoRecursive,
+		Trials: 3,
+		Instances: []Instance{
+			{Family: "cycle", N: 48, MaxDist: 12},
+			{Family: "star", N: 40},
+		},
+		Ctx: ctx,
+	}
+}
+
+// TestRunSettlesCanceledTrials: a sweep whose context is already canceled
+// still returns one settled Result per expanded trial — correct Trial
+// coordinates, a context error, no partial or missing entries — so callers
+// can always tell exactly what did not run.
+func TestRunSettlesCanceledTrials(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := cancelScenario(ctx)
+	runner := Runner{Workers: 2, Root: 7}
+	results := runner.Run(sc)
+	refs := runner.ExpandAll(sc)
+	if len(results) != len(refs) {
+		t.Fatalf("%d results for %d trials", len(results), len(refs))
+	}
+	for i, r := range results {
+		if r.Err == "" {
+			t.Errorf("slot %d: canceled trial settled without an error", i)
+		}
+		if !reflect.DeepEqual(r.Trial, refs[i].Trial) {
+			t.Errorf("slot %d: result trial %+v != expanded trial %+v", i, r.Trial, refs[i].Trial)
+		}
+	}
+}
+
+// TestRunRangeStopsBetweenTrials: canceling the range context after the
+// first emitted trial stops the range at the next slot boundary — the error
+// is the context's, exactly one complete result was emitted, and no partial
+// trial ever reaches the caller.
+func TestRunRangeStopsBetweenTrials(t *testing.T) {
+	sc := cancelScenario(nil)
+	runner := Runner{Root: 7}
+	st := runner.Stream(sc)
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted []Result
+	err := st.RunRange(ctx, 0, len(st.Trials()), nil, func(ref TrialRef, res Result) {
+		emitted = append(emitted, res)
+		cancel()
+	})
+	if err != context.Canceled {
+		t.Fatalf("RunRange = %v, want context.Canceled", err)
+	}
+	if len(emitted) != 1 {
+		t.Fatalf("emitted %d results after cancel-on-first, want 1", len(emitted))
+	}
+	if emitted[0].Err != "" || len(emitted[0].Metrics) == 0 {
+		t.Errorf("the pre-cancel result must be complete and final: %+v", emitted[0])
+	}
+
+	// The pooled context survives a canceled range: the same Stream must
+	// finish the remaining slots later with results identical to a fresh
+	// full run — this is what lets the dist coordinator reuse its stream
+	// after an interrupted in-process lease.
+	var rest []Result
+	if err := st.RunRange(context.Background(), 0, len(st.Trials()),
+		func(slot int) bool { return slot == 0 },
+		func(ref TrialRef, res Result) { rest = append(rest, res) }); err != nil {
+		t.Fatalf("resumed range: %v", err)
+	}
+	full := runner.Run(sc)
+	got := append([]Result{emitted[0]}, rest...)
+	if !reflect.DeepEqual(got, full) {
+		t.Errorf("canceled-then-resumed results differ from a fresh run\ngot:  %+v\nwant: %+v", got, full)
+	}
+}
+
+// TestRunRangeRejectsBadBounds: out-of-range leases are loud errors, not
+// silent truncations.
+func TestRunRangeRejectsBadBounds(t *testing.T) {
+	sc := cancelScenario(nil)
+	runner := Runner{Root: 7}
+	st := runner.Stream(sc)
+	n := len(st.Trials())
+	for _, r := range [][2]int{{-1, 2}, {0, n + 1}, {3, 2}} {
+		if err := st.RunRange(context.Background(), r[0], r[1], nil, func(TrialRef, Result) {}); err == nil {
+			t.Errorf("RunRange(%d, %d) succeeded on a %d-trial sweep", r[0], r[1], n)
+		}
+	}
+}
+
+// TestExpandAllMatchesRun: the canonical flat trial list is exactly the
+// layout Runner.Run fills — the invariant the whole lease/slot scheme
+// stands on.
+func TestExpandAllMatchesRun(t *testing.T) {
+	a := cancelScenario(nil)
+	b := &Scenario{
+		Name:      "second",
+		Algo:      AlgoDiam2,
+		Trials:    2,
+		Instances: []Instance{{Family: "grid", N: 49}},
+	}
+	runner := Runner{Root: 3}
+	refs := runner.ExpandAll(a, b)
+	results := runner.Run(a, b)
+	if len(refs) != len(results) {
+		t.Fatalf("%d refs, %d results", len(refs), len(results))
+	}
+	for i := range refs {
+		if refs[i].Slot != i {
+			t.Errorf("ref %d carries slot %d", i, refs[i].Slot)
+		}
+		if !reflect.DeepEqual(refs[i].Trial, results[i].Trial) {
+			t.Errorf("slot %d: ExpandAll trial %+v != Run trial %+v", i, refs[i].Trial, results[i].Trial)
+		}
+	}
+}

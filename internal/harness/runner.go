@@ -58,19 +58,11 @@ func (r *Runner) shardMinN() int {
 
 // Run expands the scenarios into trials, executes them all, and returns the
 // results in canonical order: scenarios in argument order, instances in
-// declaration order, trial indices ascending.
+// declaration order, trial indices ascending (the same slot order ExpandAll
+// reports, which is what lets a distributed run merge worker results back
+// into this exact layout).
 func (r *Runner) Run(scenarios ...*Scenario) []Result {
-	type job struct {
-		slot int
-		sc   *Scenario
-		t    Trial
-	}
-	var jobs []job
-	for _, sc := range scenarios {
-		for _, t := range Expand(sc, r.Root) {
-			jobs = append(jobs, job{slot: len(jobs), sc: sc, t: t})
-		}
-	}
+	jobs := r.ExpandAll(scenarios...)
 	results := make([]Result, len(jobs))
 	workers := r.Workers
 	if workers <= 0 {
@@ -84,7 +76,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 		ctx := newContextShared(shared)
 		ctx.SetDenseMin(r.DenseMin)
 		for _, j := range jobs {
-			results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
+			results[j.Slot] = ExecuteCtx(ctx, j.Scenario, j.Trial)
 		}
 		return results
 	}
@@ -94,9 +86,9 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 	small := jobs
 	if minN := r.shardMinN(); minN > 0 {
 		small = small[:0]
-		var big []job
+		var big []TrialRef
 		for _, j := range jobs {
-			if j.t.N >= minN {
+			if j.Trial.N >= minN {
 				big = append(big, j)
 			} else {
 				small = append(small, j)
@@ -107,7 +99,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 			ctx.SetShards(workers)
 			ctx.SetDenseMin(r.DenseMin)
 			for _, j := range big {
-				results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
+				results[j.Slot] = ExecuteCtx(ctx, j.Scenario, j.Trial)
 			}
 		}
 	}
@@ -117,7 +109,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 	if workers > len(small) {
 		workers = len(small)
 	}
-	ch := make(chan job)
+	ch := make(chan TrialRef)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -131,7 +123,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 			ctx := newContextShared(shared)
 			ctx.SetDenseMin(r.DenseMin)
 			for j := range ch {
-				results[j.slot] = ExecuteCtx(ctx, j.sc, j.t)
+				results[j.Slot] = ExecuteCtx(ctx, j.Scenario, j.Trial)
 			}
 		}()
 	}

@@ -94,3 +94,71 @@ func (f Funcs) RoundBatch(phase string, rounds int64) {
 		f.OnRoundBatch(phase, rounds)
 	}
 }
+
+// LeaseObserver receives coordinator-level lifecycle events from a
+// distributed sweep (internal/dist): lease grants (including re-leases and
+// speculative duplicates), completions, revocations, and worker process
+// churn. It is the distributed sibling of Observer — same contract:
+// implementations must be cheap, and the coordinator invokes them from its
+// single event loop, so they need not be safe for concurrent use.
+type LeaseObserver interface {
+	// LeaseGranted reports that lease was granted to worker incarnation
+	// worker, covering slots [start, end) minus skipped already-done slots.
+	LeaseGranted(lease, worker, start, end int)
+	// LeaseDone reports that every slot of the lease is completed.
+	LeaseDone(lease int)
+	// LeaseRevoked reports that a grant ended without completing the lease
+	// (worker exit, heartbeat loss); the remainder will be re-leased or run
+	// in-process.
+	LeaseRevoked(lease, worker int, reason string)
+	// WorkerStarted reports that worker incarnation worker began serving.
+	WorkerStarted(worker int)
+	// WorkerExited reports that a worker process ended, with the reason
+	// (clean shutdown, crash exit status, heartbeat timeout, ...).
+	WorkerExited(worker int, reason string)
+}
+
+// LeaseFuncs adapts plain functions into a LeaseObserver; nil fields are
+// skipped.
+type LeaseFuncs struct {
+	OnLeaseGranted func(lease, worker, start, end int)
+	OnLeaseDone    func(lease int)
+	OnLeaseRevoked func(lease, worker int, reason string)
+	OnWorkerStart  func(worker int)
+	OnWorkerExit   func(worker int, reason string)
+}
+
+// LeaseGranted implements LeaseObserver.
+func (f LeaseFuncs) LeaseGranted(lease, worker, start, end int) {
+	if f.OnLeaseGranted != nil {
+		f.OnLeaseGranted(lease, worker, start, end)
+	}
+}
+
+// LeaseDone implements LeaseObserver.
+func (f LeaseFuncs) LeaseDone(lease int) {
+	if f.OnLeaseDone != nil {
+		f.OnLeaseDone(lease)
+	}
+}
+
+// LeaseRevoked implements LeaseObserver.
+func (f LeaseFuncs) LeaseRevoked(lease, worker int, reason string) {
+	if f.OnLeaseRevoked != nil {
+		f.OnLeaseRevoked(lease, worker, reason)
+	}
+}
+
+// WorkerStarted implements LeaseObserver.
+func (f LeaseFuncs) WorkerStarted(worker int) {
+	if f.OnWorkerStart != nil {
+		f.OnWorkerStart(worker)
+	}
+}
+
+// WorkerExited implements LeaseObserver.
+func (f LeaseFuncs) WorkerExited(worker int, reason string) {
+	if f.OnWorkerExit != nil {
+		f.OnWorkerExit(worker, reason)
+	}
+}

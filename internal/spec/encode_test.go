@@ -1,0 +1,40 @@
+package spec_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/scenarios"
+)
+
+// TestEncodeRoundTripsLibrary pins the contract the distributed coordinator
+// ships specs to worker processes on: for every checked-in scenario file,
+// Parse(Encode(Parse(file))) is the identical File. A spec field that failed
+// to round-trip would make a worker expand a different trial list than its
+// coordinator — caught there only at runtime by the seed echo, caught here
+// at test time.
+func TestEncodeRoundTripsLibrary(t *testing.T) {
+	names := scenarios.Names()
+	if len(names) == 0 {
+		t.Fatal("embedded scenario library is empty")
+	}
+	for _, name := range names {
+		f, err := spec.ParseFS(scenarios.FS, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		blob, err := f.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		back, err := spec.Parse(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s: reparse of encoded spec: %v", name, err)
+		}
+		if !reflect.DeepEqual(f, back) {
+			t.Errorf("%s: spec changed across Encode/Parse\nbefore: %+v\nafter:  %+v", name, f, back)
+		}
+	}
+}

@@ -107,6 +107,15 @@ func (f *File) RootSeed() uint64 {
 	return f.Seed
 }
 
+// Encode renders the file back to JSON. Parse(Encode(f)) reproduces an
+// identical File — every spec field round-trips through encoding/json and
+// Parse's strictness only rejects fields Encode never emits — which is what
+// lets the distributed coordinator (internal/dist) ship a parsed spec to
+// worker processes and trust both sides to expand the identical trial list.
+func (f *File) Encode() ([]byte, error) {
+	return json.Marshal(f)
+}
+
 // Parse decodes one spec file. Decoding is strict: unknown fields are
 // rejected, so typos in scenario files fail loudly instead of silently
 // running a default.
