@@ -80,3 +80,11 @@ chaos-check:
 	diff -r /tmp/chaos_base /tmp/chaos_kill
 	diff -r /tmp/chaos_base /tmp/chaos_stall
 	@echo "chaos-check: artifacts byte-identical under kills and stalls"
+
+# serve-check is the local mirror of the CI serve smoke: start `radiobfs
+# serve` on an ephemeral port, submit the smoke spec twice (the second
+# must be a cache hit with the execution counter untouched), and byte-diff
+# the fetched artifacts against a direct `radiobfs run` of the same
+# binary.
+serve-check:
+	bash scripts/serve_smoke.sh

@@ -36,9 +36,20 @@
 // The work subcommand is the worker half of that protocol: spawned by the
 // coordinator, never run by hand, it serves trial leases over stdin/stdout.
 //
+// The serve subcommand turns the same spec executor into a long-lived HTTP
+// daemon — admission-controlled scheduling, SSE progress streams, and a
+// content-addressed result cache — and submit is its client:
+//
+//	radiobfs serve -addr 127.0.0.1:8370 -store serve-store
+//	radiobfs submit -server http://127.0.0.1:8370 scenarios/smoke.json
+//
+// `radiobfs help` lists every subcommand; the listing is generated from the
+// same registry main dispatches through.
+//
 // Sweep and run output — stdout and artifacts alike — is byte-identical for
 // every -workers value, in-process or distributed, faulted or not; wall time
-// and coordination logs are reported on stderr.
+// and coordination logs are reported on stderr. The serve cache relies on
+// exactly that property: artifacts are pure functions of (spec, seed, build).
 package main
 
 import (
@@ -53,33 +64,30 @@ import (
 	"syscall"
 
 	"repro"
-	"repro/internal/dist"
 	"repro/internal/graph"
 )
 
 func main() {
 	if len(os.Args) > 1 {
-		switch os.Args[1] {
-		case "sweep":
-			if err := runSweep(os.Args[2:]); err != nil {
-				fmt.Fprintln(os.Stderr, "radiobfs sweep:", err)
-				os.Exit(1)
-			}
+		name := os.Args[1]
+		if name == "help" || name == "-help" || name == "--help" {
+			fmt.Print(usageText())
 			return
-		case "run":
-			if err := runSpecs(os.Args[2:]); err != nil {
-				fmt.Fprintln(os.Stderr, "radiobfs run:", err)
-				os.Exit(1)
+		}
+		for _, c := range commands() {
+			if c.name == name {
+				if err := c.run(os.Args[2:]); err != nil {
+					fmt.Fprintf(os.Stderr, "radiobfs %s: %v\n", name, err)
+					os.Exit(1)
+				}
+				return
 			}
-			return
-		case "work":
-			// The distributed-run worker: speaks the internal/dist frame
-			// protocol over stdin/stdout until shutdown or EOF.
-			if err := dist.ServeWorker(os.Stdin, os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "radiobfs work:", err)
-				os.Exit(1)
-			}
-			return
+		}
+		// A bare word that is not a registered subcommand is a typo, not a
+		// single-shot flag set: fail loudly with the registry listing.
+		if !strings.HasPrefix(name, "-") {
+			fmt.Fprintf(os.Stderr, "radiobfs: unknown command %q\n\n%s", name, usageText())
+			os.Exit(2)
 		}
 	}
 	if err := run(); err != nil {

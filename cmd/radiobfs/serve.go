@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// runServe implements `radiobfs serve`: a long-lived HTTP daemon that
+// executes submitted scenario specs on a shared pooled runner behind
+// admission control, streams per-job progress over SSE, and answers repeat
+// submissions from a content-addressed artifact cache. See internal/serve
+// for the API and DESIGN.md for the serving-layer rationale.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8370", "listen address (use :0 for an ephemeral port with -addrfile)")
+	store := fs.String("store", "serve-store", "content-addressed artifact cache directory")
+	workers := fs.Int("workers", 0, "concurrent trials within one job (0 = GOMAXPROCS, 1 = sequential); never changes output bytes")
+	execs := fs.Int("execs", 1, "jobs executing concurrently on the shared runner")
+	queueCap := fs.Int("queue", 64, "pending-job queue bound; a full queue answers 429")
+	maxClient := fs.Int("maxclient", 8, "per-client in-flight job cap; exceeding it answers 429")
+	heartbeat := fs.Duration("heartbeat", 15*time.Second, "SSE keep-alive comment interval")
+	addrFile := fs.String("addrfile", "", "write the bound address to this file once listening (for scripts using an ephemeral port)")
+	shardMinN := fs.Int("shardminn", 0, "instance size from which a trial runs alone with the engine sharded across the pool (0 = default, negative = disable); never changes output bytes")
+	denseMin := fs.Int("densemin", 0, "transmitter coverage from which the engine uses the packed-bitmap dense kernel (0 = default, positive = floor, negative = disable); never changes output bytes")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: radiobfs serve [flags]")
+		fmt.Fprintln(fs.Output(), "Serves spec execution over HTTP/JSON: POST /v1/jobs to submit, GET")
+		fmt.Fprintln(fs.Output(), "/v1/jobs/{id}/events for SSE progress, GET /v1/artifacts/{key}/{name}")
+		fmt.Fprintln(fs.Output(), "for cached results. Flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args())
+	}
+
+	srv, err := serve.New(serve.Config{
+		Store:        *store,
+		Workers:      *workers,
+		Execs:        *execs,
+		QueueCap:     *queueCap,
+		MaxPerClient: *maxClient,
+		Heartbeat:    *heartbeat,
+		ShardMinN:    *shardMinN,
+		DenseMin:     *denseMin,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s, store %s, execs %d, queue %d\n",
+		ln.Addr(), *store, *execs, *queueCap)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			srv.Close()
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "serve: shutting down")
+		// Settle the jobs first: canceling them closes their event logs, so
+		// in-flight SSE streams end and Shutdown can drain the connections.
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		return nil
+	case err := <-errc:
+		srv.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

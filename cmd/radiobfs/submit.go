@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// runSubmit implements `radiobfs submit`: post spec files to a running
+// `radiobfs serve` daemon, follow each job's SSE progress stream on stderr,
+// and download the finished artifacts into the same <out>/<spec name>/
+// layout `radiobfs run` writes — byte-identical, whether the server
+// executed the job or answered it from its result cache.
+func runSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8370", "base URL of the radiobfs serve daemon")
+	outDir := fs.String("out", "results", "artifact directory; each spec downloads to <out>/<spec name>/")
+	seed := fs.Uint64("seed", 0, "root seed override (0 = the spec file's own seed policy)")
+	quick := fs.Bool("quick", false, "request the spec's reduced-size quick overlay")
+	follow := fs.Bool("follow", true, "stream SSE progress to stderr until the job settles")
+	jsonOut := fs.Bool("json", false, "print each job's final status as JSON on stdout")
+	client := fs.String("client", "", "client identity sent as X-Client-ID (default: the connection's host)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: radiobfs submit [flags] <spec.json>...")
+		fmt.Fprintln(fs.Output(), "Submits specs to a radiobfs serve daemon and fetches their artifacts.")
+		fmt.Fprintln(fs.Output(), "Flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no spec files given")
+	}
+	base := strings.TrimRight(*server, "/")
+	for _, path := range paths {
+		if err := submitOne(base, path, *outDir, *seed, *quick, *follow, *jsonOut, *client); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// submitOne drives one spec through the full client lifecycle: submit,
+// follow, fetch, report.
+func submitOne(base, path, outDir string, seed uint64, quick, follow, jsonOut bool, client string) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	q := url.Values{}
+	if seed != 0 {
+		q.Set("seed", fmt.Sprint(seed))
+	}
+	if quick {
+		q.Set("quick", "true")
+	}
+	submitURL := base + "/v1/jobs"
+	if len(q) > 0 {
+		submitURL += "?" + q.Encode()
+	}
+	req, err := http.NewRequest("POST", submitURL, bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client != "" {
+		req.Header.Set("X-Client-ID", client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return fmt.Errorf("server overloaded (retry after %ss): %s",
+			resp.Header.Get("Retry-After"), strings.TrimSpace(string(body)))
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("decoding submit response: %w", err)
+	}
+	switch {
+	case st.CacheHit:
+		fmt.Fprintf(os.Stderr, "submit %s: job %s cache hit (key %s)\n", path, st.ID, st.Key)
+	case st.Coalesced:
+		fmt.Fprintf(os.Stderr, "submit %s: job %s attached to in-flight duplicate\n", path, st.ID)
+	default:
+		fmt.Fprintf(os.Stderr, "submit %s: job %s queued, %d trials\n", path, st.ID, st.Trials)
+	}
+
+	if follow && !st.State.Terminal() {
+		if err := followEvents(base, st.Events, os.Stderr); err != nil {
+			return err
+		}
+	} else if !st.State.Terminal() {
+		if err := waitDone(base, st.ID); err != nil {
+			return err
+		}
+	}
+
+	// The SSE stream is narration; the authoritative outcome is the status.
+	final, err := fetchStatus(base, st.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != serve.StateDone {
+		if final.Error != "" {
+			return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
+		}
+		return fmt.Errorf("job %s %s", final.ID, final.State)
+	}
+	dir := filepath.Join(outDir, final.Spec)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, artifact := range final.Artifacts {
+		if err := fetchArtifact(base, artifact, dir); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "submit %s: %d trials, %d errors, cacheHit=%t → %s\n",
+		path, final.Trials, final.Errors, final.CacheHit, dir)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(final); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// followEvents streams a job's SSE events to w until the stream ends (the
+// server closes it after the complete event). The parser handles exactly
+// the frames the server emits: id/event/data lines and comment heartbeats.
+func followEvents(base, eventsPath string, w io.Writer) error {
+	resp, err := http.Get(base + eventsPath)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("event stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var e serve.Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				continue
+			}
+		case line == "":
+			if e.Type == "" {
+				continue
+			}
+			switch e.Type {
+			case "phase":
+				fmt.Fprintf(w, "  phase %s %s\n", e.Phase, e.State)
+			case "rounds":
+				fmt.Fprintf(w, "  rounds %d (%s)\n", e.Rounds, e.Phase)
+			case "trial":
+				fmt.Fprintf(w, "  trial %s done (%d/%d)\n", e.Trial, e.Done, e.Total)
+			case "complete":
+				fmt.Fprintf(w, "  complete: %s\n", e.State)
+			default:
+				fmt.Fprintf(w, "  %s\n", e.Type)
+			}
+			e = serve.Event{}
+		}
+	}
+	return sc.Err()
+}
+
+// waitDone polls a job until it settles, for -follow=false submissions.
+func waitDone(base, id string) error {
+	for {
+		st, err := fetchStatus(base, id)
+		if err != nil {
+			return err
+		}
+		if st.State.Terminal() {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetchStatus(base, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("job status: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// fetchArtifact downloads one artifact path into dir under its base name.
+func fetchArtifact(base, artifactPath, dir string) error {
+	resp, err := http.Get(base + artifactPath)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch %s: %s", artifactPath, resp.Status)
+	}
+	name := artifactPath[strings.LastIndex(artifactPath, "/")+1:]
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+// command is one radiobfs subcommand: its dispatch name, the one-line
+// synopsis shown by the top-level usage text, and its entry point.
+type command struct {
+	name     string
+	synopsis string
+	run      func(args []string) error
+}
+
+// commands is the subcommand registry, in listing order. main dispatches
+// through it and usageText enumerates it, so adding an entry here is all it
+// takes for a new subcommand to be both runnable and documented.
+func commands() []command {
+	return []command{
+		{"run", "execute declarative scenario specs and persist their artifacts", runSpecs},
+		{"sweep", "run a families×sizes×algorithms×seeds sweep with aggregated statistics", runSweep},
+		{"serve", "serve spec execution over HTTP: pooled scheduling, SSE progress, result cache", runServe},
+		{"submit", "submit a spec to a serve daemon, follow progress, fetch the artifacts", runSubmit},
+		{"work", "distributed-run worker protocol (spawned by run -dist; never run by hand)", runWork},
+	}
+}
+
+// runWork is the worker half of the distributed-run protocol: it serves
+// trial leases over stdin/stdout until shutdown or EOF.
+func runWork(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("work takes no arguments; it is spawned by `radiobfs run -dist`")
+	}
+	return dist.ServeWorker(os.Stdin, os.Stdout)
+}
+
+// usageText renders the top-level usage: every registered subcommand plus
+// the flag-driven single-shot mode.
+func usageText() string {
+	var b strings.Builder
+	b.WriteString("usage: radiobfs <command> [flags] [args]\n")
+	b.WriteString("       radiobfs [flags]           (single-shot: one algorithm on one generated graph)\n")
+	b.WriteString("\ncommands:\n")
+	for _, c := range commands() {
+		fmt.Fprintf(&b, "  %-8s %s\n", c.name, c.synopsis)
+	}
+	b.WriteString("\nRun 'radiobfs <command> -h' for a command's flags, 'radiobfs -h' for the\n")
+	b.WriteString("single-shot flags, and 'radiobfs -algo help' for the algorithm registry.\n")
+	return b.String()
+}

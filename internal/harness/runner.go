@@ -42,6 +42,14 @@ type Runner struct {
 	// engages, negative disables it. Like ShardMinN this selects kernels,
 	// never semantics — results are byte-identical at any setting.
 	DenseMin int
+	// OnTrial, when non-nil, is invoked once per trial the moment its
+	// Result settles — from whichever worker goroutine ran it, so it must
+	// be safe for concurrent use. Invocation order follows scheduling, not
+	// slot order; the returned Result slice is unaffected (still canonical
+	// slot order, byte-identical at any worker count). Drivers use it to
+	// stream per-trial progress (e.g. the serving layer's trial-done SSE
+	// events) without waiting for the whole sweep.
+	OnTrial func(Result)
 }
 
 // shardMinN resolves the effective big-instance threshold (0 = disabled).
@@ -77,6 +85,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 		ctx.SetDenseMin(r.DenseMin)
 		for _, j := range jobs {
 			results[j.Slot] = ExecuteCtx(ctx, j.Scenario, j.Trial)
+			r.notify(results[j.Slot])
 		}
 		return results
 	}
@@ -100,6 +109,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 			ctx.SetDenseMin(r.DenseMin)
 			for _, j := range big {
 				results[j.Slot] = ExecuteCtx(ctx, j.Scenario, j.Trial)
+				r.notify(results[j.Slot])
 			}
 		}
 	}
@@ -124,6 +134,7 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 			ctx.SetDenseMin(r.DenseMin)
 			for j := range ch {
 				results[j.Slot] = ExecuteCtx(ctx, j.Scenario, j.Trial)
+				r.notify(results[j.Slot])
 			}
 		}()
 	}
@@ -133,4 +144,11 @@ func (r *Runner) Run(scenarios ...*Scenario) []Result {
 	close(ch)
 	wg.Wait()
 	return results
+}
+
+// notify delivers one settled result to the OnTrial hook, if any.
+func (r *Runner) notify(res Result) {
+	if r.OnTrial != nil {
+		r.OnTrial(res)
+	}
 }

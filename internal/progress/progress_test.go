@@ -1,0 +1,92 @@
+package progress
+
+import (
+	"context"
+	"testing"
+)
+
+// TestZeroHooksAreSafe pins the package's core promise: the zero Hooks
+// value is fully disabled and always legal in a round loop.
+func TestZeroHooksAreSafe(t *testing.T) {
+	var h Hooks
+	if err := h.Err(); err != nil {
+		t.Fatalf("zero Hooks Err() = %v", err)
+	}
+	h.Start("phase")
+	h.End("phase")
+	h.Rounds("phase", 5)
+}
+
+// TestHooksErr: Err is nil without a context, nil before cancellation, and
+// the context's error after.
+func TestHooksErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	h := Hooks{Ctx: ctx}
+	if err := h.Err(); err != nil {
+		t.Fatalf("Err before cancel = %v", err)
+	}
+	cancel()
+	if err := h.Err(); err != context.Canceled {
+		t.Fatalf("Err after cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestFuncsNilFieldsAreSafe: a partially (or entirely) empty Funcs skips
+// its nil fields instead of panicking.
+func TestFuncsNilFieldsAreSafe(t *testing.T) {
+	var f Funcs
+	f.PhaseStart("p")
+	f.PhaseEnd("p")
+	f.RoundBatch("p", 1)
+
+	var ends []string
+	partial := Funcs{OnPhaseEnd: func(p string) { ends = append(ends, p) }}
+	partial.PhaseStart("p")
+	partial.RoundBatch("p", 2)
+	partial.PhaseEnd("p")
+	if len(ends) != 1 || ends[0] != "p" {
+		t.Fatalf("partial Funcs recorded %v", ends)
+	}
+}
+
+// TestHooksForwarding: events pass through to the observer, and empty or
+// negative round batches are swallowed before they reach it.
+func TestHooksForwarding(t *testing.T) {
+	var starts, ends []string
+	var rounds int64
+	h := Hooks{Obs: Funcs{
+		OnPhaseStart: func(p string) { starts = append(starts, p) },
+		OnPhaseEnd:   func(p string) { ends = append(ends, p) },
+		OnRoundBatch: func(p string, n int64) { rounds += n },
+	}}
+	h.Start("a")
+	h.Rounds("a", 3)
+	h.Rounds("a", 0)
+	h.Rounds("a", -2)
+	h.End("a")
+	if len(starts) != 1 || starts[0] != "a" || len(ends) != 1 || ends[0] != "a" {
+		t.Fatalf("phase events: starts %v ends %v", starts, ends)
+	}
+	if rounds != 3 {
+		t.Fatalf("forwarded %d rounds, want 3 (zero/negative batches must be dropped)", rounds)
+	}
+}
+
+// TestLeaseFuncsNilFieldsAreSafe mirrors the Funcs contract for the
+// distributed-sweep observer.
+func TestLeaseFuncsNilFieldsAreSafe(t *testing.T) {
+	var f LeaseFuncs
+	f.LeaseGranted(1, 2, 0, 4)
+	f.LeaseDone(1)
+	f.LeaseRevoked(1, 2, "crash")
+	f.WorkerStarted(1)
+	f.WorkerExited(1, "shutdown")
+
+	granted := 0
+	partial := LeaseFuncs{OnLeaseGranted: func(lease, worker, start, end int) { granted++ }}
+	partial.LeaseGranted(1, 1, 0, 8)
+	partial.LeaseDone(1)
+	if granted != 1 {
+		t.Fatalf("partial LeaseFuncs recorded %d grants", granted)
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/progress"
+)
+
+// Event is one progress record of a job, rendered as the `data:` payload of
+// an SSE frame. IDs are per-job, contiguous, and start at 1; the SSE `id:`
+// field carries them so clients resume with Last-Event-ID after a dropped
+// connection.
+type Event struct {
+	// ID is the per-job sequence number (also the SSE event id).
+	ID int `json:"-"`
+	// Type is the event kind: queued, started, phase, rounds, trial,
+	// complete.
+	Type string `json:"type"`
+	// Job is the owning job's id; every event of a stream carries it, so a
+	// client multiplexing several jobs never misfiles an event.
+	Job string `json:"job"`
+	// Phase names the algorithm phase for phase/rounds events.
+	Phase string `json:"phase,omitempty"`
+	// State qualifies the event: "start"/"end" for phase events, the
+	// terminal job state ("done", "failed", "canceled") for complete
+	// events.
+	State string `json:"state,omitempty"`
+	// Rounds is the job-cumulative round count for rounds events.
+	Rounds int64 `json:"rounds,omitempty"`
+	// Trial labels the settled trial for trial events
+	// ("scenario/family/n=N#index").
+	Trial string `json:"trial,omitempty"`
+	// Done/Total track settled trials out of the job's expansion.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Err carries the trial or job error, when any.
+	Err string `json:"error,omitempty"`
+	// CacheHit marks complete events of jobs served from the result cache.
+	CacheHit bool `json:"cacheHit,omitempty"`
+}
+
+// Log is a per-job append-only event log with bounded retention and
+// broadcast wake-ups. Appends assign contiguous IDs; readers poll After,
+// which replays retained events past a cursor and hands back a channel that
+// closes on the next append (or on Close), so an SSE handler can wait
+// without busy-looping. When more than cap events accumulate, the oldest
+// fall off — a resuming client whose Last-Event-ID predates the window
+// simply continues from the oldest retained event, which is the standard
+// SSE contract (the stream is progress narration, not the result; the
+// result is the artifact store).
+type Log struct {
+	mu     sync.Mutex
+	cap    int
+	base   int // ID of events[0] (IDs start at 1)
+	events []Event
+	wake   chan struct{}
+	closed bool
+}
+
+// NewLog builds a log retaining at most cap events (cap < 1 selects 1).
+func NewLog(cap int) *Log {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Log{cap: cap, base: 1, wake: make(chan struct{})}
+}
+
+// Append assigns the event its ID, retains it, and wakes every waiting
+// reader. Appending to a closed log is a no-op returning 0 (late observer
+// callbacks may race a cancellation's Close; dropping narration there is
+// harmless).
+func (l *Log) Append(e Event) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0
+	}
+	e.ID = l.base + len(l.events)
+	l.events = append(l.events, e)
+	if len(l.events) > l.cap {
+		drop := len(l.events) - l.cap
+		l.base += drop
+		l.events = append(l.events[:0], l.events[drop:]...)
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+	return e.ID
+}
+
+// Close marks the log complete: After stops handing out wake channels and
+// reports open=false once the reader has drained everything. Idempotent.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.wake)
+}
+
+// After returns a copy of the retained events with ID > after, the cursor
+// to pass next time, and the log's state: open=false means the log is
+// closed and the batch is final. When the batch is empty and the log is
+// still open, wait is a channel that closes on the next Append or Close.
+func (l *Log) After(after int) (batch []Event, next int, wait <-chan struct{}, open bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := after + 1
+	if first < l.base {
+		first = l.base
+	}
+	idx := first - l.base
+	if idx < len(l.events) {
+		batch = append(batch, l.events[idx:]...)
+		next = batch[len(batch)-1].ID
+	} else {
+		next = after
+	}
+	if l.closed {
+		return batch, next, nil, false
+	}
+	return batch, next, l.wake, true
+}
+
+// jobObserver adapts internal/progress events into the job's log. One
+// observer is shared by every concurrent trial of its job — and only by
+// them — so streams of co-scheduled jobs can never interleave: the
+// scenario-level Observer plumbing is job-scoped by construction
+// (spec.Options.Observer threads it into this job's compiled scenarios
+// alone; see the harness concurrent-observer tests).
+//
+// Phase events pass through; round batches are coalesced into a cumulative
+// counter flushed at most once per `every` rounds, so a million-round job
+// narrates dozens of events, not millions.
+type jobObserver struct {
+	log   *Log
+	job   string
+	every int64
+	total atomic.Int64
+	last  atomic.Int64 // cumulative count at the last emitted rounds event
+}
+
+var _ progress.Observer = (*jobObserver)(nil)
+
+func newJobObserver(log *Log, job string, every int64) *jobObserver {
+	if every < 1 {
+		every = 1 << 16
+	}
+	return &jobObserver{log: log, job: job, every: every}
+}
+
+// PhaseStart implements progress.Observer.
+func (o *jobObserver) PhaseStart(phase string) {
+	o.log.Append(Event{Type: "phase", Job: o.job, Phase: phase, State: "start"})
+}
+
+// PhaseEnd implements progress.Observer.
+func (o *jobObserver) PhaseEnd(phase string) {
+	o.log.Append(Event{Type: "phase", Job: o.job, Phase: phase, State: "end"})
+}
+
+// RoundBatch implements progress.Observer.
+func (o *jobObserver) RoundBatch(phase string, rounds int64) {
+	t := o.total.Add(rounds)
+	last := o.last.Load()
+	// Only one of the racing trials wins the CAS per threshold crossing, so
+	// the stream sees monotonically increasing cumulative counts.
+	if t-last >= o.every && o.last.CompareAndSwap(last, t) {
+		o.log.Append(Event{Type: "rounds", Job: o.job, Phase: phase, Rounds: t})
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLogAppendAfterResume pins the cursor contract: After(0) replays
+// everything retained, After(id) only what follows, and IDs are contiguous
+// from 1.
+func TestLogAppendAfterResume(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 5; i++ {
+		if id := l.Append(Event{Type: "trial", Job: "j1"}); id != i+1 {
+			t.Fatalf("append %d assigned id %d", i, id)
+		}
+	}
+	batch, next, _, open := l.After(0)
+	if len(batch) != 5 || next != 5 || !open {
+		t.Fatalf("After(0) = %d events, next %d, open %v", len(batch), next, open)
+	}
+	batch, next, _, _ = l.After(3)
+	if len(batch) != 2 || batch[0].ID != 4 || next != 5 {
+		t.Fatalf("After(3) = %+v next %d", batch, next)
+	}
+	batch, next, wait, open := l.After(5)
+	if len(batch) != 0 || next != 5 || wait == nil || !open {
+		t.Fatalf("After(5) should be empty+waiting, got %d events, open %v", len(batch), open)
+	}
+	// An append must wake the waiter.
+	done := make(chan struct{})
+	go func() {
+		<-wait
+		close(done)
+	}()
+	l.Append(Event{Type: "trial"})
+	<-done
+}
+
+// TestLogRingOverflow: when more than cap events accumulate, the oldest
+// fall off and a stale cursor resumes from the oldest retained event.
+func TestLogRingOverflow(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Type: "trial", Trial: fmt.Sprintf("t%d", i)})
+	}
+	batch, next, _, _ := l.After(0)
+	if len(batch) != 4 {
+		t.Fatalf("retained %d events, want 4", len(batch))
+	}
+	if batch[0].ID != 7 || batch[3].ID != 10 || next != 10 {
+		t.Fatalf("retained window [%d, %d], next %d; want [7, 10], 10", batch[0].ID, batch[3].ID, next)
+	}
+	// A cursor inside the window resumes exactly.
+	batch, _, _, _ = l.After(8)
+	if len(batch) != 2 || batch[0].ID != 9 {
+		t.Fatalf("After(8) = %+v", batch)
+	}
+}
+
+// TestLogClose: closing wakes waiters, ends the stream after the drain, and
+// makes further appends no-ops.
+func TestLogClose(t *testing.T) {
+	l := NewLog(8)
+	l.Append(Event{Type: "queued"})
+	_, _, wait, open := l.After(1)
+	if !open {
+		t.Fatal("log closed prematurely")
+	}
+	l.Close()
+	<-wait // Close must wake waiters
+	batch, _, _, open := l.After(1)
+	if open || len(batch) != 0 {
+		t.Fatalf("after Close: open=%v batch=%d", open, len(batch))
+	}
+	if id := l.Append(Event{Type: "trial"}); id != 0 {
+		t.Fatalf("append on closed log returned id %d", id)
+	}
+	l.Close() // idempotent
+}
+
+// TestLogConcurrentAppendersAndReaders hammers the log from both sides
+// under -race: every reader observes strictly increasing contiguous IDs.
+func TestLogConcurrentAppendersAndReaders(t *testing.T) {
+	l := NewLog(1 << 12)
+	const writers, events = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				l.Append(Event{Type: "trial"})
+			}
+		}()
+	}
+	var readers sync.WaitGroup
+	for rdr := 0; rdr < 3; rdr++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			cursor, last := 0, 0
+			for {
+				batch, next, wait, open := l.After(cursor)
+				for _, e := range batch {
+					if e.ID != last+1 {
+						t.Errorf("reader saw id %d after %d", e.ID, last)
+						return
+					}
+					last = e.ID
+				}
+				cursor = next
+				if !open {
+					return
+				}
+				<-wait
+			}
+		}()
+	}
+	wg.Wait()
+	l.Close()
+	readers.Wait()
+	if batch, _, _, _ := l.After(0); len(batch) != writers*events {
+		t.Fatalf("retained %d events, want %d", len(batch), writers*events)
+	}
+}
+
+// TestJobObserverCoalescesRounds: round batches below the threshold emit
+// nothing; crossing it emits a cumulative rounds event.
+func TestJobObserverCoalescesRounds(t *testing.T) {
+	l := NewLog(64)
+	o := newJobObserver(l, "j1", 100)
+	for i := 0; i < 9; i++ {
+		o.RoundBatch("phase", 10)
+	}
+	if batch, _, _, _ := l.After(0); len(batch) != 0 {
+		t.Fatalf("sub-threshold rounds emitted %d events", len(batch))
+	}
+	o.RoundBatch("phase", 10) // cumulative 100 crosses the threshold
+	batch, _, _, _ := l.After(0)
+	if len(batch) != 1 || batch[0].Type != "rounds" || batch[0].Rounds != 100 {
+		t.Fatalf("threshold crossing emitted %+v", batch)
+	}
+	o.RoundBatch("phase", 250) // crosses again in one batch
+	batch, _, _, _ = l.After(1)
+	if len(batch) != 1 || batch[0].Rounds != 350 {
+		t.Fatalf("second crossing emitted %+v", batch)
+	}
+	// Phase events pass through untouched.
+	o.PhaseStart("bfs")
+	o.PhaseEnd("bfs")
+	batch, _, _, _ = l.After(2)
+	if len(batch) != 2 || batch[0].State != "start" || batch[1].State != "end" || batch[0].Phase != "bfs" {
+		t.Fatalf("phase events = %+v", batch)
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// State is a job's lifecycle position. Transitions are strictly forward:
+// queued → running → {done, failed, canceled}, except that a queued job may
+// jump straight to canceled (canceled while waiting) and a cache-hit job is
+// born done.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one accepted submission. The spec, root seed, quick flag, and
+// cache key are immutable after admission; the mutable progress fields are
+// guarded by mu. The event log narrates the lifecycle to SSE subscribers
+// and is closed exactly once, when the job reaches a terminal state.
+type Job struct {
+	ID    string
+	Key   string
+	Spec  string // spec file name (the artifact directory name radiobfs run would use)
+	Root  uint64
+	Quick bool
+
+	client string
+	file   *spec.File
+	ctx    context.Context
+	cancel context.CancelFunc
+	log    *Log
+
+	mu       sync.Mutex
+	state    State
+	total    int // expanded trial count
+	done     int // settled trials
+	errors   int // settled trials that reported an error
+	err      string
+	cacheHit bool
+}
+
+// snapshot returns the mutable fields under the job's lock.
+func (j *Job) snapshot() (state State, total, done, errs int, errText string, cacheHit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.total, j.done, j.errors, j.err, j.cacheHit
+}
+
+// JobStatus is the JSON shape of a job in every HTTP response.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	Spec  string `json:"spec"`
+	State State  `json:"state"`
+	// CacheHit is true when the submission was answered from the result
+	// cache without executing any trials.
+	CacheHit bool `json:"cacheHit"`
+	// Coalesced is true on responses that attached a duplicate submission
+	// to an already-admitted in-flight job (single-flight).
+	Coalesced bool   `json:"coalesced,omitempty"`
+	RootSeed  uint64 `json:"rootSeed"`
+	Quick     bool   `json:"quick,omitempty"`
+	Trials    int    `json:"trials"`
+	Done      int    `json:"done"`
+	Errors    int    `json:"errors"`
+	Error     string `json:"error,omitempty"`
+	// Events is the SSE stream path for this job.
+	Events string `json:"events"`
+	// Artifacts lists the fetch paths of the four artifact files; populated
+	// once the job is done (immediately for cache hits).
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// status renders the job's current JobStatus.
+func (j *Job) status() JobStatus {
+	state, total, done, errs, errText, cacheHit := j.snapshot()
+	st := JobStatus{
+		ID:       j.ID,
+		Key:      j.Key,
+		Spec:     j.Spec,
+		State:    state,
+		CacheHit: cacheHit,
+		RootSeed: j.Root,
+		Quick:    j.Quick,
+		Trials:   total,
+		Done:     done,
+		Errors:   errs,
+		Error:    errText,
+		Events:   "/v1/jobs/" + j.ID + "/events",
+	}
+	if state == StateDone {
+		for _, name := range ArtifactNames() {
+			st.Artifacts = append(st.Artifacts, "/v1/artifacts/"+j.Key+"/"+name)
+		}
+	}
+	return st
+}

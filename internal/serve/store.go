@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/spec"
+)
+
+// CacheKey derives the content address of a job's artifacts: hex SHA-256
+// over the code version, the spec's canonical hash, the effective root
+// seed, and the quick flag — exactly the inputs the artifact bytes are a
+// pure function of. Two processes built from the same code derive the same
+// key for the same submission, which is what lets a cache survive server
+// restarts; a new build derives fresh keys, which is what keeps stale
+// results from outliving the code that produced them.
+func CacheKey(f *spec.File, root uint64, quick bool) (string, error) {
+	ch, err := f.CanonicalHash()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "radiobfs-job-v1\nversion=%s\nspec=%s\nseed=%d\nquick=%t\n",
+		spec.CodeVersion(), ch, root, quick)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Store is the content-addressed artifact cache: one directory per key
+// holding the four artifact files `radiobfs run` writes (trials.jsonl,
+// aggregate.csv, aggregate.md, manifest.json). Entries are committed by
+// staging a complete directory and renaming it into place, so a key is
+// either fully present or absent — a crashed commit leaves only staging
+// litter under tmp/, never a half-filled cache entry.
+type Store struct {
+	root  string
+	stage atomic.Int64
+}
+
+// ArtifactNames lists the files every cache entry holds, in the order
+// clients fetch them.
+func ArtifactNames() []string {
+	return []string{spec.TrialsArtifact, spec.CSVArtifact, spec.MarkdownArtifact, spec.ManifestArtifact}
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir and clears
+// stale staging litter from prior runs.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	// Staging directories are worthless across restarts; completed entries
+	// (already renamed into place) are untouched.
+	entries, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err == nil {
+		for _, e := range entries {
+			os.RemoveAll(filepath.Join(dir, "tmp", e.Name()))
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// validKey reports whether key looks like a CacheKey product — 64 lowercase
+// hex characters — which is also what makes it path-safe.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// dir returns the entry directory for key.
+func (s *Store) dir(key string) string {
+	return filepath.Join(s.root, key)
+}
+
+// Has reports whether a complete entry exists for key (the manifest, the
+// last file written before commit, is the witness).
+func (s *Store) Has(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.dir(key), spec.ManifestArtifact))
+	return err == nil
+}
+
+// Commit persists an executed spec's artifacts under key. The artifacts are
+// written to a staging directory first (through spec.Output.WriteArtifacts,
+// the same writer `radiobfs run` uses — byte identity by construction) and
+// renamed into place. Losing a commit race to an identical entry is
+// success: deterministic execution means the bytes already there are the
+// bytes we carried.
+func (s *Store) Commit(key string, out *spec.Output) error {
+	if !validKey(key) {
+		return fmt.Errorf("serve: store: invalid key %q", key)
+	}
+	stage := filepath.Join(s.root, "tmp", fmt.Sprintf("stage-%d-%d", os.Getpid(), s.stage.Add(1)))
+	defer os.RemoveAll(stage)
+	dir, err := out.WriteArtifacts(stage)
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if s.Has(key) {
+		return nil
+	}
+	if err := os.Rename(dir, s.dir(key)); err != nil {
+		if s.Has(key) {
+			return nil // lost the race to an identical commit
+		}
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return nil
+}
+
+// Open opens one artifact file of an entry. name must be one of
+// ArtifactNames and key a valid cache key, which together make the joined
+// path traversal-proof.
+func (s *Store) Open(key, name string) (*os.File, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("serve: store: invalid key %q", key)
+	}
+	ok := false
+	for _, n := range ArtifactNames() {
+		if name == n {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("serve: store: unknown artifact %q", name)
+	}
+	return os.Open(filepath.Join(s.dir(key), name))
+}

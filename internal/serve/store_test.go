@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+const storeSpec = `{
+  "name": "store-fixture",
+  "seed": 3,
+  "scenarios": [
+    {"name": "s1", "algorithm": "recursive", "trials": 2,
+     "instances": [{"family": "grid", "n": 16}]}
+  ]
+}`
+
+func parseSpec(t *testing.T, doc string) *spec.File {
+	t.Helper()
+	f, err := spec.Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestCacheKeyStability: the key is stable across reparses and distinct
+// under seed/quick changes.
+func TestCacheKeyStability(t *testing.T) {
+	f := parseSpec(t, storeSpec)
+	k1, err := CacheKey(f, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !validKey(k1) {
+		t.Fatalf("CacheKey %q is not 64 lowercase hex chars", k1)
+	}
+	// Reparse with different formatting: same key.
+	f2 := parseSpec(t, "  \n"+storeSpec)
+	if k2, _ := CacheKey(f2, 3, false); k2 != k1 {
+		t.Errorf("key differs across reparse: %s vs %s", k2, k1)
+	}
+	if kSeed, _ := CacheKey(f, 4, false); kSeed == k1 {
+		t.Error("key ignores the root seed")
+	}
+	if kQuick, _ := CacheKey(f, 3, true); kQuick == k1 {
+		t.Error("key ignores the quick flag")
+	}
+	f3 := parseSpec(t, storeSpec)
+	f3.Scenarios[0].Trials++
+	if kSpec, _ := CacheKey(f3, 3, false); kSpec == k1 {
+		t.Error("key ignores spec content")
+	}
+}
+
+// TestStoreCommitGet executes a spec, commits it, and reads the artifacts
+// back byte-identical to a direct WriteArtifacts of the same Output.
+func TestStoreCommitGet(t *testing.T) {
+	f := parseSpec(t, storeSpec)
+	out, err := spec.ExecuteFile(f, 2, 0, spec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := OpenStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := CacheKey(f, f.RootSeed(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Has(key) {
+		t.Fatal("Has before Commit")
+	}
+	if err := st.Commit(key, out); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(key) {
+		t.Fatal("no entry after Commit")
+	}
+	// Re-committing is a no-op success (identical bytes already present).
+	if err := st.Commit(key, out); err != nil {
+		t.Fatalf("second Commit: %v", err)
+	}
+
+	refDir, err := out.WriteArtifacts(filepath.Join(dir, "direct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ArtifactNames() {
+		want, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := st.Open(key, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: cached bytes differ from direct WriteArtifacts", name)
+		}
+	}
+	// Staging area left clean.
+	entries, err := os.ReadDir(filepath.Join(dir, "store", "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("staging litter after commits: %d entries", len(entries))
+	}
+}
+
+// TestStoreRejectsBadKeysAndNames: traversal-shaped keys and artifact names
+// never reach the filesystem.
+func TestStoreRejectsBadKeysAndNames(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	badKeys := []string{"", "..", "../../etc/passwd", strings.Repeat("z", 64), strings.Repeat("A", 64), strings.Repeat("a", 63)}
+	for _, k := range badKeys {
+		if st.Has(k) {
+			t.Errorf("Has(%q) = true", k)
+		}
+		if _, err := st.Open(k, spec.ManifestArtifact); err == nil {
+			t.Errorf("Open(%q) succeeded", k)
+		}
+		if err := st.Commit(k, &spec.Output{}); err == nil {
+			t.Errorf("Commit(%q) succeeded", k)
+		}
+	}
+	good := strings.Repeat("a", 64)
+	for _, name := range []string{"", "..", "../x", "manifest.json/..", "other.txt"} {
+		if _, err := st.Open(good, name); err == nil {
+			t.Errorf("Open(key, %q) succeeded", name)
+		}
+	}
+}

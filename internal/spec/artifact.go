@@ -36,7 +36,7 @@ func ExecuteFile(f *File, workers int, root uint64, opts Options) (*Output, erro
 	if root == 0 {
 		root = f.RootSeed()
 	}
-	runner := harness.Runner{Workers: workers, Root: root, ShardMinN: opts.ShardMinN, DenseMin: opts.DenseMin}
+	runner := harness.Runner{Workers: workers, Root: root, ShardMinN: opts.ShardMinN, DenseMin: opts.DenseMin, OnTrial: opts.OnTrial}
 	results := runner.Run(scs...)
 	return &Output{File: f, Root: root, Quick: opts.Quick, Results: results, Summaries: harness.Aggregate(results)}, nil
 }
@@ -61,17 +61,21 @@ const (
 )
 
 // Manifest describes one persisted experiment run. Every field is a pure
-// function of the spec and root seed — no timestamps, host names, or worker
-// counts — so re-running a spec rewrites the directory byte-identically.
+// function of the spec, the root seed, and the build (CodeVersion) — no
+// timestamps, host names, or worker counts — so one binary re-running a
+// spec rewrites the directory byte-identically, while a different build
+// stamps itself visibly (and, in the serving layer's cache, keys itself
+// into fresh entries instead of impersonating old ones).
 type Manifest struct {
-	Name      string             `json:"name"`
-	Doc       string             `json:"doc,omitempty"`
-	RootSeed  uint64             `json:"rootSeed"`
-	Scenarios []ManifestScenario `json:"scenarios"`
-	Trials    int                `json:"trials"`
-	Errors    int                `json:"errors"`
-	Columns   []string           `json:"columns,omitempty"`
-	Artifacts []string           `json:"artifacts"`
+	Name        string             `json:"name"`
+	Doc         string             `json:"doc,omitempty"`
+	RootSeed    uint64             `json:"rootSeed"`
+	CodeVersion string             `json:"codeVersion"`
+	Scenarios   []ManifestScenario `json:"scenarios"`
+	Trials      int                `json:"trials"`
+	Errors      int                `json:"errors"`
+	Columns     []string           `json:"columns,omitempty"`
+	Artifacts   []string           `json:"artifacts"`
 }
 
 // ManifestScenario summarizes one scenario of the run.
@@ -125,12 +129,13 @@ func (o *Output) writeMarkdownDoc(w io.Writer, sums []harness.Summary) {
 
 func (o *Output) writeManifest(w io.Writer) error {
 	m := Manifest{
-		Name:     o.File.Name,
-		Doc:      o.File.Doc,
-		RootSeed: o.Root,
-		Trials:   len(o.Results),
-		Errors:   o.Errors(),
-		Columns:  o.File.Columns,
+		Name:        o.File.Name,
+		Doc:         o.File.Doc,
+		RootSeed:    o.Root,
+		CodeVersion: CodeVersion(),
+		Trials:      len(o.Results),
+		Errors:      o.Errors(),
+		Columns:     o.File.Columns,
 		Artifacts: []string{
 			TrialsArtifact, CSVArtifact, MarkdownArtifact, ManifestArtifact,
 		},

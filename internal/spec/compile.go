@@ -37,6 +37,11 @@ type Options struct {
 	// transmitter coverage, negative disables it. Results never depend on
 	// it.
 	DenseMin int
+	// OnTrial, when non-nil, is invoked by ExecuteFile's runner after each
+	// trial settles (see harness.Runner.OnTrial). Trials run concurrently,
+	// so it must be safe for concurrent use; it observes results, never
+	// changes them.
+	OnTrial func(harness.Result)
 }
 
 // Compile lowers a validated file onto harness scenarios, in declaration

@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// CanonicalHash returns the hex SHA-256 of the file's canonical encoding:
+// the encoding/json rendering of the parsed File, which has stable struct
+// field order, sorted map keys (Params/Args), and no insignificant
+// whitespace. Two spec documents that parse to the same File — regardless
+// of formatting, field order in the source JSON, or which file they came
+// from — therefore hash identically, and any semantic field change (a
+// different trial count, parameter value, instance size, …) changes the
+// hash. This is the spec half of the serving layer's content-addressed
+// cache key (internal/serve); the other halves are the effective root seed
+// and CodeVersion.
+//
+// The hash covers the document as written: the optional Seed field
+// participates even though drivers may override it at run time, which is
+// why cache keys combine the hash with the *effective* root seed rather
+// than trusting the embedded one.
+func (f *File) CanonicalHash() (string, error) {
+	b, err := f.Encode()
+	if err != nil {
+		return "", fmt.Errorf("spec: canonical hash: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// codeVersion memoizes the build stamp; build info cannot change within a
+// process.
+var codeVersion = sync.OnceValue(func() string {
+	return codeVersionFrom(debug.ReadBuildInfo())
+})
+
+// CodeVersion identifies the running build: the VCS revision (truncated to
+// 12 hex characters, "+dirty" when the working tree was modified) when the
+// toolchain stamped one, else the main module version (itself a
+// VCS-derived pseudo-version on modern toolchains, which is why the
+// revision takes priority — using both would state the same commit twice),
+// else "dev" (tests, `go run` without VCS metadata). It is stamped into
+// every manifest.json and into the serving layer's cache keys, so cached
+// results never survive a code change: a new build hashes to new keys and
+// recomputes.
+//
+// The stamp is a pure function of the build, never of time or host, so
+// artifacts written by one binary remain byte-identical across runs,
+// worker counts, and machines.
+func CodeVersion() string {
+	return codeVersion()
+}
+
+// codeVersionFrom derives the stamp from one build-info reading; split out
+// so tests can exercise the fallback and assembly logic deterministically.
+func codeVersionFrom(info *debug.BuildInfo, ok bool) string {
+	if !ok || info == nil {
+		return "dev"
+	}
+	revision, modified := "", false
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			revision = kv.Value
+		case "vcs.modified":
+			modified = kv.Value == "true"
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if revision != "" {
+		if modified {
+			revision += "+dirty"
+		}
+		return revision
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "dev"
+}

@@ -1,0 +1,164 @@
+package spec_test
+
+// Property tests for the canonical spec hash, run over the whole embedded
+// scenarios/ library (the external test package breaks the spec↔scenarios
+// import cycle): hashing is invariant under Encode/decode round-trips and
+// source-formatting changes, and sensitive to every semantic field.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/scenarios"
+)
+
+// TestCanonicalHashRoundTripsLibrary proves hash equality across
+// Encode/decode round-trips, and across whitespace/indentation changes of
+// the source document, for every checked-in spec file.
+func TestCanonicalHashRoundTripsLibrary(t *testing.T) {
+	for _, name := range scenarios.Names() {
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		f, err := scenarios.Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := f.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(want) != 64 {
+			t.Fatalf("%s: hash %q is not 64 hex chars", name, want)
+		}
+
+		// Encode → Parse → hash again.
+		enc, err := f.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := spec.Parse(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		got, err := back.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: hash changed across Encode/decode: %s != %s", name, got, want)
+		}
+
+		// Reformat the document (indentation, key spacing) and hash once
+		// more: formatting must not matter.
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, enc, "  ", "\t"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reparsed, err := spec.Parse(&pretty)
+		if err != nil {
+			t.Fatalf("%s: reparse pretty: %v", name, err)
+		}
+		got, err = reparsed.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: hash depends on source whitespace: %s != %s", name, got, want)
+		}
+	}
+}
+
+// TestCanonicalHashDetectsSemanticChanges mutates every semantic field of a
+// representative spec, one at a time, and requires each mutation to change
+// the hash (and distinct mutations to disagree with each other).
+func TestCanonicalHashDetectsSemanticChanges(t *testing.T) {
+	base := func() *spec.File {
+		f, err := scenarios.Load("e1_recursive.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	mutations := map[string]func(*spec.File){
+		"name":            func(f *spec.File) { f.Name += "x" },
+		"doc":             func(f *spec.File) { f.Doc += "." },
+		"seed":            func(f *spec.File) { f.Seed++ },
+		"columns":         func(f *spec.File) { f.Columns = append(f.Columns, "maxLB") },
+		"scenario-name":   func(f *spec.File) { f.Scenarios[0].Name += "x" },
+		"scenario-algo":   func(f *spec.File) { f.Scenarios[0].Algorithm = "decay" },
+		"scenario-cost":   func(f *spec.File) { f.Scenarios[0].Cost = "physical" },
+		"scenario-trials": func(f *spec.File) { f.Scenarios[0].Trials++ },
+		"scenario-pin":    func(f *spec.File) { f.Scenarios[0].PinGraphs = !f.Scenarios[0].PinGraphs },
+		"scenario-param":  func(f *spec.File) { f.Scenarios[0].Params = map[string]float64{"passes": 7} },
+		"scenario-instance": func(f *spec.File) {
+			f.Scenarios[0].Instances = append(f.Scenarios[0].Instances, harness.Instance{Family: "grid", N: 36})
+		},
+		"scenario-dropped": func(f *spec.File) { f.Scenarios = f.Scenarios[:1] },
+	}
+	ref, err := base().CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"": ref}
+	for label, mutate := range mutations {
+		f := base()
+		mutate(f)
+		h, err := f.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if h == ref {
+			t.Errorf("mutation %q did not change the canonical hash", label)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutations %q and %q collide: %s", label, prev, h)
+		}
+		seen[h] = label
+	}
+}
+
+// TestCanonicalHashGridSensitivity exercises grid and quick-overlay fields,
+// which e1 may not populate the same way.
+func TestCanonicalHashGridSensitivity(t *testing.T) {
+	const doc = `{
+	  "name": "g",
+	  "scenarios": [{
+	    "name": "s", "algorithm": "recursive",
+	    "grid": {"families": ["cycle"], "sizes": [32, 64], "maxDistFrac": 0.5},
+	    "quick": {"trials": 1, "grid": {"families": ["cycle"], "sizes": [16]}}
+	  }]
+	}`
+	parse := func() *spec.File {
+		f, err := spec.Parse(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	ref, err := parse().CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, mutate := range map[string]func(*spec.File){
+		"grid-size":        func(f *spec.File) { f.Scenarios[0].Grid.Sizes[1] = 128 },
+		"grid-family":      func(f *spec.File) { f.Scenarios[0].Grid.Families = []string{"grid"} },
+		"grid-maxdistfrac": func(f *spec.File) { f.Scenarios[0].Grid.MaxDistFrac = 0.25 },
+		"quick-trials":     func(f *spec.File) { f.Scenarios[0].Quick.Trials = 2 },
+		"quick-grid":       func(f *spec.File) { f.Scenarios[0].Quick.Grid.Sizes = []int{8} },
+	} {
+		f := parse()
+		mutate(f)
+		h, err := f.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if h == ref {
+			t.Errorf("mutation %q did not change the canonical hash", label)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestManifestRoundTrip executes a small spec, writes its manifest, and
+// decodes it back: every field — including the code-version stamp — must
+// survive the JSON round trip exactly.
+func TestManifestRoundTrip(t *testing.T) {
+	f := parseRunnable(t)
+	out, err := ExecuteFile(f, 2, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.writeManifest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		t.Fatalf("manifest does not decode strictly: %v\n%s", err, buf.String())
+	}
+	if m.Name != f.Name || m.RootSeed != f.RootSeed() {
+		t.Errorf("manifest coordinates = (%s, %d), want (%s, %d)", m.Name, m.RootSeed, f.Name, f.RootSeed())
+	}
+	if m.CodeVersion != CodeVersion() {
+		t.Errorf("manifest codeVersion = %q, want %q", m.CodeVersion, CodeVersion())
+	}
+	if m.CodeVersion == "" {
+		t.Error("manifest codeVersion is empty; want at least the \"dev\" fallback")
+	}
+	if m.Trials != len(out.Results) || m.Errors != out.Errors() {
+		t.Errorf("manifest counts = (%d, %d), want (%d, %d)", m.Trials, m.Errors, len(out.Results), out.Errors())
+	}
+	if len(m.Scenarios) != len(f.Scenarios) {
+		t.Fatalf("manifest has %d scenarios, want %d", len(m.Scenarios), len(f.Scenarios))
+	}
+
+	// Re-encoding the decoded manifest must reproduce the written bytes —
+	// the round trip is lossless in both directions.
+	var re bytes.Buffer
+	enc := json.NewEncoder(&re)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Errorf("manifest re-encode differs:\n%s\nvs\n%s", re.String(), buf.String())
+	}
+}
+
+// TestCodeVersionFrom pins the stamp assembly: the VCS revision (with the
+// dirty marker) wins over the module version — on modern toolchains the
+// module version is itself a VCS pseudo-version, so combining the two
+// would state the same commit twice — and "dev" is the fallback.
+func TestCodeVersionFrom(t *testing.T) {
+	bi := func(version string, settings ...debug.BuildSetting) *debug.BuildInfo {
+		info := &debug.BuildInfo{Settings: settings}
+		info.Main.Version = version
+		return info
+	}
+	cases := []struct {
+		name string
+		info *debug.BuildInfo
+		ok   bool
+		want string
+	}{
+		{"no-build-info", nil, false, "dev"},
+		{"empty", bi(""), true, "dev"},
+		{"devel-no-vcs", bi("(devel)"), true, "dev"},
+		{"module-version", bi("v1.2.3"), true, "v1.2.3"},
+		{"revision", bi("(devel)", debug.BuildSetting{Key: "vcs.revision", Value: "0123456789abcdef0123"}), true, "0123456789ab"},
+		{"revision-dirty", bi("", debug.BuildSetting{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			debug.BuildSetting{Key: "vcs.modified", Value: "true"}), true, "0123456789ab+dirty"},
+		{"version-and-revision", bi("v0.9.0", debug.BuildSetting{Key: "vcs.revision", Value: "feedfacecafe"}), true, "feedfacecafe"},
+		{"pseudo-version-and-revision", bi("v0.0.0-20260807182203-492d40905821+dirty",
+			debug.BuildSetting{Key: "vcs.revision", Value: "492d40905821aabbccdd"},
+			debug.BuildSetting{Key: "vcs.modified", Value: "true"}), true, "492d40905821+dirty"},
+	}
+	for _, c := range cases {
+		if got := codeVersionFrom(c.info, c.ok); got != c.want {
+			t.Errorf("%s: codeVersionFrom = %q, want %q", c.name, got, c.want)
+		}
+	}
+	// The process-wide stamp must be stable and non-empty.
+	if v := CodeVersion(); v == "" || v != CodeVersion() {
+		t.Errorf("CodeVersion() unstable or empty: %q then %q", v, CodeVersion())
+	}
+	if !regexp.MustCompile(`^[A-Za-z0-9.+-]+$`).MatchString(CodeVersion()) {
+		t.Errorf("CodeVersion() %q has characters unsafe for cache-key material", CodeVersion())
+	}
+}
+
+// TestOnTrialHookThroughExecuteFile verifies the Options.OnTrial plumbing:
+// every trial is reported exactly once and the reported set equals the
+// returned results.
+func TestOnTrialHookThroughExecuteFile(t *testing.T) {
+	f := parseRunnable(t)
+	type key struct {
+		scenario string
+		family   string
+		n        int
+		index    int
+	}
+	var mu sync.Mutex
+	seen := map[key]int{}
+	got := 0
+	onTrial := func(res harness.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[key{res.Scenario, res.Family, res.N, res.Index}]++
+		got++
+	}
+	out, err := ExecuteFile(f, 4, 0, Options{OnTrial: onTrial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(out.Results) {
+		t.Fatalf("OnTrial fired %d times for %d trials", got, len(out.Results))
+	}
+	for _, res := range out.Results {
+		k := key{res.Scenario, res.Family, res.N, res.Index}
+		if seen[k] != 1 {
+			t.Errorf("trial %+v reported %d times", k, seen[k])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the serving layer, run by CI and
+# `make serve-check`.
+#
+# One binary is built and used for everything (the cache key and the
+# manifest embed the code version, so mixing binaries would be a false
+# failure), then:
+#
+#   1. `radiobfs run` executes the smoke spec directly → reference bytes.
+#   2. `radiobfs serve` starts on an ephemeral port.
+#   3. `radiobfs submit` #1 must execute (cacheHit=false) and download
+#      artifacts byte-identical to the direct run (`diff -r`).
+#   4. `radiobfs submit` #2 must be answered from the cache
+#      (cacheHit=true), with the server's execution counter still at 1.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d /tmp/radiobfs_serve_smoke.XXXXXX)"
+bin="$work/radiobfs"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/radiobfs
+
+# 1. Reference run, directly through the CLI executor.
+"$bin" run -quick -out "$work/direct" scenarios/smoke.json > /dev/null
+
+# 2. Serve on an ephemeral port; -addrfile tells us where it landed.
+"$bin" serve -addr 127.0.0.1:0 -store "$work/store" \
+    -addrfile "$work/addr" 2> "$work/serve.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$work/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$work/serve.log"; echo "serve exited early"; exit 1; }
+    sleep 0.1
+done
+[ -s "$work/addr" ] || { echo "serve never wrote $work/addr"; exit 1; }
+server="http://$(cat "$work/addr")"
+
+# 3. First submission: must execute, not hit the cache.
+"$bin" submit -server "$server" -quick -out "$work/fetched1" -json \
+    scenarios/smoke.json > "$work/status1.json"
+grep -q '"cacheHit": false' "$work/status1.json" \
+    || { echo "first submission unexpectedly hit the cache:"; cat "$work/status1.json"; exit 1; }
+
+# 4. Second submission: must be a cache hit, no re-execution.
+"$bin" submit -server "$server" -quick -out "$work/fetched2" -json \
+    scenarios/smoke.json > "$work/status2.json"
+grep -q '"cacheHit": true' "$work/status2.json" \
+    || { echo "second submission was not a cache hit:"; cat "$work/status2.json"; exit 1; }
+
+# The server-side execution counter proves the cache hit skipped the runner.
+curl -sf "$server/v1/stats" > "$work/stats.json"
+grep -q '"executions": 1' "$work/stats.json" \
+    || { echo "expected exactly 1 execution:"; cat "$work/stats.json"; exit 1; }
+grep -q '"cacheHits": 1' "$work/stats.json" \
+    || { echo "expected exactly 1 cache hit:"; cat "$work/stats.json"; exit 1; }
+
+# Byte-identity: both fetched trees match the direct run exactly.
+diff -r "$work/direct" "$work/fetched1"
+diff -r "$work/direct" "$work/fetched2"
+
+echo "serve-smoke: cache hit without re-execution, artifacts byte-identical to radiobfs run"
