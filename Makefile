@@ -1,6 +1,6 @@
 # Development targets for the radio-network BFS reproduction.
 
-.PHONY: build test bench bench-pr5 bench-pr6 bench-check bench-diff experiments scale-suite chaos-check fmt vet
+.PHONY: build test bench bench-pr5 bench-pr6 bench-check bench-diff experiments scale-suite chaos-check remote-check fmt vet
 
 build:
 	go build ./...
@@ -80,6 +80,15 @@ chaos-check:
 	diff -r /tmp/chaos_base /tmp/chaos_kill
 	diff -r /tmp/chaos_base /tmp/chaos_stall
 	@echo "chaos-check: artifacts byte-identical under kills and stalls"
+
+# remote-check is the local mirror of the CI remote-chaos smoke: run the
+# quick scale suite with the coordinator listening on loopback, three TCP
+# workers (`radiobfs work -connect`) serving it under seeded
+# disconnect+delay chaos, a wrong-token worker that must be rejected
+# without affecting the run, and every byte diffed against a
+# single-process run.
+remote-check:
+	bash scripts/remote_smoke.sh
 
 # serve-check is the local mirror of the CI serve smoke: start `radiobfs
 # serve` on an ephemeral port, submit the smoke spec twice (the second

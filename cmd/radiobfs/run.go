@@ -44,7 +44,11 @@ func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	quick := fs.Bool("quick", false, "apply the specs' reduced-size quick overlays")
 	quiet := fs.Bool("quiet", false, "suppress the aggregated text table on stdout")
 	distFlag := fs.Bool("dist", false, "execute each spec across -workers worker processes with lease-based fault-tolerant coordination; bytes are identical to in-process runs")
-	chaosFlag := fs.String("chaos", "", "deterministic fault injection for -dist workers, as seed=S,killafter=K,stall=P (implies -dist)")
+	chaosFlag := fs.String("chaos", "", "deterministic fault injection for -dist workers, as seed=S,killafter=K,stall=P,disconnect=D,delay=MS (implies -dist)")
+	listenFlag := fs.String("listen", "", "host:port to accept remote workers on instead of spawning local worker processes (implies -dist; requires -token); `radiobfs work -connect <addr> -token T` dials in")
+	tokenFlag := fs.String("token", "", "shared secret remote workers must prove during the handshake (required with -listen)")
+	addrFile := fs.String("addrfile", "", "write the resolved listen address to this file once the listener is up (for -listen 127.0.0.1:0 in scripts)")
+	connectWait := fs.Duration("connect-wait", 60*time.Second, "under -listen, how long to tolerate zero connected workers before finishing the sweep in-process")
 	progressFlag := fs.Bool("progress", false, "log lease lifecycle events on stderr under -dist")
 	shardMinN := fs.Int("shardminn", 0, "instance size from which a trial runs alone with the engine sharded across the pool (0 = default threshold, negative = disable); never changes output bytes")
 	denseMin := fs.Int("densemin", 0, "transmitter coverage from which the engine uses the packed-bitmap dense kernel (0 = default density rule, positive = coverage floor, negative = disable); never changes output bytes")
@@ -66,7 +70,13 @@ func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	if err != nil {
 		return err
 	}
-	distributed := *distFlag || chaos.Enabled()
+	distributed := *distFlag || chaos.Enabled() || *listenFlag != ""
+	if *listenFlag != "" && *tokenFlag == "" {
+		return fmt.Errorf("-listen requires -token: remote workers authenticate with a shared secret")
+	}
+	if *listenFlag == "" && *tokenFlag != "" {
+		return fmt.Errorf("-token only makes sense with -listen")
+	}
 
 	// Parse, validate, AND compile everything up front — compiling is what
 	// rejects custom-workload specs — so a bad last spec cannot waste the
@@ -84,9 +94,29 @@ func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	}
 
 	opts := spec.Options{Quick: *quick, Ctx: ctx, ShardMinN: *shardMinN, DenseMin: *denseMin}
-	dcfg := dist.Config{Workers: *workers, Chaos: chaos, Log: stderr}
+	dcfg := dist.Config{Workers: *workers, Chaos: chaos, Log: stderr, ConnectWait: *connectWait}
 	if *progressFlag {
 		dcfg.Observer = leaseLogger{w: stderr}
+	}
+	if *listenFlag != "" {
+		tr, err := dist.Listen(*listenFlag, dist.ListenConfig{Token: *tokenFlag, Log: stderr})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		fmt.Fprintf(stderr, "dist: listening on %s\n", tr.Addr())
+		if *addrFile != "" {
+			// Written atomically (tmp + rename) so a polling script never
+			// reads a half-written address.
+			tmp := *addrFile + ".tmp"
+			if err := os.WriteFile(tmp, []byte(tr.Addr().String()+"\n"), 0o644); err != nil {
+				return err
+			}
+			if err := os.Rename(tmp, *addrFile); err != nil {
+				return err
+			}
+		}
+		dcfg.Transport = tr
 	}
 
 	failed := 0

@@ -12,7 +12,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/serve"
+	"repro/internal/spec"
 )
 
 // runServe implements `radiobfs serve`: a long-lived HTTP daemon that
@@ -32,6 +34,9 @@ func runServe(args []string) error {
 	addrFile := fs.String("addrfile", "", "write the bound address to this file once listening (for scripts using an ephemeral port)")
 	shardMinN := fs.Int("shardminn", 0, "instance size from which a trial runs alone with the engine sharded across the pool (0 = default, negative = disable); never changes output bytes")
 	denseMin := fs.Int("densemin", 0, "transmitter coverage from which the engine uses the packed-bitmap dense kernel (0 = default, positive = floor, negative = disable); never changes output bytes")
+	distListen := fs.String("dist-listen", "", "host:port to accept remote sweep workers on; jobs then execute across `radiobfs work -connect` workers instead of in-process (requires -dist-token)")
+	distToken := fs.String("dist-token", "", "shared secret remote workers must prove (required with -dist-listen)")
+	distWorkers := fs.Int("dist-workers", 0, "worker slots per job under -dist-listen (0 = GOMAXPROCS)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: radiobfs serve [flags]")
 		fmt.Fprintln(fs.Output(), "Serves spec execution over HTTP/JSON: POST /v1/jobs to submit, GET")
@@ -47,7 +52,7 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args())
 	}
 
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Store:        *store,
 		Workers:      *workers,
 		Execs:        *execs,
@@ -57,7 +62,36 @@ func runServe(args []string) error {
 		ShardMinN:    *shardMinN,
 		DenseMin:     *denseMin,
 		Log:          os.Stderr,
-	})
+	}
+	if *distListen != "" {
+		if *distToken == "" {
+			return fmt.Errorf("-dist-listen requires -dist-token")
+		}
+		// One listener shared across every job: workers started with
+		// -persist drain successive jobs, reconnecting after each run's
+		// clean shutdown. Each job's coordinator borrows the transport and
+		// must not close it; serve owns its lifetime.
+		tr, err := dist.Listen(*distListen, dist.ListenConfig{Token: *distToken, Log: os.Stderr})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		fmt.Fprintf(os.Stderr, "serve: accepting sweep workers on %s\n", tr.Addr())
+		dcfg := dist.Config{
+			Workers:   *distWorkers,
+			Transport: tr,
+			Log:       os.Stderr,
+			// A worker-less daemon should degrade to in-process execution
+			// quickly rather than stall every job for the full minute.
+			ConnectWait: 3 * time.Second,
+		}
+		cfg.Execute = func(f *spec.File, root uint64, opts spec.Options) (*spec.Output, error) {
+			return dist.Execute(f, root, opts, dcfg)
+		}
+	} else if *distToken != "" || *distWorkers != 0 {
+		return fmt.Errorf("-dist-token and -dist-workers require -dist-listen")
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -17,26 +18,36 @@ const ChaosExitCode = 3
 const chaosTag = 0xc4a05
 
 // ChaosSpec is the deterministic fault-injection schedule for worker
-// processes, parsed from `-chaos seed=S,killafter=K,stall=P`. The zero
-// value injects nothing.
+// processes, parsed from `-chaos seed=S,killafter=K,stall=P,disconnect=D,delay=MS`.
+// The zero value injects nothing.
 //
 // Each worker incarnation i draws its fault plan from (Seed, i) alone — not
 // from timing, pids, or scheduling — so a chaos run's failure pattern is
 // reproducible and every incarnation's fate is known up front: with
 // probability StallPct percent it stalls (stops heartbeating and hangs),
-// otherwise, when KillAfter > 0, it crashes with ChaosExitCode; either fault
-// fires after the incarnation completes a seeded number of trials in
-// [1, max(1, KillAfter)]. Faulting only after at least one completed trial
-// keeps chaos sweeps live: every incarnation makes progress, so the
-// coordinator's checkpointing converges no matter how hostile the schedule.
+// otherwise, when KillAfter > 0, it crashes with ChaosExitCode, otherwise,
+// when Disconnect > 0, it severs its transport (remote workers drop the
+// socket and redial; pipe workers exit, which looks identical to the
+// coordinator). Every terminal fault fires after the incarnation completes
+// a seeded number of trials in [1, max(1, span)]. Faulting only after at
+// least one completed trial keeps chaos sweeps live: every incarnation
+// makes progress, so the coordinator's checkpointing converges no matter
+// how hostile the schedule. Independently, DelayMS > 0 injects a seeded
+// per-trial result latency in [0, DelayMS] milliseconds — a slow link, not
+// a failure — which exercises the latency-aware lease policy without ever
+// changing bytes.
 type ChaosSpec struct {
-	Seed      uint64 `json:"seed,omitempty"`
-	KillAfter int    `json:"killAfter,omitempty"`
-	StallPct  int    `json:"stallPct,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	KillAfter  int    `json:"killAfter,omitempty"`
+	StallPct   int    `json:"stallPct,omitempty"`
+	Disconnect int    `json:"disconnect,omitempty"`
+	DelayMS    int    `json:"delayMS,omitempty"`
 }
 
 // Enabled reports whether the spec injects any fault.
-func (c ChaosSpec) Enabled() bool { return c.KillAfter > 0 || c.StallPct > 0 }
+func (c ChaosSpec) Enabled() bool {
+	return c.KillAfter > 0 || c.StallPct > 0 || c.Disconnect > 0 || c.DelayMS > 0
+}
 
 // String renders the spec in the flag syntax ParseChaos accepts.
 func (c ChaosSpec) String() string {
@@ -50,11 +61,18 @@ func (c ChaosSpec) String() string {
 	if c.StallPct > 0 {
 		parts = append(parts, fmt.Sprintf("stall=%d", c.StallPct))
 	}
+	if c.Disconnect > 0 {
+		parts = append(parts, fmt.Sprintf("disconnect=%d", c.Disconnect))
+	}
+	if c.DelayMS > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%d", c.DelayMS))
+	}
 	return strings.Join(parts, ",")
 }
 
-// ParseChaos parses a `seed=S,killafter=K,stall=P` flag value. All keys are
-// optional; an empty string disables chaos entirely.
+// ParseChaos parses a `seed=S,killafter=K,stall=P,disconnect=D,delay=MS`
+// flag value. All keys are optional; an empty string disables chaos
+// entirely.
 func ParseChaos(s string) (ChaosSpec, error) {
 	var c ChaosSpec
 	if strings.TrimSpace(s) == "" {
@@ -88,8 +106,20 @@ func ParseChaos(s string) (ChaosSpec, error) {
 				return c, fmt.Errorf("dist: chaos stall %q must be a percentage in [0, 100]", val)
 			}
 			c.StallPct = p
+		case "disconnect":
+			d, err := strconv.Atoi(val)
+			if err != nil || d < 0 {
+				return c, fmt.Errorf("dist: chaos disconnect %q must be a non-negative integer", val)
+			}
+			c.Disconnect = d
+		case "delay":
+			ms, err := strconv.Atoi(val)
+			if err != nil || ms < 0 {
+				return c, fmt.Errorf("dist: chaos delay %q must be a non-negative millisecond count", val)
+			}
+			c.DelayMS = ms
 		default:
-			return c, fmt.Errorf("dist: unknown chaos key %q (known: seed, killafter, stall)", key)
+			return c, fmt.Errorf("dist: unknown chaos key %q (known: seed, killafter, stall, disconnect, delay)", key)
 		}
 	}
 	return c, nil
@@ -106,17 +136,26 @@ const (
 	// FaultStall stops heartbeats and hangs until killed, the injected
 	// straggler the coordinator must detect by heartbeat loss.
 	FaultStall
+	// FaultDisconnect severs the worker's transport: a remote worker
+	// closes its socket and redials as a fresh incarnation; a pipe worker
+	// exits (to the coordinator, an identical signal).
+	FaultDisconnect
 )
 
 // Fault is one incarnation's planned failure: Kind fires once the
-// incarnation has completed After trials (across all its leases).
+// incarnation has completed After trials (across all its leases). Delay,
+// independently, is the incarnation's injected per-result link latency.
 type Fault struct {
 	Kind  FaultKind
 	After int
+	Delay time.Duration
 }
 
 // Plan derives the fault for worker incarnation number inc. It is a pure
-// function of (c, inc).
+// function of (c, inc). The terminal fault kinds are prioritized stall >
+// kill > disconnect, and the draws for the original kinds come first, so a
+// chaos seed from before disconnect/delay existed still produces the
+// identical plan.
 func (c ChaosSpec) Plan(inc int) Fault {
 	if !c.Enabled() {
 		return Fault{}
@@ -127,11 +166,16 @@ func (c ChaosSpec) Plan(inc int) Fault {
 		span = 1
 	}
 	after := 1 + r.Intn(span)
+	var f Fault
 	if c.StallPct > 0 && r.Intn(100) < c.StallPct {
-		return Fault{Kind: FaultStall, After: after}
+		f = Fault{Kind: FaultStall, After: after}
+	} else if c.KillAfter > 0 {
+		f = Fault{Kind: FaultKill, After: after}
+	} else if c.Disconnect > 0 {
+		f = Fault{Kind: FaultDisconnect, After: 1 + r.Intn(c.Disconnect)}
 	}
-	if c.KillAfter > 0 {
-		return Fault{Kind: FaultKill, After: after}
+	if c.DelayMS > 0 {
+		f.Delay = time.Duration(r.Intn(c.DelayMS+1)) * time.Millisecond
 	}
-	return Fault{}
+	return f
 }

@@ -1,6 +1,9 @@
 package dist
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestParseChaos(t *testing.T) {
 	good := []struct {
@@ -13,6 +16,9 @@ func TestParseChaos(t *testing.T) {
 		{"seed=7,killafter=2", ChaosSpec{Seed: 7, KillAfter: 2}},
 		{"seed=7,killafter=2,stall=25", ChaosSpec{Seed: 7, KillAfter: 2, StallPct: 25}},
 		{" stall=100 , seed=1 ", ChaosSpec{Seed: 1, StallPct: 100}},
+		{"seed=3,disconnect=2", ChaosSpec{Seed: 3, Disconnect: 2}},
+		{"seed=3,delay=15", ChaosSpec{Seed: 3, DelayMS: 15}},
+		{"seed=3,disconnect=2,delay=15", ChaosSpec{Seed: 3, Disconnect: 2, DelayMS: 15}},
 	}
 	for _, tc := range good {
 		got, err := ParseChaos(tc.in)
@@ -20,7 +26,7 @@ func TestParseChaos(t *testing.T) {
 			t.Errorf("ParseChaos(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
 		}
 	}
-	bad := []string{"seed", "seed=x", "killafter=-1", "stall=101", "stall=-2", "pct=5", "seed=7;stall=2"}
+	bad := []string{"seed", "seed=x", "killafter=-1", "stall=101", "stall=-2", "pct=5", "seed=7;stall=2", "disconnect=-1", "disconnect=x", "delay=-5", "delay=x"}
 	for _, in := range bad {
 		if _, err := ParseChaos(in); err == nil {
 			t.Errorf("ParseChaos(%q): want error", in)
@@ -34,6 +40,9 @@ func TestChaosStringRoundTrips(t *testing.T) {
 		{Seed: 7, KillAfter: 2},
 		{Seed: 0, StallPct: 100},
 		{Seed: 9, KillAfter: 5, StallPct: 25},
+		{Seed: 4, Disconnect: 3},
+		{Seed: 4, DelayMS: 20},
+		{Seed: 4, KillAfter: 2, StallPct: 10, Disconnect: 3, DelayMS: 20},
 	} {
 		back, err := ParseChaos(c.String())
 		if err != nil || back != c {
@@ -83,6 +92,58 @@ func TestChaosPlan(t *testing.T) {
 		// Pure stall chaos (no killafter) must still fault after >= 1 trial.
 		if f := (ChaosSpec{Seed: 5, StallPct: 100}).Plan(inc); f.Kind != FaultStall || f.After != 1 {
 			t.Fatalf("pure stall, incarnation %d: %+v", inc, f)
+		}
+	}
+}
+
+// TestChaosPlanDisconnectAndDelay: the new fault kinds are pure functions
+// of (seed, incarnation) like the originals — and adding them must not
+// perturb the plans a pre-existing seed produced, because published chaos
+// runs are reproduced by their seed.
+func TestChaosPlanDisconnectAndDelay(t *testing.T) {
+	c := ChaosSpec{Seed: 13, Disconnect: 4}
+	for inc := 0; inc < 100; inc++ {
+		f := c.Plan(inc)
+		if f != c.Plan(inc) {
+			t.Fatalf("incarnation %d: disconnect plan not deterministic", inc)
+		}
+		if f.Kind != FaultDisconnect {
+			t.Fatalf("incarnation %d: kind = %v, want disconnect", inc, f.Kind)
+		}
+		if f.After < 1 || f.After > c.Disconnect {
+			t.Fatalf("incarnation %d: After = %d outside [1, %d]", inc, f.After, c.Disconnect)
+		}
+	}
+
+	// Delay alone is not a terminal fault: the incarnation runs to
+	// completion, just slowly, with a seeded per-trial latency in [0, DelayMS].
+	d := ChaosSpec{Seed: 13, DelayMS: 25}
+	varied := false
+	for inc := 0; inc < 100; inc++ {
+		f := d.Plan(inc)
+		if f.Kind != FaultNone {
+			t.Fatalf("incarnation %d: delay-only plan has terminal fault %v", inc, f.Kind)
+		}
+		if f.Delay < 0 || f.Delay > 25*time.Millisecond {
+			t.Fatalf("incarnation %d: Delay = %v outside [0, 25ms]", inc, f.Delay)
+		}
+		if f.Delay != d.Plan(0).Delay {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("100 incarnations drew identical delays; want seeded variation")
+	}
+
+	// Kill/stall outrank disconnect, and their draws come first: a seed from
+	// before disconnect existed plans the same kills and stalls with or
+	// without the new knobs.
+	old := ChaosSpec{Seed: 11, KillAfter: 4, StallPct: 30}
+	ext := ChaosSpec{Seed: 11, KillAfter: 4, StallPct: 30, Disconnect: 5, DelayMS: 10}
+	for inc := 0; inc < 100; inc++ {
+		fo, fe := old.Plan(inc), ext.Plan(inc)
+		if fo.Kind != fe.Kind || fo.After != fe.After {
+			t.Fatalf("incarnation %d: adding disconnect/delay changed the plan: %+v vs %+v", inc, fo, fe)
 		}
 	}
 }

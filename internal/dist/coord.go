@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"runtime"
 	"time"
 
@@ -14,15 +13,35 @@ import (
 )
 
 // Config tunes the coordinator. The zero value is usable: GOMAXPROCS worker
-// processes, automatic lease sizing, production-scale heartbeat and backoff
-// parameters, no chaos, and `<this binary> work` as the worker command.
+// processes over the fork/exec pipe transport, automatic latency-aware
+// lease sizing, production-scale heartbeat and backoff parameters, no
+// chaos, and `<this binary> work` as the worker command.
 type Config struct {
-	// Workers is the number of worker processes (<= 0 = GOMAXPROCS),
-	// capped at the lease count.
+	// Workers is the number of worker slots (<= 0 = GOMAXPROCS), capped at
+	// the lease count. On the pipe transport each slot is a spawned
+	// process; on a listener transport each slot is filled by a remote
+	// worker as it dials in.
 	Workers int
+	// Transport supplies worker connections (default: fork/exec of
+	// Command over stdin/stdout pipes). A TCPTransport from Listen accepts
+	// authenticated remote workers instead. The coordinator never closes
+	// the transport — the owner does, which is what lets a serve daemon
+	// share one listener across successive runs.
+	Transport Transport
+	// ConnectWait, on listener transports, bounds how long the
+	// coordinator waits with zero live workers (at start, or after every
+	// worker disconnected) before degrading to in-process execution
+	// (default 60s).
+	ConnectWait time.Duration
 	// LeaseSize is the number of trial slots per lease (<= 0 = automatic:
-	// about four leases per worker).
+	// about four leases per worker). Setting it pins grants to exactly one
+	// lease and disables latency-aware sizing.
 	LeaseSize int
+	// LeaseTarget is the wall time one grant should aim for under the
+	// latency-aware policy (default 2s); LeaseCeil caps a single grant's
+	// slot count (default 4 leases' worth). See LeasePolicy.
+	LeaseTarget time.Duration
+	LeaseCeil   int
 	// Heartbeat is the interval workers emit liveness frames at
 	// (default 500ms).
 	Heartbeat time.Duration
@@ -43,8 +62,9 @@ type Config struct {
 	// Chaos is the deterministic fault-injection schedule shipped to
 	// workers (zero value = none).
 	Chaos ChaosSpec
-	// Command is the worker argv (default: this binary with the single
-	// argument "work").
+	// Command is the worker argv for the default pipe transport (default:
+	// this binary with the single argument "work"). Ignored when
+	// Transport is set.
 	Command []string
 	// Log receives warnings and the end-of-run coordination summary
 	// (default: discard). It is written only from the coordinator's event
@@ -57,6 +77,12 @@ type Config struct {
 func (cfg Config) withDefaults() Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ConnectWait <= 0 {
+		cfg.ConnectWait = 60 * time.Second
+	}
+	if cfg.LeaseTarget <= 0 {
+		cfg.LeaseTarget = 2 * time.Second
 	}
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 500 * time.Millisecond
@@ -76,12 +102,15 @@ func (cfg Config) withDefaults() Config {
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 5 * time.Second
 	}
-	if len(cfg.Command) == 0 {
-		exe, err := os.Executable()
-		if err != nil {
-			exe = os.Args[0]
+	if cfg.Transport == nil {
+		if len(cfg.Command) == 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				exe = os.Args[0]
+			}
+			cfg.Command = []string{exe, "work"}
 		}
-		cfg.Command = []string{exe, "work"}
+		cfg.Transport = NewProcTransport(cfg.Command)
 	}
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
@@ -93,23 +122,29 @@ func (cfg Config) withDefaults() Config {
 }
 
 // workerProc is one worker slot: a position in the fleet that successive
-// process incarnations occupy.
+// worker incarnations occupy — process respawns over pipes, reconnecting
+// remote workers over sockets.
 type workerProc struct {
 	slot int
-	inc  int // incarnation number of the current/last process
-	cmd  *exec.Cmd
-	fw   *FrameWriter
+	inc  int // incarnation number of the current/last worker
+	conn Conn
 
 	live      bool
 	readySeen bool
 	lastSeen  time.Time
 	leases    []*leaseState
+	// policy sizes this incarnation's grants from its measured per-trial
+	// round trip; it resets on attach so a fresh link earns its own trust.
+	policy LeasePolicy
+	// lastMark anchors the next round-trip sample: the latest grant or
+	// result on an outstanding grant.
+	lastMark time.Time
 	// fails counts consecutive spawn failures / exits without an ack;
 	// it drives backoff and the give-up decision, and resets on progress.
 	fails     int
 	nextSpawn time.Time
 	gaveUp    bool
-	killedFor string // set when the coordinator killed the process
+	killedFor string // set when the coordinator killed the worker
 }
 
 // event is one item on the coordinator's single event stream: a frame from
@@ -135,21 +170,29 @@ type coordinator struct {
 	done    chan struct{}
 	workers []*workerProc
 	incs    int
-	stream  *harness.Stream // lazy; in-process execution of poisoned leases
-	fatal   error
+	// async is set for listener transports: slots fill from Accepts
+	// instead of Spawn, and ConnectWait bounds the worker drought.
+	async bool
+	// lastAlive is the latest moment at least one worker was attached (or
+	// the run start); the ConnectWait clock measures from it.
+	lastAlive time.Time
+	stream    *harness.Stream // lazy; in-process execution of poisoned leases
+	fatal     error
 
 	stats struct {
 		spawns, releases, duplicates, dupResults, inproc int
 	}
 }
 
-// Execute runs the spec file across worker processes and returns an Output
+// Execute runs the spec file across workers and returns an Output
 // byte-for-byte equal to spec.ExecuteFile's for the same (file, root, opts):
 // per-trial results in canonical slot order, merged by first-writer-wins on
 // the slot index. root == 0 selects the file's own seed policy. Specs that
 // reference custom workloads cannot cross a process boundary and are
-// rejected. When no worker process can be spawned at all, Execute degrades
-// to in-process execution with a warning instead of failing.
+// rejected. When no worker can be obtained at all — spawning fails on the
+// pipe transport, or no remote worker connects within ConnectWait on a
+// listener transport — Execute degrades to in-process execution with a
+// warning instead of failing.
 func Execute(f *spec.File, root uint64, opts spec.Options, cfg Config) (*spec.Output, error) {
 	cfg = cfg.withDefaults()
 	if len(opts.Custom) > 0 {
@@ -167,13 +210,17 @@ func Execute(f *spec.File, root uint64, opts spec.Options, cfg Config) (*spec.Ou
 		return nil, err
 	}
 	c := &coordinator{
-		cfg:    cfg,
-		file:   f,
-		opts:   opts,
-		root:   root,
-		raw:    raw,
-		scs:    scs,
-		runner: harness.Runner{Workers: cfg.Workers, Root: root, ShardMinN: opts.ShardMinN, DenseMin: opts.DenseMin},
+		cfg:  cfg,
+		file: f,
+		opts: opts,
+		root: root,
+		raw:  raw,
+		scs:  scs,
+		// OnTrial on the runner covers the wholesale in-process fallback
+		// (Runner.Run fires it); the coordinator fires it by hand for
+		// worker results and per-lease fallbacks, once per fresh ack.
+		runner: harness.Runner{Workers: cfg.Workers, Root: root, ShardMinN: opts.ShardMinN, DenseMin: opts.DenseMin, OnTrial: opts.OnTrial},
+		async:  cfg.Transport.Accepts() != nil,
 	}
 	c.refs = c.runner.ExpandAll(scs...)
 	c.results = make([]harness.Result, len(c.refs))
@@ -200,21 +247,36 @@ func Execute(f *spec.File, root uint64, opts spec.Options, cfg Config) (*spec.Ou
 	}, nil
 }
 
-// run spawns the fleet and drives the event loop to completion.
+// newPolicy builds one incarnation's grant-sizing policy. A pinned
+// LeaseSize disables latency-aware sizing: every grant is exactly one
+// lease, the PR 7 behavior tests rely on.
+func (c *coordinator) newPolicy() LeasePolicy {
+	floor := c.tbl.size
+	ceil := c.cfg.LeaseCeil
+	if c.cfg.LeaseSize > 0 {
+		ceil = floor
+	} else if ceil <= 0 {
+		ceil = 4 * floor
+	}
+	return LeasePolicy{Floor: floor, Ceil: ceil, Target: c.cfg.LeaseTarget}.withDefaults()
+}
+
+// run populates the fleet and drives the event loop to completion.
 func (c *coordinator) run() error {
 	fleet := c.cfg.Workers
 	if fleet > len(c.tbl.leases) {
 		fleet = len(c.tbl.leases)
 	}
 	c.workers = make([]*workerProc, fleet)
+	c.lastAlive = time.Now()
 	started := 0
 	for slot := 0; slot < fleet; slot++ {
 		c.workers[slot] = &workerProc{slot: slot}
-		if c.spawn(c.workers[slot]) {
+		if !c.async && c.spawn(c.workers[slot]) {
 			started++
 		}
 	}
-	if started == 0 {
+	if !c.async && started == 0 {
 		// No worker process could be spawned at all: degrade gracefully to
 		// the in-process parallel runner — identical bytes, no coordination.
 		fmt.Fprintf(c.cfg.Log, "dist: warning: no worker process could be spawned (%q); running %d trials in-process\n",
@@ -236,7 +298,7 @@ func (c *coordinator) run() error {
 }
 
 // loop is the single-threaded coordination core: every state change —
-// frames, exits, liveness, respawns, give-up — happens here.
+// frames, exits, attaches, liveness, respawns, give-up — happens here.
 func (c *coordinator) loop() error {
 	tick := c.cfg.HeartbeatTimeout / 4
 	if tick < 5*time.Millisecond {
@@ -252,6 +314,12 @@ func (c *coordinator) loop() error {
 		ctxDone = c.opts.Ctx.Done()
 	}
 	for !c.tbl.allDone() && c.fatal == nil {
+		// Accept a parked remote connection only while a slot can take it;
+		// a nil channel blocks forever, disabling the case.
+		var acceptCh <-chan Conn
+		if c.async && c.freeSlot() != nil {
+			acceptCh = c.cfg.Transport.Accepts()
+		}
 		select {
 		case ev := <-c.events:
 			if ev.msg != nil {
@@ -259,10 +327,13 @@ func (c *coordinator) loop() error {
 			} else {
 				c.handleExit(ev.w, ev.err)
 			}
+		case conn := <-acceptCh:
+			c.attach(c.freeSlot(), conn)
 		case <-ticker.C:
 			now := time.Now()
 			c.checkLiveness(now)
 			c.respawnDue(now)
+			c.checkConnectWait(now)
 			c.assignIdle()
 			c.maybeRunInProcess()
 		case <-ctxDone:
@@ -272,8 +343,56 @@ func (c *coordinator) loop() error {
 	return c.fatal
 }
 
+// freeSlot returns a slot a fresh remote connection may occupy, or nil.
+func (c *coordinator) freeSlot() *workerProc {
+	for _, w := range c.workers {
+		if !w.live && !w.gaveUp {
+			return w
+		}
+	}
+	return nil
+}
+
+// anyLive reports whether any worker is currently attached.
+func (c *coordinator) anyLive() bool {
+	for _, w := range c.workers {
+		if w.live {
+			return true
+		}
+	}
+	return false
+}
+
+// checkConnectWait is the listener transport's drought detector: with zero
+// live workers for ConnectWait — nobody ever dialed in, or everyone
+// disconnected and nobody came back — the remaining slots give up, and
+// maybeRunInProcess finishes the sweep locally.
+func (c *coordinator) checkConnectWait(now time.Time) {
+	if !c.async || c.tbl.allDone() {
+		return
+	}
+	if c.anyLive() {
+		c.lastAlive = now
+		return
+	}
+	if now.Sub(c.lastAlive) <= c.cfg.ConnectWait {
+		return
+	}
+	gave := false
+	for _, w := range c.workers {
+		if !w.gaveUp {
+			w.gaveUp = true
+			gave = true
+		}
+	}
+	if gave {
+		fmt.Fprintf(c.cfg.Log, "dist: warning: no remote worker connected for %v; finishing the sweep in-process\n", c.cfg.ConnectWait)
+	}
+}
+
 func (c *coordinator) handleMsg(w *workerProc, m *Message) {
-	w.lastSeen = time.Now()
+	now := time.Now()
+	w.lastSeen = now
 	switch m.Kind {
 	case KindReady:
 		w.readySeen = true
@@ -292,9 +411,17 @@ func (c *coordinator) handleMsg(w *workerProc, m *Message) {
 			c.fatal = fmt.Errorf("dist: worker %d disagrees on slot %d's trial seed (%d != %d) — coordinator and worker are not running the same spec/binary", w.inc, m.Slot, m.Seed, want)
 			return
 		}
+		// One per-trial round-trip sample for the lease policy: the first
+		// result of a grant measures grant→result (link round trip
+		// included), the rest inter-result gaps.
+		if !w.lastMark.IsZero() {
+			w.policy.Observe(now.Sub(w.lastMark))
+		}
+		w.lastMark = now
 		if c.tbl.ack(m.Slot) {
 			c.results[m.Slot] = harness.Result{Trial: c.refs[m.Slot].Trial, Metrics: m.Metrics, Err: m.TrialErr}
 			w.fails = 0
+			c.notifyTrial(m.Slot)
 			if l := c.tbl.leaseOf(m.Slot); !l.done && c.tbl.remaining(l) == 0 {
 				l.done = true
 				c.cfg.Observer.LeaseDone(l.id)
@@ -322,6 +449,17 @@ func (c *coordinator) handleMsg(w *workerProc, m *Message) {
 	}
 }
 
+// notifyTrial forwards one freshly acked slot's result to the OnTrial
+// hook, so progress streaming (the serve layer's SSE trial events) works
+// under distributed execution too. Ack-gating keeps it exactly-once per
+// slot; arrival order is scheduling-dependent, exactly as it is for the
+// pooled in-process runner.
+func (c *coordinator) notifyTrial(slot int) {
+	if c.opts.OnTrial != nil {
+		c.opts.OnTrial(c.results[slot])
+	}
+}
+
 // handleExit revokes a dead worker's leases and schedules its respawn.
 func (c *coordinator) handleExit(w *workerProc, err error) {
 	if !w.live {
@@ -329,6 +467,9 @@ func (c *coordinator) handleExit(w *workerProc, err error) {
 	}
 	w.live = false
 	w.readySeen = false
+	w.conn = nil
+	w.lastMark = time.Time{}
+	c.lastAlive = time.Now()
 	reason := "exit"
 	if w.killedFor != "" {
 		reason = w.killedFor
@@ -386,27 +527,46 @@ func (c *coordinator) backoff(fails int) time.Duration {
 	return d
 }
 
-// assign hands an idle worker its next unit of work: the lowest pending
-// lease, else a speculative duplicate of the most-behind outstanding lease
+// assign hands an idle worker its next unit of work: a bundle of pending
+// leases sized by its latency policy (the lowest pending leases, granted
+// back to back so the worker streams through them without another round
+// trip), else a speculative duplicate of the most-behind outstanding lease
 // (straggler hedging near the end of the sweep).
 func (c *coordinator) assign(w *workerProc) {
 	if !w.live || !w.readySeen || len(w.leases) > 0 {
 		return
 	}
-	l := c.tbl.pending()
-	speculative := false
-	if l == nil {
-		l = c.tbl.straggler(w.slot)
-		speculative = l != nil
+	want := w.policy.Slots()
+	granted := 0
+	for granted < want {
+		l := c.tbl.pending()
+		if l == nil {
+			break
+		}
+		if !c.grantTo(w, l, false) {
+			return
+		}
+		granted += c.tbl.remaining(l)
 	}
-	if l == nil {
-		return // idle; shutdown arrives once the sweep completes
-	}
-	skip := c.tbl.skipList(l)
-	if err := w.fw.Write(&Message{Kind: KindLease, Lease: &Lease{ID: l.id, Start: l.start, End: l.end, Skip: skip}}); err != nil {
-		// The pipe is gone; the reader goroutine delivers the exit event.
-		c.kill(w, "lease write failed: "+err.Error())
+	if granted > 0 {
+		w.lastMark = time.Now()
 		return
+	}
+	if l := c.tbl.straggler(w.slot); l != nil {
+		if c.grantTo(w, l, true) {
+			w.lastMark = time.Now()
+		}
+	}
+	// Otherwise idle; shutdown arrives once the sweep completes.
+}
+
+// grantTo writes one lease grant; false means the connection died (the
+// reader goroutine delivers the exit event).
+func (c *coordinator) grantTo(w *workerProc, l *leaseState, speculative bool) bool {
+	skip := c.tbl.skipList(l)
+	if err := w.conn.Write(&Message{Kind: KindLease, Lease: &Lease{ID: l.id, Start: l.start, End: l.end, Skip: skip}}); err != nil {
+		c.kill(w, "lease write failed: "+err.Error())
+		return false
 	}
 	c.tbl.grant(l, w.slot)
 	w.leases = append(w.leases, l)
@@ -414,6 +574,7 @@ func (c *coordinator) assign(w *workerProc) {
 		c.stats.duplicates++
 	}
 	c.cfg.Observer.LeaseGranted(l.id, w.inc, l.start, l.end)
+	return true
 }
 
 // assignIdle offers work to every idle live worker. A lease released by a
@@ -435,9 +596,10 @@ func (c *coordinator) checkLiveness(now time.Time) {
 }
 
 // respawnDue restarts dead worker slots whose backoff has elapsed, as long
-// as unfinished leases remain.
+// as unfinished leases remain. Listener transports cannot respawn remote
+// processes; their slots refill from Accepts instead.
 func (c *coordinator) respawnDue(now time.Time) {
-	if c.tbl.allDone() {
+	if c.async || c.tbl.allDone() {
 		return
 	}
 	for _, w := range c.workers {
@@ -471,7 +633,7 @@ func (c *coordinator) maybeRunInProcess() {
 }
 
 // runLeaseInProcess executes a lease's remaining slots on the coordinator's
-// own pooled stream — the fallback for poisoned leases and spawn-starved
+// own pooled stream — the fallback for poisoned leases and worker-starved
 // runs. Acked slots are skipped and newly settled ones checkpointed exactly
 // as worker results are, so mixing in-process and worker execution cannot
 // change bytes.
@@ -490,6 +652,7 @@ func (c *coordinator) runLeaseInProcess(l *leaseState) {
 		func(ref harness.TrialRef, res harness.Result) {
 			if c.tbl.ack(ref.Slot) {
 				c.results[ref.Slot] = res
+				c.notifyTrial(ref.Slot)
 			}
 		})
 	if err != nil {
@@ -502,46 +665,15 @@ func (c *coordinator) runLeaseInProcess(l *leaseState) {
 	}
 }
 
-// spawn starts the next incarnation on a worker slot; false on failure
-// (backoff already scheduled).
+// spawn starts the next incarnation on a worker slot over a synchronous
+// transport; false on failure (backoff already scheduled).
 func (c *coordinator) spawn(w *workerProc) bool {
-	inc := c.incs
-	c.incs++
-	cmd := exec.Command(c.cfg.Command[0], c.cfg.Command[1:]...)
-	cmd.Stderr = os.Stderr
-	stdin, err := cmd.StdinPipe()
-	if err == nil {
-		var stdout io.ReadCloser
-		stdout, err = cmd.StdoutPipe()
-		if err == nil {
-			err = cmd.Start()
-			if err == nil {
-				c.stats.spawns++
-				w.inc = inc
-				w.cmd = cmd
-				w.fw = NewFrameWriter(stdin)
-				w.live = true
-				w.readySeen = false
-				w.killedFor = ""
-				w.lastSeen = time.Now()
-				if werr := w.fw.Write(&Message{Kind: KindHello, Hello: &Hello{
-					Worker:      inc,
-					Spec:        c.raw,
-					Quick:       c.opts.Quick,
-					Root:        c.root,
-					ShardMinN:   c.opts.ShardMinN,
-					DenseMin:    c.opts.DenseMin,
-					HeartbeatMS: int(c.cfg.Heartbeat / time.Millisecond),
-					Chaos:       c.cfg.Chaos,
-				}}); werr != nil {
-					c.kill(w, "hello write failed: "+werr.Error())
-				}
-				go c.read(w, stdout)
-				return true
-			}
-		}
+	conn, err := c.cfg.Transport.Spawn()
+	if err == nil && conn != nil {
+		c.attach(w, conn)
+		return true
 	}
-	fmt.Fprintf(c.cfg.Log, "dist: warning: spawning worker %d (%q): %v\n", inc, c.cfg.Command[0], err)
+	fmt.Fprintf(c.cfg.Log, "dist: warning: spawning worker %d (%q): %v\n", c.incs, c.cfg.Command[0], err)
 	w.fails++
 	if w.fails > c.cfg.RetryBudget {
 		w.gaveUp = true
@@ -551,42 +683,66 @@ func (c *coordinator) spawn(w *workerProc) bool {
 	return false
 }
 
-// read is the per-process reader goroutine: it forwards frames to the event
-// loop and, when the stream ends, reaps the process and reports the exit.
-func (c *coordinator) read(w *workerProc, stdout io.Reader) {
-	fr := NewFrameReader(stdout)
-	for {
-		m, err := fr.Read()
-		if err != nil {
-			werr := w.cmd.Wait()
-			if werr != nil && err == io.EOF {
-				err = werr
-			}
-			if err == io.EOF {
-				err = nil // clean exit
-			}
-			select {
-			case c.events <- event{w: w, err: err}:
-			case <-c.done:
-			}
-			return
-		}
-		select {
-		case c.events <- event{w: w, msg: m}:
-		case <-c.done:
-			return
-		}
+// attach binds a live connection to a worker slot as a fresh incarnation:
+// hello goes out, the reader goroutine starts, and the slot's lease policy
+// resets so the new link earns its own grant size.
+func (c *coordinator) attach(w *workerProc, conn Conn) {
+	inc := c.incs
+	c.incs++
+	c.stats.spawns++
+	w.inc = inc
+	w.conn = conn
+	w.live = true
+	w.readySeen = false
+	w.killedFor = ""
+	w.lastSeen = time.Now()
+	w.lastMark = time.Time{}
+	w.policy = c.newPolicy()
+	c.lastAlive = w.lastSeen
+	if werr := conn.Write(&Message{Kind: KindHello, Hello: &Hello{
+		Worker:      inc,
+		Spec:        c.raw,
+		Quick:       c.opts.Quick,
+		Root:        c.root,
+		ShardMinN:   c.opts.ShardMinN,
+		DenseMin:    c.opts.DenseMin,
+		HeartbeatMS: int(c.cfg.Heartbeat / time.Millisecond),
+		Chaos:       c.cfg.Chaos,
+	}}); werr != nil {
+		c.kill(w, "hello write failed: "+werr.Error())
 	}
+	go c.read(w, conn)
 }
 
-// kill terminates a worker process; bookkeeping happens when its reader
-// goroutine reports the exit.
+// read is the per-connection reader goroutine: it forwards frames to the
+// event loop and, when the stream ends, reaps the worker and reports the
+// exit.
+func (c *coordinator) read(w *workerProc, conn Conn) {
+	readLoop(conn, func(m *Message, err error) bool {
+		if m != nil {
+			select {
+			case c.events <- event{w: w, msg: m}:
+				return true
+			case <-c.done:
+				return false
+			}
+		}
+		select {
+		case c.events <- event{w: w, err: err}:
+		case <-c.done:
+		}
+		return false
+	})
+}
+
+// kill terminates a worker abruptly; bookkeeping happens when its reader
+// goroutine reports the death.
 func (c *coordinator) kill(w *workerProc, reason string) {
 	if w.killedFor == "" {
 		w.killedFor = reason
 	}
-	if w.cmd != nil && w.cmd.Process != nil {
-		_ = w.cmd.Process.Kill()
+	if w.conn != nil {
+		w.conn.Kill()
 	}
 }
 
@@ -594,14 +750,14 @@ func (c *coordinator) kill(w *workerProc, reason string) {
 func (c *coordinator) shutdownAll() {
 	for _, w := range c.workers {
 		if w != nil && w.live {
-			_ = w.fw.Write(&Message{Kind: KindShutdown})
+			_ = w.conn.Write(&Message{Kind: KindShutdown})
 		}
 	}
 	// Clean workers exit on the shutdown frame within milliseconds; anything
 	// slower is wedged and gets killed — every result is already streamed
 	// and checkpointed, so there is nothing to flush. A kill on an
-	// already-exited process is a no-op, and the reader goroutines reap
-	// every child via cmd.Wait.
+	// already-dead worker is a no-op, and the reader goroutines reap every
+	// connection via Conn.Wait.
 	const grace = 250 * time.Millisecond
 	deadline := time.After(grace)
 	live := func() int {

@@ -38,6 +38,27 @@ func TestMain(m *testing.M) {
 			_ = fw.Write(&Message{Kind: KindReady})
 			_, _ = fr.Read() // wait for the lease so the failure revokes one
 			os.Exit(1)
+		case "dist-remote-worker":
+			// TCP worker: dials os.Args[2] with token os.Args[3] and serves
+			// until the coordinator's clean shutdown, like `radiobfs work
+			// -connect addr -token T`.
+			if len(os.Args) < 4 {
+				fmt.Fprintln(os.Stderr, "dist-remote-worker needs addr and token")
+				os.Exit(2)
+			}
+			err := RemoteWorker{
+				Addr:        os.Args[2],
+				Token:       os.Args[3],
+				Retries:     3,
+				BackoffBase: time.Millisecond,
+				BackoffMax:  50 * time.Millisecond,
+				Log:         os.Stderr,
+			}.Run()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			os.Exit(0)
 		case "dist-evil-worker":
 			// Reports a result whose seed does not match the coordinator's
 			// trial list — the version-skew signal Execute must refuse.

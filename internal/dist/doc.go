@@ -36,23 +36,56 @@
 // speculatively duplicates the most-behind outstanding lease (straggler
 // hedging); duplicate results are deduplicated by slot.
 //
-// # Protocol
+// # Protocol and transports
 //
-// Coordinator and workers speak length-prefixed JSON frames over the
-// worker's stdin/stdout (see proto.go): hello → ready, then lease → result*
-// → leaseDone, interleaved with heartbeats, until shutdown. Workers are
-// fork/exec'd instances of the same binary (`radiobfs work`), so the
-// coordinator and every worker compile the identical embedded registries
-// and expand the identical trial list from the spec bytes shipped in the
-// hello frame.
+// Coordinator and workers speak length-prefixed JSON frames (see proto.go):
+// hello → ready, then lease → result* → leaseDone, interleaved with
+// heartbeats, until shutdown. The carrier is a Transport: the default
+// fork/exec pipe transport spawns `radiobfs work` children over
+// stdin/stdout, and the TCP transport (Listen / RemoteWorker) accepts
+// remote workers started by hand with `radiobfs work -connect host:port
+// -token T`. The frame codec, lease protocol, checkpointing, and the
+// degradation ladder are identical on both; only the trust boundary and the
+// failure semantics of "kill" change (a socket can be closed, but a remote
+// process cannot be respawned — its slot refills when a worker redials).
+//
+// # Worker authentication and version negotiation
+//
+// Pipe workers are fork/exec'd from the coordinator's own binary, so
+// identity and compatibility hold by construction. A TCP worker could be
+// anyone running anything, so before the hello crosses the wire the
+// connection passes a challenge/auth handshake (handshake.go): the
+// coordinator issues a fresh random nonce, the worker returns
+// HMAC-SHA256(token, nonce) plus its frame-protocol version and
+// spec.CodeVersion, and the coordinator verifies replay (stale nonce), MAC,
+// and exact version equality in that order. Each failure is a typed reject
+// frame (RejectedError) naming what to fix; the per-result seed-echo check
+// remains the runtime backstop against binaries that lie. A successful
+// handshake logs the negotiated versions.
+//
+// # Latency-aware lease sizing
+//
+// Grant size adapts per worker incarnation (LeasePolicy): the coordinator
+// folds the gaps between a worker's result frames into an EWMA of its
+// per-trial round trip and sizes the next grant — a bundle of consecutive
+// fixed-size leases — to a constant target wall time, clamped to
+// [floor, ceiling]. Fast streamers on high-latency links earn big bundles
+// (latency shifts arrivals without spreading them), while genuinely slow
+// workers shrink toward single leases so revocation and straggler hedging
+// stay fine-grained. Grant sizing is pure scheduling: results merge by
+// slot, so the bytes cannot depend on it. Pinning Config.LeaseSize disables
+// the policy (every grant is exactly one lease).
 //
 // # Deterministic fault injection
 //
-// ChaosSpec ("seed=S,killafter=K,stall=P") makes worker incarnations crash
-// (os.Exit) or stall (stop heartbeating and hang) after a seeded number of
-// completed trials. The fault schedule is a pure function of (chaos seed,
-// worker incarnation number), so every failure path — crash re-lease,
-// heartbeat-timeout revocation, straggler duplication, backoff — is
-// exercised deterministically in tests and CI, with the merged artifacts
-// byte-diffed against an unfaulted single-process run.
+// ChaosSpec ("seed=S,killafter=K,stall=P,disconnect=D,delay=MS") makes
+// worker incarnations crash (os.Exit), stall (stop heartbeating and hang),
+// or disconnect (drop the transport; remote workers redial as fresh
+// incarnations) after a seeded number of completed trials, and injects a
+// seeded per-trial result latency. The fault schedule is a pure function of
+// (chaos seed, worker incarnation number), so every failure path — crash
+// re-lease, heartbeat-timeout revocation, reconnect, straggler duplication,
+// backoff, policy shrink — is exercised deterministically in tests and CI,
+// with the merged artifacts byte-diffed against an unfaulted
+// single-process run.
 package dist

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/spec"
+)
+
+// The socket handshake. Pipe workers are fork/exec'd from the coordinator's
+// own binary, so identity and compatibility are guaranteed by construction;
+// a worker dialing in over TCP could be anyone running anything, so before
+// the hello frame crosses the wire both sides prove two things:
+//
+//	challenge  (coordinator → worker): fresh nonce + coordinator versions
+//	auth       (worker → coordinator): HMAC-SHA256(token, nonce) + worker versions
+//	hello | reject (coordinator → worker)
+//
+// Authentication: the worker MACs the connection's nonce under the shared
+// token. The nonce is random per connection and never reused, so a captured
+// auth frame replayed on a fresh connection echoes a stale nonce and is
+// rejected as a replay without ever consulting the MAC.
+//
+// Version negotiation: both sides exchange ProtoVersion and
+// spec.CodeVersion and require exact equality. A protocol skew would
+// misparse frames; a code skew could expand a different trial list and
+// silently corrupt merged artifacts — each is a typed, actionable
+// rejection. The coordinator's per-result seed-echo check (coord.go)
+// remains the runtime backstop for binaries that lie about their version.
+
+// VersionInfo is one side's (protocol, code) version pair. The zero value
+// means "this build": ProtoVersion and spec.CodeVersion().
+type VersionInfo struct {
+	Proto int
+	Code  string
+}
+
+// orBuild resolves the zero value to the running build's versions.
+func (v VersionInfo) orBuild() VersionInfo {
+	if v.Proto == 0 {
+		v.Proto = ProtoVersion
+	}
+	if v.Code == "" {
+		v.Code = spec.CodeVersion()
+	}
+	return v
+}
+
+// newNonce returns a fresh hex-encoded 16-byte challenge nonce.
+func newNonce() (string, error) {
+	var b [16]byte
+	if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+		return "", fmt.Errorf("dist: challenge nonce: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// authMAC computes hex(HMAC-SHA256(token, nonce)).
+func authMAC(token, nonce string) string {
+	h := hmac.New(sha256.New, []byte(token))
+	h.Write([]byte(nonce))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// serverHandshake runs the coordinator side over a fresh worker connection:
+// it issues the challenge, verifies the auth response, and either returns
+// the worker's negotiated versions or writes a typed reject frame and
+// returns a *RejectedError describing it. Verification order — replay,
+// token, protocol, code — keeps each failure's message specific to its
+// actual cause.
+func serverHandshake(fr *FrameReader, fw *FrameWriter, token, nonce string, v VersionInfo) (VersionInfo, error) {
+	v = v.orBuild()
+	if err := fw.Write(&Message{Kind: KindChallenge, Challenge: &Challenge{Nonce: nonce, Proto: v.Proto, Code: v.Code}}); err != nil {
+		return VersionInfo{}, err
+	}
+	m, err := fr.Read()
+	if err != nil {
+		return VersionInfo{}, fmt.Errorf("dist: reading auth response: %w", err)
+	}
+	if m.Kind != KindAuth || m.Auth == nil {
+		return VersionInfo{}, reject(fw, RejectBadToken,
+			fmt.Sprintf("first worker frame is %q, want auth — is this a radiobfs worker?", m.Kind))
+	}
+	a := m.Auth
+	if a.Nonce != nonce {
+		return VersionInfo{}, reject(fw, RejectReplay,
+			"auth echoed a stale challenge nonce — replayed hello; each connection must answer the nonce it was just issued")
+	}
+	if !hmac.Equal([]byte(a.MAC), []byte(authMAC(token, nonce))) {
+		return VersionInfo{}, reject(fw, RejectBadToken,
+			"HMAC does not verify — start the worker with the coordinator's exact -token value")
+	}
+	if a.Proto != v.Proto {
+		return VersionInfo{}, reject(fw, RejectProtoVersion,
+			fmt.Sprintf("worker speaks frame protocol v%d, coordinator v%d — rebuild both sides from the same commit", a.Proto, v.Proto))
+	}
+	if a.Code != v.Code {
+		return VersionInfo{}, reject(fw, RejectCodeVersion,
+			fmt.Sprintf("worker built at %s, coordinator at %s — trial expansion could diverge; deploy identical binaries", a.Code, v.Code))
+	}
+	return VersionInfo{Proto: a.Proto, Code: a.Code}, nil
+}
+
+// reject writes the typed rejection frame and returns the matching error.
+// The write is best-effort: the worker may already be gone.
+func reject(fw *FrameWriter, code RejectCode, msg string) error {
+	_ = fw.Write(&Message{Kind: KindReject, Reject: &Reject{Code: code, Message: msg}})
+	return &RejectedError{Code: code, Message: msg}
+}
+
+// clientHandshake runs the worker side: it answers the coordinator's
+// challenge with the token MAC and this build's versions, then waits for
+// the verdict. The next frame after a successful handshake is the hello,
+// which is returned to the caller; a reject frame surfaces as a
+// *RejectedError.
+func clientHandshake(fr *FrameReader, fw *FrameWriter, token string, v VersionInfo) (*Message, VersionInfo, error) {
+	v = v.orBuild()
+	m, err := fr.Read()
+	if err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist worker: reading challenge: %w", err)
+	}
+	if m.Kind != KindChallenge || m.Challenge == nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist worker: first frame is %q, want challenge — is this a radiobfs coordinator?", m.Kind)
+	}
+	ch := m.Challenge
+	if err := fw.Write(&Message{Kind: KindAuth, Auth: &Auth{
+		Nonce: ch.Nonce,
+		MAC:   authMAC(token, ch.Nonce),
+		Proto: v.Proto,
+		Code:  v.Code,
+	}}); err != nil {
+		return nil, VersionInfo{}, err
+	}
+	m, err = fr.Read()
+	if err == io.EOF {
+		// Authenticated, parked, then closed without a verdict: the run ended
+		// (or the transport shut down) before the coordinator attached this
+		// connection. Distinct from a mid-handshake failure so the worker can
+		// treat it as a clean end rather than a retryable error.
+		return nil, VersionInfo{}, errParkedEOF
+	}
+	if err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist worker: reading handshake verdict: %w", err)
+	}
+	if m.Kind == KindReject && m.Reject != nil {
+		return nil, VersionInfo{}, &RejectedError{Code: m.Reject.Code, Message: m.Reject.Message}
+	}
+	return m, VersionInfo{Proto: ch.Proto, Code: ch.Code}, nil
+}

@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded log sink: the TCP transport writes its log
+// from per-connection handshake goroutines, so tests sharing one buffer
+// between the transport and their own assertions must serialize access.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func (s *syncBuffer) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+// waitForLog polls until the log contains substr; transport log lines land
+// asynchronously with respect to the client seeing its verdict frame.
+func waitForLog(t *testing.T, log *syncBuffer, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(log.String(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("log never contained %q:\n%s", substr, log.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+var updateHandshake = flag.Bool("update-handshake", false, "rewrite testdata/handshake goldens from the live rejection messages")
+
+// testVersion pins both handshake sides to fixed versions so rejection
+// messages are deterministic regardless of how the test binary was built.
+var testVersion = VersionInfo{Proto: ProtoVersion, Code: "testbuild"}
+
+// listenTest starts a token-guarded TCP transport with pinned versions.
+func listenTest(t *testing.T, log *syncBuffer) *TCPTransport {
+	t.Helper()
+	tr, err := Listen("127.0.0.1:0", ListenConfig{Token: "s3cret", Version: testVersion, Log: log})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// dialHandshake runs the worker side of the handshake against addr and
+// returns its outcome.
+func dialHandshake(t *testing.T, addr, token string, v VersionInfo) (*Message, VersionInfo, error) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	return clientHandshake(NewFrameReader(c), NewFrameWriter(c), token, v)
+}
+
+// checkGolden pins got against testdata/handshake/<name>.golden. Rejection
+// messages are operator-facing diagnostics; the goldens keep them from
+// silently regressing into something vague.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "handshake", name+".golden")
+	if *updateHandshake {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-handshake to create it): %v", err)
+	}
+	if got+"\n" != string(want) {
+		t.Errorf("%s drifted from its golden:\ngot:  %s\nwant: %s", name, got, strings.TrimSuffix(string(want), "\n"))
+	}
+}
+
+// TestHandshakeRejections drives the full TCP handshake into each typed
+// rejection: the client must surface a *RejectedError with the right code,
+// the message must match its golden, and the transport must log the
+// rejection without ever parking the connection.
+func TestHandshakeRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		token   string
+		version VersionInfo
+		want    RejectCode
+	}{
+		{"wrong_token", "not-the-token", testVersion, RejectBadToken},
+		{"stale_proto", "s3cret", VersionInfo{Proto: ProtoVersion - 1, Code: "testbuild"}, RejectProtoVersion},
+		{"stale_code", "s3cret", VersionInfo{Proto: ProtoVersion, Code: "oldbuild"}, RejectCodeVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var log syncBuffer
+			tr := listenTest(t, &log)
+			_, _, err := dialHandshake(t, tr.Addr().String(), tc.token, tc.version)
+			var rej *RejectedError
+			if !errors.As(err, &rej) {
+				t.Fatalf("handshake error = %v, want *RejectedError", err)
+			}
+			if rej.Code != tc.want {
+				t.Fatalf("reject code = %q, want %q", rej.Code, tc.want)
+			}
+			checkGolden(t, tc.name, rej.Error())
+			select {
+			case <-tr.Accepts():
+				t.Fatal("rejected connection was parked for the coordinator")
+			default:
+			}
+			waitForLog(t, &log, "rejected worker from")
+		})
+	}
+}
+
+// TestHandshakeReplayRejected: an auth frame that echoes a nonce other than
+// the one this connection was just issued — a captured handshake replayed —
+// must be rejected before the MAC is even consulted.
+func TestHandshakeReplayRejected(t *testing.T) {
+	var log syncBuffer
+	tr := listenTest(t, &log)
+	c, err := net.Dial("tcp", tr.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	fr, fw := NewFrameReader(c), NewFrameWriter(c)
+	m, err := fr.Read()
+	if err != nil || m.Kind != KindChallenge || m.Challenge == nil {
+		t.Fatalf("challenge frame = %+v, %v", m, err)
+	}
+	// Replay a recorded auth: valid MAC, but over a stale nonce.
+	stale := "00112233445566778899aabbccddeeff"
+	if err := fw.Write(&Message{Kind: KindAuth, Auth: &Auth{
+		Nonce: stale,
+		MAC:   authMAC("s3cret", stale),
+		Proto: testVersion.Proto,
+		Code:  testVersion.Code,
+	}}); err != nil {
+		t.Fatalf("writing replayed auth: %v", err)
+	}
+	m, err = fr.Read()
+	if err != nil || m.Kind != KindReject || m.Reject == nil {
+		t.Fatalf("verdict frame = %+v, %v, want reject", m, err)
+	}
+	if m.Reject.Code != RejectReplay {
+		t.Fatalf("reject code = %q, want %q", m.Reject.Code, RejectReplay)
+	}
+	rej := &RejectedError{Code: m.Reject.Code, Message: m.Reject.Message}
+	checkGolden(t, "replayed_hello", rej.Error())
+}
+
+// TestHandshakeGarbageRejected: a peer that is not a radiobfs worker at all
+// (its first frame is not auth) gets a typed rejection, not a hang or a
+// parse panic.
+func TestHandshakeGarbageRejected(t *testing.T) {
+	var log syncBuffer
+	tr := listenTest(t, &log)
+	c, err := net.Dial("tcp", tr.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	fr, fw := NewFrameReader(c), NewFrameWriter(c)
+	if _, err := fr.Read(); err != nil {
+		t.Fatalf("challenge: %v", err)
+	}
+	if err := fw.Write(&Message{Kind: KindHeartbeat}); err != nil {
+		t.Fatalf("writing bogus frame: %v", err)
+	}
+	m, err := fr.Read()
+	if err != nil || m.Kind != KindReject || m.Reject == nil {
+		t.Fatalf("verdict frame = %+v, %v, want reject", m, err)
+	}
+	if m.Reject.Code != RejectBadToken {
+		t.Fatalf("reject code = %q, want %q", m.Reject.Code, RejectBadToken)
+	}
+	checkGolden(t, "not_a_worker", (&RejectedError{Code: m.Reject.Code, Message: m.Reject.Message}).Error())
+}
+
+// TestHandshakeSuccess: matching token and versions authenticate; the
+// transport parks the connection, logs the negotiated versions, and the
+// worker's next frame is whatever the coordinator sends after attaching
+// (here: an immediate shutdown).
+func TestHandshakeSuccess(t *testing.T) {
+	var log syncBuffer
+	tr := listenTest(t, &log)
+	type outcome struct {
+		m   *Message
+		v   VersionInfo
+		err error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		m, v, err := dialHandshake(t, tr.Addr().String(), "s3cret", testVersion)
+		res <- outcome{m, v, err}
+	}()
+	var conn Conn
+	select {
+	case conn = <-tr.Accepts():
+	case <-time.After(5 * time.Second):
+		t.Fatal("authenticated connection never parked")
+	}
+	if err := conn.Write(&Message{Kind: KindShutdown}); err != nil {
+		t.Fatalf("writing shutdown: %v", err)
+	}
+	o := <-res
+	if o.err != nil {
+		t.Fatalf("client handshake: %v", o.err)
+	}
+	if o.m.Kind != KindShutdown {
+		t.Fatalf("post-handshake frame = %q, want shutdown", o.m.Kind)
+	}
+	if o.v != testVersion {
+		t.Fatalf("negotiated versions = %+v, want %+v", o.v, testVersion)
+	}
+	if !strings.Contains(log.String(), "worker authenticated from") ||
+		!strings.Contains(log.String(), "proto v2, code testbuild") {
+		t.Errorf("transport log missing the negotiated-versions line: %s", log.String())
+	}
+	conn.Kill()
+}

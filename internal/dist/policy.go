@@ -1,0 +1,84 @@
+package dist
+
+import "time"
+
+// LeasePolicy sizes lease grants from an EWMA of a worker's per-trial
+// round-trip time, measured at the coordinator from result-frame arrivals
+// (the first sample of a grant spans grant→first-result, so it includes the
+// link's round trip; later samples are inter-result gaps).
+//
+// The policy targets a constant grant wall time: a worker whose trials
+// stream back quickly is granted up to Ceil slots at once — on a
+// high-latency link that is exactly what amortizes the grant round trip,
+// because latency shifts result arrivals without spreading them, so the
+// EWMA stays low and the link still earns full-size grants — while a worker
+// whose per-trial time balloons (a straggler, an overloaded host, an
+// injected latency spike on every trial) sees its next grants shrink toward
+// Floor, keeping revocation and speculative duplication fine-grained.
+// Grant sizing is pure scheduling: it never changes result bytes, because
+// results merge by slot no matter which grant carried them.
+type LeasePolicy struct {
+	// Floor/Ceil bound a grant's slot count, Floor ≤ Ceil. A policy with
+	// no observations yet grants Floor (start conservative, earn trust).
+	Floor, Ceil int
+	// Target is the desired grant wall time (default 2s).
+	Target time.Duration
+	// Alpha is the EWMA smoothing factor in (0, 1]; higher reacts faster
+	// (default 0.4).
+	Alpha float64
+
+	// ewma is the smoothed per-trial round trip in seconds; 0 = no data.
+	ewma float64
+}
+
+// withDefaults fills unset tuning fields.
+func (p LeasePolicy) withDefaults() LeasePolicy {
+	if p.Floor < 1 {
+		p.Floor = 1
+	}
+	if p.Ceil < p.Floor {
+		p.Ceil = p.Floor
+	}
+	if p.Target <= 0 {
+		p.Target = 2 * time.Second
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		p.Alpha = 0.4
+	}
+	return p
+}
+
+// Observe folds one per-trial round-trip sample into the EWMA.
+// Non-positive samples (clock weirdness) are ignored.
+func (p *LeasePolicy) Observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s := d.Seconds()
+	if p.ewma == 0 {
+		p.ewma = s
+		return
+	}
+	p.ewma = p.Alpha*s + (1-p.Alpha)*p.ewma
+}
+
+// PerTrial is the current EWMA estimate (0 = no observations yet).
+func (p *LeasePolicy) PerTrial() time.Duration {
+	return time.Duration(p.ewma * float64(time.Second))
+}
+
+// Slots is the number of slots the next grant should carry:
+// clamp(Floor, Ceil, Target/ewma).
+func (p *LeasePolicy) Slots() int {
+	if p.ewma <= 0 {
+		return p.Floor
+	}
+	n := int(p.Target.Seconds() / p.ewma)
+	if n < p.Floor {
+		return p.Floor
+	}
+	if n > p.Ceil {
+		return p.Ceil
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPolicyFloorWithoutObservations: a fresh incarnation has earned no
+// trust, so its first grant is the floor.
+func TestPolicyFloorWithoutObservations(t *testing.T) {
+	p := LeasePolicy{Floor: 3, Ceil: 12, Target: 2 * time.Second}.withDefaults()
+	if got := p.Slots(); got != 3 {
+		t.Fatalf("Slots() with no observations = %d, want Floor 3", got)
+	}
+}
+
+// TestPolicyBounds: no per-trial time, however extreme, pushes a grant
+// outside [Floor, Ceil].
+func TestPolicyBounds(t *testing.T) {
+	p := LeasePolicy{Floor: 3, Ceil: 12, Target: 2 * time.Second}.withDefaults()
+	// Microsecond trials: Target/ewma is enormous; the ceiling must hold.
+	for i := 0; i < 20; i++ {
+		p.Observe(time.Microsecond)
+	}
+	if got := p.Slots(); got != 12 {
+		t.Fatalf("Slots() after fast trials = %d, want Ceil 12", got)
+	}
+	// Ten-second trials: Target/ewma rounds to zero; the floor must hold.
+	q := LeasePolicy{Floor: 3, Ceil: 12, Target: 2 * time.Second}.withDefaults()
+	for i := 0; i < 20; i++ {
+		q.Observe(10 * time.Second)
+	}
+	if got := q.Slots(); got != 3 {
+		t.Fatalf("Slots() after slow trials = %d, want Floor 3", got)
+	}
+}
+
+// TestPolicyShrinksUnderLatencySpike: a worker that was streaming results
+// quickly earns ceiling-size grants; when its per-trial time spikes, the
+// next grants must shrink so revocation and straggler hedging stay
+// fine-grained.
+func TestPolicyShrinksUnderLatencySpike(t *testing.T) {
+	p := LeasePolicy{Floor: 2, Ceil: 16, Target: time.Second}.withDefaults()
+	for i := 0; i < 10; i++ {
+		p.Observe(10 * time.Millisecond)
+	}
+	before := p.Slots()
+	if before != 16 {
+		t.Fatalf("Slots() before the spike = %d, want Ceil 16", before)
+	}
+	for i := 0; i < 10; i++ {
+		p.Observe(2 * time.Second)
+	}
+	after := p.Slots()
+	if after >= before {
+		t.Fatalf("Slots() did not shrink under the spike: %d → %d", before, after)
+	}
+	if after != 2 {
+		t.Fatalf("Slots() after a sustained spike = %d, want Floor 2", after)
+	}
+}
+
+// TestPolicyRecovers: the EWMA forgets — once the spike passes, grants grow
+// back toward the ceiling.
+func TestPolicyRecovers(t *testing.T) {
+	p := LeasePolicy{Floor: 2, Ceil: 16, Target: time.Second}.withDefaults()
+	p.Observe(2 * time.Second)
+	if got := p.Slots(); got != 2 {
+		t.Fatalf("Slots() while slow = %d, want Floor 2", got)
+	}
+	for i := 0; i < 30; i++ {
+		p.Observe(time.Millisecond)
+	}
+	if got := p.Slots(); got != 16 {
+		t.Fatalf("Slots() after recovery = %d, want Ceil 16", got)
+	}
+}
+
+// TestPolicyIgnoresNonPositiveSamples: clock weirdness must not poison the
+// estimate.
+func TestPolicyIgnoresNonPositiveSamples(t *testing.T) {
+	p := LeasePolicy{Floor: 1, Ceil: 8, Target: time.Second}.withDefaults()
+	p.Observe(100 * time.Millisecond)
+	want := p.PerTrial()
+	p.Observe(0)
+	p.Observe(-time.Second)
+	if got := p.PerTrial(); got != want {
+		t.Fatalf("non-positive samples moved the estimate: %v → %v", want, got)
+	}
+}
+
+// TestStragglerCapSurvivesBundling: bundle-granting sizes a grant as several
+// consecutive leases, but a speculative duplicate must still respect the
+// per-lease two-grant cap — the original holder plus at most one hedge.
+func TestStragglerCapSurvivesBundling(t *testing.T) {
+	tbl := newTable(12, 4) // 3 leases of 4 slots
+	// Worker 0 bundles all three leases (a ceiling-size grant).
+	for {
+		l := tbl.pending()
+		if l == nil {
+			break
+		}
+		tbl.grant(l, 0)
+	}
+	// Idle worker 1 hedges the most-behind lease.
+	l1 := tbl.straggler(1)
+	if l1 == nil {
+		t.Fatal("no straggler offered to worker 1")
+	}
+	tbl.grant(l1, 1)
+	if l1.grants != 2 {
+		t.Fatalf("hedged lease has %d grants, want 2", l1.grants)
+	}
+	// Worker 2 may hedge a different lease, never the one already at cap.
+	if l2 := tbl.straggler(2); l2 == l1 {
+		t.Fatal("straggler offered a lease already at the two-grant cap")
+	}
+	// With every lease at cap, no further hedges exist.
+	for _, l := range tbl.leases {
+		for l.grants < maxGrants {
+			tbl.grant(l, 1)
+		}
+	}
+	if l := tbl.straggler(3); l != nil {
+		t.Fatalf("straggler offered lease %d despite every lease being at cap", l.id)
+	}
+}

@@ -20,13 +20,25 @@ import (
 // and hello frames one spec file; both are far below this.
 const MaxFrame = 16 << 20
 
+// ProtoVersion is the version of this frame protocol, negotiated during the
+// socket handshake. Bump it whenever a frame's meaning changes
+// incompatibly; the stdin/stdout pipe transport needs no negotiation
+// because the coordinator fork/execs its own binary.
+const ProtoVersion = 2
+
 // Kind discriminates protocol messages.
 type Kind string
 
 // Coordinator → worker kinds.
 const (
-	// KindHello is the first frame on a worker's stdin: the spec, execution
-	// options, and the worker's incarnation number.
+	// KindChallenge opens the socket handshake: a fresh nonce plus the
+	// coordinator's protocol and code versions.
+	KindChallenge Kind = "challenge"
+	// KindReject ends a failed socket handshake with a typed reason.
+	KindReject Kind = "reject"
+	// KindHello is the first post-handshake frame (the first frame outright
+	// on the pipe transport): the spec, execution options, and the worker's
+	// incarnation number.
 	KindHello Kind = "hello"
 	// KindLease grants a slot range to the worker.
 	KindLease Kind = "lease"
@@ -36,6 +48,9 @@ const (
 
 // Worker → coordinator kinds.
 const (
+	// KindAuth answers a challenge: the HMAC over the nonce plus the
+	// worker's own versions.
+	KindAuth Kind = "auth"
 	// KindReady acknowledges the hello: the spec compiled and the worker is
 	// accepting leases.
 	KindReady Kind = "ready"
@@ -71,6 +86,67 @@ type Hello struct {
 	Chaos ChaosSpec `json:"chaos,omitempty"`
 }
 
+// Challenge is the coordinator's opening handshake frame on a socket
+// transport: a single-use random nonce the worker must MAC with the shared
+// token, plus the coordinator's versions so an out-of-date worker can print
+// an actionable error even before the coordinator rejects it.
+type Challenge struct {
+	// Nonce is hex-encoded random bytes, fresh per connection; the auth
+	// response must MAC exactly this value, which is what defeats replayed
+	// hellos.
+	Nonce string `json:"nonce"`
+	// Proto / Code are the coordinator's ProtoVersion and spec.CodeVersion.
+	Proto int    `json:"proto"`
+	Code  string `json:"code"`
+}
+
+// Auth is the worker's handshake response: the challenge nonce echoed back,
+// the HMAC-SHA256 of that nonce under the shared token, and the worker's
+// own versions for negotiation.
+type Auth struct {
+	Nonce string `json:"nonce"`
+	// MAC is hex(HMAC-SHA256(token, nonce)).
+	MAC   string `json:"mac"`
+	Proto int    `json:"proto"`
+	Code  string `json:"code"`
+}
+
+// Reject is a typed handshake rejection; the connection closes after it.
+type Reject struct {
+	Code    RejectCode `json:"code"`
+	Message string     `json:"message"`
+}
+
+// RejectCode classifies why a handshake was refused.
+type RejectCode string
+
+const (
+	// RejectBadToken: the HMAC does not verify under the coordinator's
+	// token.
+	RejectBadToken RejectCode = "badToken"
+	// RejectReplay: the auth echoed a nonce other than the one this
+	// connection was issued — a replayed hello from an earlier session.
+	RejectReplay RejectCode = "replayedHello"
+	// RejectProtoVersion: the worker speaks a different frame protocol.
+	RejectProtoVersion RejectCode = "protoVersion"
+	// RejectCodeVersion: the worker was built from different code; its
+	// trial expansion could silently diverge, so it is refused up front
+	// (the seed-echo skew check remains the runtime backstop).
+	RejectCodeVersion RejectCode = "codeVersion"
+)
+
+// RejectedError is the typed error a worker surfaces when the coordinator
+// refuses its handshake. It is terminal: reconnecting cannot help until the
+// operator fixes the token or deploys matching binaries.
+type RejectedError struct {
+	Code    RejectCode
+	Message string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("dist: handshake rejected (%s): %s", e.Code, e.Message)
+}
+
 // Lease is one granted unit of work: the slots in [Start, End) minus Skip.
 type Lease struct {
 	ID    int `json:"id"`
@@ -83,9 +159,12 @@ type Lease struct {
 
 // Message is the frame envelope. Kind selects which fields are meaningful.
 type Message struct {
-	Kind  Kind   `json:"kind"`
-	Hello *Hello `json:"hello,omitempty"`
-	Lease *Lease `json:"lease,omitempty"`
+	Kind      Kind       `json:"kind"`
+	Hello     *Hello     `json:"hello,omitempty"`
+	Lease     *Lease     `json:"lease,omitempty"`
+	Challenge *Challenge `json:"challenge,omitempty"`
+	Auth      *Auth      `json:"auth,omitempty"`
+	Reject    *Reject    `json:"reject,omitempty"`
 
 	// Result / leaseDone fields.
 	LeaseID int `json:"leaseID,omitempty"`

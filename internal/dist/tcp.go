@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport: the coordinator listens, remote workers dial in
+// (`radiobfs work -connect host:port -token T`), and each connection passes
+// the challenge/auth handshake (handshake.go) before it is parked for the
+// coordinator to attach. Frames, leases, heartbeats, checkpointing, and the
+// degradation ladder are byte-for-byte the pipe protocol's — only the
+// carrier and the trust boundary change.
+
+// ListenConfig tunes a TCP transport.
+type ListenConfig struct {
+	// Token is the shared secret workers must prove knowledge of; it is
+	// required — an unauthenticated listener would execute whatever a
+	// stray process submits.
+	Token string
+	// Version overrides the build's (protocol, code) versions in the
+	// handshake; zero value = this build. Tests inject skews here.
+	Version VersionInfo
+	// HandshakeTimeout bounds a connection's challenge/auth exchange so a
+	// dialed-but-silent peer cannot hold a handshake goroutine forever
+	// (default 10s).
+	HandshakeTimeout time.Duration
+	// Log receives one line per accepted or rejected worker (default:
+	// discard). Successful handshakes log the negotiated versions.
+	Log io.Writer
+}
+
+// TCPTransport accepts, authenticates, and parks remote worker
+// connections. It implements Transport; Spawn always reports "pending"
+// because only a remote operator can start workers.
+type TCPTransport struct {
+	ln    net.Listener
+	cfg   ListenConfig
+	conns chan Conn
+	// mu/closed order parking against Close: once closed is set no
+	// handshake goroutine may park, so Close's drain leaves nothing behind.
+	mu     sync.Mutex
+	closed bool
+	once   sync.Once
+}
+
+// Listen starts a TCP transport on addr (host:port; port 0 picks an
+// ephemeral port, readable from Addr). The transport survives any number of
+// Execute runs — a serve daemon can advertise one listener and let the same
+// remote fleet drain successive jobs — and is released with Close.
+func Listen(addr string, cfg ListenConfig) (*TCPTransport, error) {
+	if cfg.Token == "" {
+		return nil, fmt.Errorf("dist: a TCP listener requires a shared -token; refusing to accept unauthenticated workers")
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	cfg.Version = cfg.Version.orBuild()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		ln:    ln,
+		cfg:   cfg,
+		conns: make(chan Conn, 16),
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr is the bound listen address (the actual port when addr used :0).
+func (t *TCPTransport) Addr() net.Addr { return t.ln.Addr() }
+
+// Spawn implements Transport: a listener cannot start remote workers, so
+// it reports pending; connections arrive on Accepts.
+func (t *TCPTransport) Spawn() (Conn, error) { return nil, nil }
+
+// Accepts implements Transport.
+func (t *TCPTransport) Accepts() <-chan Conn { return t.conns }
+
+// Close stops accepting and closes parked connections. Connections already
+// attached to a coordinator are untouched.
+func (t *TCPTransport) Close() error {
+	var err error
+	t.once.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		t.mu.Unlock()
+		err = t.ln.Close()
+		// No handshake goroutine can park after closed is set, so this
+		// drain leaves the channel empty for good.
+		for {
+			select {
+			case c := <-t.conns:
+				c.Kill()
+			default:
+				return
+			}
+		}
+	})
+	return err
+}
+
+// acceptLoop authenticates each inbound connection on its own goroutine so
+// one slow handshake never blocks the next worker.
+func (t *TCPTransport) acceptLoop() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.handshake(c)
+	}
+}
+
+// handshake runs the server side of the challenge/auth exchange and parks
+// the connection for the coordinator, or logs the typed rejection and
+// closes it.
+func (t *TCPTransport) handshake(c net.Conn) {
+	peer := c.RemoteAddr().String()
+	_ = c.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
+	fr, fw := NewFrameReader(c), NewFrameWriter(c)
+	nonce, err := newNonce()
+	if err == nil {
+		var v VersionInfo
+		v, err = serverHandshake(fr, fw, t.cfg.Token, nonce, t.cfg.Version)
+		if err == nil {
+			_ = c.SetDeadline(time.Time{})
+			fmt.Fprintf(t.cfg.Log, "dist: worker authenticated from %s (proto v%d, code %s)\n", peer, v.Proto, v.Code)
+			conn := &tcpConn{c: c, fr: fr, fw: fw, peer: peer}
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				c.Close()
+				return
+			}
+			select {
+			case t.conns <- conn:
+				t.mu.Unlock()
+			default:
+				// Park backlog full: drop the connection; the worker's
+				// redial loop tries again once a slot drains.
+				t.mu.Unlock()
+				c.Close()
+			}
+			return
+		}
+	}
+	fmt.Fprintf(t.cfg.Log, "dist: rejected worker from %s: %v\n", peer, err)
+	c.Close()
+}
+
+// tcpConn is one authenticated remote worker connection.
+type tcpConn struct {
+	c    net.Conn
+	fr   *FrameReader
+	fw   *FrameWriter
+	peer string
+}
+
+func (c *tcpConn) Write(m *Message) error { return c.fw.Write(m) }
+
+func (c *tcpConn) Read() (*Message, error) { return c.fr.Read() }
+
+// Kill closes the socket; the remote process survives and may reconnect as
+// a fresh incarnation — exactly the behavior the revocation ladder wants.
+func (c *tcpConn) Kill() { _ = c.c.Close() }
+
+// Wait has nothing to reap for a socket; the peer's exit status is its own
+// machine's business.
+func (c *tcpConn) Wait() error {
+	_ = c.c.Close()
+	return nil
+}
+
+func (c *tcpConn) Peer() string { return c.peer }

@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// Transport abstracts how the coordinator obtains worker connections, so
+// the lease protocol, checkpointing, and failure ladder are written once
+// against Conn and run unchanged over fork/exec'd pipe workers and remote
+// TCP workers.
+type Transport interface {
+	// Spawn synchronously starts the next worker and returns its
+	// connection. Listener transports cannot start remote processes; they
+	// return (nil, nil) and deliver connections on Accepts as remote
+	// workers dial in and pass the handshake.
+	Spawn() (Conn, error)
+	// Accepts is the channel asynchronously established connections arrive
+	// on, or nil for synchronous transports.
+	Accepts() <-chan Conn
+	// Close releases the transport (stops listening, closes parked
+	// connections). It does not touch connections already handed out.
+	Close() error
+}
+
+// Conn is one worker connection: the coordinator's framed, killable view of
+// a single worker incarnation, whatever carries the bytes.
+type Conn interface {
+	// Write sends one frame to the worker. Safe for concurrent use.
+	Write(m *Message) error
+	// Read returns the worker's next frame. One dedicated goroutine per
+	// connection; a terminal error means the worker is gone.
+	Read() (*Message, error)
+	// Kill terminates the worker abruptly (process kill, socket close);
+	// the reader observes the death as a read error.
+	Kill()
+	// Wait reaps the connection after Read has returned a terminal error
+	// and reports how the worker ended: a process exit error, or nil when
+	// there is nothing to reap (sockets).
+	Wait() error
+	// Peer identifies the worker for logs ("pid 1234", "10.0.0.7:51132").
+	Peer() string
+}
+
+// procTransport fork/execs worker processes and speaks frames over their
+// stdin/stdout — the PR 7 transport, now behind the Transport seam.
+type procTransport struct {
+	command []string
+}
+
+// NewProcTransport returns the fork/exec transport. The command is the
+// worker argv, typically `<this binary> work`.
+func NewProcTransport(command []string) Transport {
+	return &procTransport{command: command}
+}
+
+func (p *procTransport) Spawn() (Conn, error) {
+	cmd := exec.Command(p.command[0], p.command[1:]...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &procConn{cmd: cmd, fw: NewFrameWriter(stdin), fr: NewFrameReader(stdout)}, nil
+}
+
+func (p *procTransport) Accepts() <-chan Conn { return nil }
+
+func (p *procTransport) Close() error { return nil }
+
+// procConn is one worker process behind its stdin/stdout pipes.
+type procConn struct {
+	cmd *exec.Cmd
+	fw  *FrameWriter
+	fr  *FrameReader
+}
+
+func (c *procConn) Write(m *Message) error { return c.fw.Write(m) }
+
+func (c *procConn) Read() (*Message, error) { return c.fr.Read() }
+
+func (c *procConn) Kill() {
+	if c.cmd.Process != nil {
+		_ = c.cmd.Process.Kill()
+	}
+}
+
+func (c *procConn) Wait() error { return c.cmd.Wait() }
+
+func (c *procConn) Peer() string {
+	if c.cmd.Process != nil {
+		return fmt.Sprintf("pid %d", c.cmd.Process.Pid)
+	}
+	return "unstarted process"
+}
+
+// readLoop is the shared per-connection reader goroutine body: it forwards
+// frames to the coordinator's event stream and, when the stream ends, reaps
+// the worker and reports the exit. A clean close between frames (io.EOF
+// with a clean reap) is a nil-error exit.
+func readLoop(conn Conn, deliver func(m *Message, err error) bool) {
+	for {
+		m, err := conn.Read()
+		if err != nil {
+			werr := conn.Wait()
+			if werr != nil && err == io.EOF {
+				err = werr
+			}
+			if err == io.EOF {
+				err = nil // clean exit
+			}
+			deliver(nil, err)
+			return
+		}
+		if !deliver(m, nil) {
+			return
+		}
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -16,6 +17,19 @@ import (
 // does not set one.
 const defaultHeartbeatMS = 500
 
+// Sentinel outcomes of one served connection.
+var (
+	// errShutdown: the coordinator ended the run cleanly.
+	errShutdown = errors.New("dist worker: coordinator shutdown")
+	// errChaosDisconnect: the incarnation's fault plan severed the
+	// connection; a remote worker reconnects as a fresh incarnation.
+	errChaosDisconnect = errors.New("dist worker: chaos disconnect")
+	// errParkedEOF: an authenticated connection closed while parked, before
+	// the coordinator attached it — the run ended without needing this
+	// worker.
+	errParkedEOF = errors.New("dist worker: connection closed while parked — the run ended before this worker was attached")
+)
+
 // ServeWorker runs the worker half of the protocol over (in, out) —
 // normally the process's stdin/stdout under `radiobfs work`. It reads the
 // hello, compiles the spec against the worker's own embedded registries,
@@ -27,7 +41,9 @@ const defaultHeartbeatMS = 500
 // seeded number of trials, a kill plan exits the process with ChaosExitCode
 // and a stall plan silences the heartbeat and hangs — after the triggering
 // trial's result frame is already flushed, so injected failures never lose
-// completed work.
+// completed work. A disconnect plan severs the transport: over pipes that
+// is indistinguishable from a kill, so it exits with ChaosExitCode too;
+// remote workers instead drop the socket and redial (see RemoteWorker).
 func ServeWorker(in io.Reader, out io.Writer) error {
 	fr := NewFrameReader(in)
 	fw := NewFrameWriter(out)
@@ -38,7 +54,19 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 	if m.Kind != KindHello || m.Hello == nil {
 		return fmt.Errorf("dist worker: first frame is %q, want hello", m.Kind)
 	}
-	h := m.Hello
+	err = serveHello(fr, fw, m.Hello, false)
+	if err == errShutdown || err == io.EOF || err == errChaosDisconnect {
+		// errChaosDisconnect is unreachable over pipes (serveHello exits),
+		// but mapping it keeps the contract obvious.
+		return nil
+	}
+	return err
+}
+
+// serveHello is the shared post-hello worker loop: compile, ready,
+// heartbeat, then serve leases until the connection ends. remote selects
+// how a chaos disconnect manifests (severed socket vs process exit).
+func serveHello(fr *FrameReader, fw *FrameWriter, h *Hello, remote bool) error {
 	f, err := spec.Parse(bytes.NewReader(h.Spec))
 	if err != nil {
 		return fmt.Errorf("dist worker: %w", err)
@@ -91,10 +119,11 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 	}()
 
 	completed := 0
+	disconnected := false
 	for {
 		m, err := fr.Read()
 		if err == io.EOF {
-			return nil // coordinator closed our stdin
+			return io.EOF // coordinator closed the connection
 		}
 		if err != nil {
 			return fmt.Errorf("dist worker: %w", err)
@@ -109,12 +138,23 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 			for _, s := range l.Skip {
 				skip[s] = true
 			}
+			// A disconnect fault must unwind cleanly through the trial
+			// stream (unlike kill/stall, the process lives on), so it
+			// cancels this context between trials.
+			ctx, cancel := context.WithCancel(context.Background())
 			var writeErr error
-			err := st.RunRange(context.Background(), l.Start, l.End,
+			err := st.RunRange(ctx, l.Start, l.End,
 				func(slot int) bool { return skip[slot] },
 				func(ref harness.TrialRef, res harness.Result) {
-					if writeErr != nil {
+					if writeErr != nil || disconnected {
 						return
+					}
+					if fault.Delay > 0 {
+						// Injected link latency: results arrive late, the
+						// coordinator's EWMA sees a slower link, but the
+						// heartbeat goroutine keeps the lease alive and the
+						// bytes never change.
+						time.Sleep(fault.Delay)
 					}
 					writeErr = fw.Write(&Message{
 						Kind:     KindResult,
@@ -140,9 +180,21 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 							for {
 								time.Sleep(time.Hour)
 							}
+						case FaultDisconnect:
+							if !remote {
+								// Over pipes a severed transport and a dead
+								// process look identical to the coordinator.
+								os.Exit(ChaosExitCode)
+							}
+							disconnected = true
+							cancel()
 						}
 					}
 				})
+			cancel()
+			if disconnected {
+				return errChaosDisconnect
+			}
 			if err != nil {
 				return fmt.Errorf("dist worker: lease %d: %w", l.ID, err)
 			}
@@ -153,7 +205,7 @@ func ServeWorker(in io.Reader, out io.Writer) error {
 				return err
 			}
 		case KindShutdown:
-			return nil
+			return errShutdown
 		default:
 			return fmt.Errorf("dist worker: unexpected %q frame", m.Kind)
 		}

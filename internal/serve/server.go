@@ -55,6 +55,11 @@ type Config struct {
 	// selection only; never output bytes).
 	ShardMinN int
 	DenseMin  int
+	// Execute, when non-nil, replaces spec.ExecuteFile as the job execution
+	// engine — the seam `radiobfs serve -dist-listen` uses to run jobs
+	// across remote workers. It must honor opts (Ctx, Observer, OnTrial)
+	// and produce bytes identical to spec.ExecuteFile's.
+	Execute func(f *spec.File, root uint64, opts spec.Options) (*spec.Output, error)
 	// Log, when non-nil, receives one line per admission and completion.
 	Log io.Writer
 }
@@ -428,7 +433,13 @@ func (s *Server) runJob(j *Job) {
 		ShardMinN: s.cfg.ShardMinN,
 		DenseMin:  s.cfg.DenseMin,
 	}
-	out, err := spec.ExecuteFile(j.file, s.cfg.Workers, j.Root, opts)
+	execute := s.cfg.Execute
+	if execute == nil {
+		execute = func(f *spec.File, root uint64, opts spec.Options) (*spec.Output, error) {
+			return spec.ExecuteFile(f, s.cfg.Workers, root, opts)
+		}
+	}
+	out, err := execute(j.file, j.Root, opts)
 	switch {
 	case j.ctx.Err() != nil:
 		// Canceled mid-run: trials settled at phase boundaries; partial

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# remote_smoke.sh — end-to-end smoke of the TCP remote-worker transport, run
+# by CI and `make remote-check`.
+#
+# One binary plays every role (version negotiation requires identical
+# builds), all over loopback:
+#
+#   1. `radiobfs run` executes the quick scale suite in a single process →
+#      reference bytes (stdout and artifact tree).
+#   2. A coordinator starts with -listen 127.0.0.1:0 -token, plus seeded
+#      disconnect+delay chaos; -addrfile reports the bound port.
+#   3. A worker with the WRONG token must exit non-zero with the typed
+#      badToken rejection — and must not perturb the run.
+#   4. Three workers with the right token serve the sweep to completion.
+#   5. The coordinator's stdout and artifact tree must be byte-identical to
+#      the single-process run (`diff` + `diff -r`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d /tmp/radiobfs_remote_smoke.XXXXXX)"
+bin="$work/radiobfs"
+coord_pid=""
+cleanup() {
+    [ -n "$coord_pid" ] && kill "$coord_pid" 2>/dev/null || true
+    [ -n "$coord_pid" ] && wait "$coord_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/radiobfs
+
+# 1. Reference run: single process, one worker.
+"$bin" run -quick -out "$work/base" -workers 1 \
+    scenarios/scale_suite.json > "$work/base.txt"
+
+# 2. Coordinator: listen for remote workers, with seeded mid-lease
+# disconnects and per-trial link latency.
+"$bin" run -quick -out "$work/remote" -workers 3 \
+    -listen 127.0.0.1:0 -token s3cret -addrfile "$work/addr" \
+    -connect-wait 120s -chaos "seed=1,disconnect=2,delay=3" \
+    scenarios/scale_suite.json > "$work/remote.txt" 2> "$work/coord.log" &
+coord_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$work/addr" ] && break
+    kill -0 "$coord_pid" 2>/dev/null || { cat "$work/coord.log"; echo "coordinator exited early"; exit 1; }
+    sleep 0.1
+done
+[ -s "$work/addr" ] || { echo "coordinator never wrote $work/addr"; exit 1; }
+addr="$(cat "$work/addr")"
+
+# 3. Wrong token: rejected with the typed badToken error, exit non-zero.
+if "$bin" work -connect "$addr" -token wrong-token 2> "$work/evil.log"; then
+    echo "wrong-token worker exited zero; rejection did not happen"
+    exit 1
+fi
+grep -q "handshake rejected (badToken)" "$work/evil.log" \
+    || { echo "wrong-token worker missing the typed rejection:"; cat "$work/evil.log"; exit 1; }
+
+# 4. Three authenticated workers drain the sweep.
+for i in 1 2 3; do
+    "$bin" work -connect "$addr" -token s3cret 2> "$work/worker$i.log" &
+done
+wait "$coord_pid"
+status=$?
+coord_pid=""
+[ "$status" -eq 0 ] || { echo "coordinator failed ($status):"; cat "$work/coord.log"; exit 1; }
+
+# The rejection must be on the coordinator's record too.
+grep -q "rejected worker from" "$work/coord.log" \
+    || { echo "coordinator log missing the rejection line:"; cat "$work/coord.log"; exit 1; }
+grep -q "worker authenticated from" "$work/coord.log" \
+    || { echo "coordinator log missing authentication lines:"; cat "$work/coord.log"; exit 1; }
+
+# 5. Byte-identity across the transport, chaos and all.
+diff "$work/base.txt" "$work/remote.txt"
+diff -r "$work/base" "$work/remote"
+
+echo "remote-smoke: TCP workers byte-identical to single-process run; wrong token rejected without affecting the sweep"
