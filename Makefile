@@ -1,6 +1,6 @@
 # Development targets for the radio-network BFS reproduction.
 
-.PHONY: build test bench bench-pr5 bench-pr6 bench-check bench-diff experiments scale-suite chaos-check remote-check fmt vet
+.PHONY: build test bench bench-pr5 bench-pr6 bench-check bench-diff experiments scale-suite chaos-check remote-check resume-check fmt vet
 
 build:
 	go build ./...
@@ -89,6 +89,14 @@ chaos-check:
 # single-process run.
 remote-check:
 	bash scripts/remote_smoke.sh
+
+# resume-check is the local mirror of the CI resume smoke: run the quick
+# scale suite with -checkpoint under coordkill chaos (the coordinator
+# SIGKILLs itself after each checkpointed trial), restart until the crash
+# loop converges, and byte-diff stdout and every artifact against a
+# single-process run.
+resume-check:
+	bash scripts/resume_smoke.sh
 
 # serve-check is the local mirror of the CI serve smoke: start `radiobfs
 # serve` on an ephemeral port, submit the smoke spec twice (the second

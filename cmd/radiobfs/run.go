@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -26,8 +27,10 @@ import (
 // measurement code) are rejected here; cmd/experiments executes those.
 //
 // SIGINT/SIGTERM cancels the shared context: in-flight trials settle at their
-// next phase boundary, no partial artifacts are written, and the command
-// exits non-zero.
+// next phase boundary, no partial artifacts are written, worker processes are
+// killed and reaped (no orphans survive the interrupt), and the command exits
+// non-zero. Under -checkpoint, journaled progress survives the interrupt and
+// the next run against the same directory resumes from it.
 func runSpecs(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -44,7 +47,9 @@ func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	quick := fs.Bool("quick", false, "apply the specs' reduced-size quick overlays")
 	quiet := fs.Bool("quiet", false, "suppress the aggregated text table on stdout")
 	distFlag := fs.Bool("dist", false, "execute each spec across -workers worker processes with lease-based fault-tolerant coordination; bytes are identical to in-process runs")
-	chaosFlag := fs.String("chaos", "", "deterministic fault injection for -dist workers, as seed=S,killafter=K,stall=P,disconnect=D,delay=MS (implies -dist)")
+	chaosFlag := fs.String("chaos", "", "deterministic fault injection for -dist workers, as seed=S,killafter=K,stall=P,disconnect=D,delay=MS,corrupt=P,coordkill=K (implies -dist)")
+	checkpointFlag := fs.String("checkpoint", "", "durable checkpoint directory (implies -dist): every acked trial is journaled to <dir>/<spec name>/ before it counts, and re-running with the same directory resumes instead of restarting")
+	checkpointSync := fs.Duration("checkpoint-sync", 0, "batch the checkpoint journal's fsyncs at this interval (0 = fsync every trial; with batching, a crash may re-run the unsynced tail but never changes bytes)")
 	listenFlag := fs.String("listen", "", "host:port to accept remote workers on instead of spawning local worker processes (implies -dist; requires -token); `radiobfs work -connect <addr> -token T` dials in")
 	tokenFlag := fs.String("token", "", "shared secret remote workers must prove during the handshake (required with -listen)")
 	addrFile := fs.String("addrfile", "", "write the resolved listen address to this file once the listener is up (for -listen 127.0.0.1:0 in scripts)")
@@ -70,12 +75,18 @@ func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	if err != nil {
 		return err
 	}
-	distributed := *distFlag || chaos.Enabled() || *listenFlag != ""
+	distributed := *distFlag || chaos.Enabled() || *listenFlag != "" || *checkpointFlag != ""
 	if *listenFlag != "" && *tokenFlag == "" {
 		return fmt.Errorf("-listen requires -token: remote workers authenticate with a shared secret")
 	}
 	if *listenFlag == "" && *tokenFlag != "" {
 		return fmt.Errorf("-token only makes sense with -listen")
+	}
+	if chaos.CoordKill > 0 && *checkpointFlag == "" {
+		return fmt.Errorf("-chaos coordkill requires -checkpoint: killing the coordinator without a journal just loses the run")
+	}
+	if *checkpointSync != 0 && *checkpointFlag == "" {
+		return fmt.Errorf("-checkpoint-sync only makes sense with -checkpoint")
 	}
 
 	// Parse, validate, AND compile everything up front — compiling is what
@@ -125,12 +136,22 @@ func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		var out *spec.Output
 		var err error
 		if distributed {
-			out, err = dist.Execute(f, *seed, opts, dcfg)
+			cfg := dcfg
+			if *checkpointFlag != "" {
+				// One journal per spec, keyed by spec name, so multi-spec runs
+				// resume each file independently.
+				cfg.CheckpointDir = filepath.Join(*checkpointFlag, f.Name)
+				cfg.CheckpointSync = *checkpointSync
+			}
+			out, err = dist.Execute(f, *seed, opts, cfg)
 		} else {
 			out, err = spec.ExecuteFile(f, *workers, *seed, opts)
 		}
 		if err != nil {
 			if ctx.Err() != nil {
+				if *checkpointFlag != "" {
+					return fmt.Errorf("interrupted (%w) — no artifacts written for %s; checkpointed progress is preserved, re-run with the same -checkpoint to resume", ctx.Err(), f.Name)
+				}
 				return fmt.Errorf("interrupted (%w) — no artifacts written for %s", ctx.Err(), f.Name)
 			}
 			return fmt.Errorf("%s: %w", paths[i], err)
@@ -138,6 +159,9 @@ func execSpecs(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		// A canceled run settles its in-flight trials and stops; whatever it
 		// produced is partial, so nothing may reach the artifact directory.
 		if ctx.Err() != nil {
+			if *checkpointFlag != "" {
+				return fmt.Errorf("interrupted (%w) — no artifacts written for %s; checkpointed progress is preserved, re-run with the same -checkpoint to resume", ctx.Err(), f.Name)
+			}
 			return fmt.Errorf("interrupted (%w) — no artifacts written for %s", ctx.Err(), f.Name)
 		}
 		dir, err := out.WriteArtifacts(*outDir)

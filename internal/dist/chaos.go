@@ -18,7 +18,8 @@ const ChaosExitCode = 3
 const chaosTag = 0xc4a05
 
 // ChaosSpec is the deterministic fault-injection schedule for worker
-// processes, parsed from `-chaos seed=S,killafter=K,stall=P,disconnect=D,delay=MS`.
+// processes, parsed from
+// `-chaos seed=S,killafter=K,stall=P,disconnect=D,delay=MS,corrupt=P,coordkill=K`.
 // The zero value injects nothing.
 //
 // Each worker incarnation i draws its fault plan from (Seed, i) alone — not
@@ -28,7 +29,10 @@ const chaosTag = 0xc4a05
 // otherwise, when KillAfter > 0, it crashes with ChaosExitCode, otherwise,
 // when Disconnect > 0, it severs its transport (remote workers drop the
 // socket and redial; pipe workers exit, which looks identical to the
-// coordinator). Every terminal fault fires after the incarnation completes
+// coordinator), otherwise, with probability CorruptPct percent, it corrupts
+// one result frame in flight and then severs its transport — exercising the
+// codec's CRC32 check from a real worker process. Every terminal fault
+// fires after the incarnation completes
 // a seeded number of trials in [1, max(1, span)]. Faulting only after at
 // least one completed trial keeps chaos sweeps live: every incarnation
 // makes progress, so the coordinator's checkpointing converges no matter
@@ -42,11 +46,20 @@ type ChaosSpec struct {
 	StallPct   int    `json:"stallPct,omitempty"`
 	Disconnect int    `json:"disconnect,omitempty"`
 	DelayMS    int    `json:"delayMS,omitempty"`
+	// CorruptPct is the percent chance an incarnation corrupts one result
+	// frame in flight (then severs its transport), exercising the CRC32
+	// frame check end to end.
+	CorruptPct int `json:"corruptPct,omitempty"`
+	// CoordKill is coordinator-side chaos: SIGKILL the coordinator process
+	// itself after this many trials have been checkpointed to the run
+	// journal. It requires -checkpoint and is ignored by workers.
+	CoordKill int `json:"coordKill,omitempty"`
 }
 
-// Enabled reports whether the spec injects any fault.
+// Enabled reports whether the spec injects any fault (worker- or
+// coordinator-side).
 func (c ChaosSpec) Enabled() bool {
-	return c.KillAfter > 0 || c.StallPct > 0 || c.Disconnect > 0 || c.DelayMS > 0
+	return c.KillAfter > 0 || c.StallPct > 0 || c.Disconnect > 0 || c.DelayMS > 0 || c.CorruptPct > 0 || c.CoordKill > 0
 }
 
 // String renders the spec in the flag syntax ParseChaos accepts.
@@ -67,6 +80,12 @@ func (c ChaosSpec) String() string {
 	if c.DelayMS > 0 {
 		parts = append(parts, fmt.Sprintf("delay=%d", c.DelayMS))
 	}
+	if c.CorruptPct > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%d", c.CorruptPct))
+	}
+	if c.CoordKill > 0 {
+		parts = append(parts, fmt.Sprintf("coordkill=%d", c.CoordKill))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -85,7 +104,7 @@ func ParseChaos(s string) (ChaosSpec, error) {
 		}
 		key, val, ok := strings.Cut(part, "=")
 		if !ok {
-			return c, fmt.Errorf("dist: chaos term %q is not key=value (known keys: seed, killafter, stall)", part)
+			return c, fmt.Errorf("dist: chaos term %q is not key=value (known keys: seed, killafter, stall, disconnect, delay, corrupt, coordkill)", part)
 		}
 		switch key {
 		case "seed":
@@ -118,8 +137,20 @@ func ParseChaos(s string) (ChaosSpec, error) {
 				return c, fmt.Errorf("dist: chaos delay %q must be a non-negative millisecond count", val)
 			}
 			c.DelayMS = ms
+		case "corrupt":
+			p, err := strconv.Atoi(val)
+			if err != nil || p < 0 || p > 100 {
+				return c, fmt.Errorf("dist: chaos corrupt %q must be a percentage in [0, 100]", val)
+			}
+			c.CorruptPct = p
+		case "coordkill":
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 0 {
+				return c, fmt.Errorf("dist: chaos coordkill %q must be a non-negative integer", val)
+			}
+			c.CoordKill = k
 		default:
-			return c, fmt.Errorf("dist: unknown chaos key %q (known: seed, killafter, stall, disconnect, delay)", key)
+			return c, fmt.Errorf("dist: unknown chaos key %q (known: seed, killafter, stall, disconnect, delay, corrupt, coordkill)", key)
 		}
 	}
 	return c, nil
@@ -140,6 +171,11 @@ const (
 	// closes its socket and redials as a fresh incarnation; a pipe worker
 	// exits (to the coordinator, an identical signal).
 	FaultDisconnect
+	// FaultCorrupt flips bytes in one result frame after the CRC was
+	// computed — the coordinator's reader sees a typed checksum failure —
+	// then severs the transport like FaultDisconnect (there is no way to
+	// resynchronize a stream past a lying body).
+	FaultCorrupt
 )
 
 // Fault is one incarnation's planned failure: Kind fires once the
@@ -153,9 +189,9 @@ type Fault struct {
 
 // Plan derives the fault for worker incarnation number inc. It is a pure
 // function of (c, inc). The terminal fault kinds are prioritized stall >
-// kill > disconnect, and the draws for the original kinds come first, so a
-// chaos seed from before disconnect/delay existed still produces the
-// identical plan.
+// kill > disconnect > corrupt, and the draws for the original kinds come
+// first (corrupt's draw is appended last), so a chaos seed from before
+// disconnect/delay/corrupt existed still produces the identical plan.
 func (c ChaosSpec) Plan(inc int) Fault {
 	if !c.Enabled() {
 		return Fault{}
@@ -176,6 +212,10 @@ func (c ChaosSpec) Plan(inc int) Fault {
 	}
 	if c.DelayMS > 0 {
 		f.Delay = time.Duration(r.Intn(c.DelayMS+1)) * time.Millisecond
+	}
+	if c.CorruptPct > 0 && f.Kind == FaultNone && r.Intn(100) < c.CorruptPct {
+		f.Kind = FaultCorrupt
+		f.After = after
 	}
 	return f
 }

@@ -19,6 +19,9 @@ func TestParseChaos(t *testing.T) {
 		{"seed=3,disconnect=2", ChaosSpec{Seed: 3, Disconnect: 2}},
 		{"seed=3,delay=15", ChaosSpec{Seed: 3, DelayMS: 15}},
 		{"seed=3,disconnect=2,delay=15", ChaosSpec{Seed: 3, Disconnect: 2, DelayMS: 15}},
+		{"seed=3,corrupt=40", ChaosSpec{Seed: 3, CorruptPct: 40}},
+		{"seed=3,coordkill=5", ChaosSpec{Seed: 3, CoordKill: 5}},
+		{"seed=3,killafter=2,corrupt=100,coordkill=3", ChaosSpec{Seed: 3, KillAfter: 2, CorruptPct: 100, CoordKill: 3}},
 	}
 	for _, tc := range good {
 		got, err := ParseChaos(tc.in)
@@ -26,7 +29,7 @@ func TestParseChaos(t *testing.T) {
 			t.Errorf("ParseChaos(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
 		}
 	}
-	bad := []string{"seed", "seed=x", "killafter=-1", "stall=101", "stall=-2", "pct=5", "seed=7;stall=2", "disconnect=-1", "disconnect=x", "delay=-5", "delay=x"}
+	bad := []string{"seed", "seed=x", "killafter=-1", "stall=101", "stall=-2", "pct=5", "seed=7;stall=2", "disconnect=-1", "disconnect=x", "delay=-5", "delay=x", "corrupt=101", "corrupt=-1", "corrupt=x", "coordkill=-1", "coordkill=x"}
 	for _, in := range bad {
 		if _, err := ParseChaos(in); err == nil {
 			t.Errorf("ParseChaos(%q): want error", in)
@@ -43,6 +46,9 @@ func TestChaosStringRoundTrips(t *testing.T) {
 		{Seed: 4, Disconnect: 3},
 		{Seed: 4, DelayMS: 20},
 		{Seed: 4, KillAfter: 2, StallPct: 10, Disconnect: 3, DelayMS: 20},
+		{Seed: 4, CorruptPct: 30},
+		{Seed: 4, CoordKill: 6},
+		{Seed: 4, KillAfter: 2, CorruptPct: 30, CoordKill: 6},
 	} {
 		back, err := ParseChaos(c.String())
 		if err != nil || back != c {
@@ -144,6 +150,64 @@ func TestChaosPlanDisconnectAndDelay(t *testing.T) {
 		fo, fe := old.Plan(inc), ext.Plan(inc)
 		if fo.Kind != fe.Kind || fo.After != fe.After {
 			t.Fatalf("incarnation %d: adding disconnect/delay changed the plan: %+v vs %+v", inc, fo, fe)
+		}
+	}
+}
+
+// TestChaosPlanCorrupt: the corrupt fault is a pure function of (seed,
+// incarnation), always leaves room for completed work before it fires, and
+// its draw comes last so pre-existing seeds plan identically.
+func TestChaosPlanCorrupt(t *testing.T) {
+	c := ChaosSpec{Seed: 17, CorruptPct: 100}
+	for inc := 0; inc < 100; inc++ {
+		f := c.Plan(inc)
+		if f != c.Plan(inc) {
+			t.Fatalf("incarnation %d: corrupt plan not deterministic", inc)
+		}
+		if f.Kind != FaultCorrupt {
+			t.Fatalf("corrupt=100, incarnation %d: kind = %v, want corrupt", inc, f.Kind)
+		}
+		// The worker corrupts the frame AFTER its planned good trials, so
+		// After >= 1 guarantees progress even at corrupt=100.
+		if f.After < 1 {
+			t.Fatalf("incarnation %d: After = %d, want >= 1", inc, f.After)
+		}
+	}
+
+	// Partial probability draws a mix of corrupt and none.
+	mixed := ChaosSpec{Seed: 17, CorruptPct: 40}
+	corrupts, nones := 0, 0
+	for inc := 0; inc < 200; inc++ {
+		switch mixed.Plan(inc).Kind {
+		case FaultCorrupt:
+			corrupts++
+		case FaultNone:
+			nones++
+		default:
+			t.Fatalf("incarnation %d: unexpected kind under corrupt-only chaos", inc)
+		}
+	}
+	if corrupts == 0 || nones == 0 {
+		t.Errorf("200 incarnations at corrupt=40: %d corrupt, %d none; want a mix", corrupts, nones)
+	}
+
+	// Terminal kinds outrank corrupt, and corrupt's draw is appended last:
+	// adding it (or coordkill, which draws nothing worker-side) must not
+	// perturb the plans an existing seed produced.
+	old := ChaosSpec{Seed: 11, KillAfter: 4, StallPct: 30, Disconnect: 5, DelayMS: 10}
+	ext := ChaosSpec{Seed: 11, KillAfter: 4, StallPct: 30, Disconnect: 5, DelayMS: 10, CorruptPct: 80, CoordKill: 3}
+	for inc := 0; inc < 100; inc++ {
+		fo, fe := old.Plan(inc), ext.Plan(inc)
+		if fo != fe {
+			t.Fatalf("incarnation %d: adding corrupt/coordkill changed the plan: %+v vs %+v", inc, fo, fe)
+		}
+	}
+
+	// coordkill alone is coordinator-side only: workers draw no fault.
+	ck := ChaosSpec{Seed: 17, CoordKill: 2}
+	for inc := 0; inc < 50; inc++ {
+		if f := ck.Plan(inc); f.Kind != FaultNone || f.Delay != 0 {
+			t.Fatalf("coordkill-only plan for incarnation %d = %+v, want none", inc, f)
 		}
 	}
 }

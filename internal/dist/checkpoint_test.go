@@ -1,0 +1,270 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/journal"
+	"repro/internal/spec"
+)
+
+// checkpointConfig is the shared fast-failure-detection config for resume
+// tests.
+func checkpointConfig(t *testing.T, dir string, log *bytes.Buffer) Config {
+	t.Helper()
+	return Config{
+		Workers:          3,
+		LeaseSize:        3,
+		Command:          workerCommand(t, "dist-worker"),
+		Heartbeat:        20 * time.Millisecond,
+		HeartbeatTimeout: 200 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		CheckpointDir:    dir,
+		Log:              log,
+	}
+}
+
+// TestResumeByteIdentity is the tentpole property: interrupt a checkpointed
+// run mid-sweep, rerun against the same directory, and the final artifacts
+// are byte-identical to an uninterrupted run — with the completed prefix
+// replayed from the journal, not re-executed.
+func TestResumeByteIdentity(t *testing.T) {
+	f := testFile()
+	want := baseline(t, f)
+	dir := t.TempDir()
+
+	// First run: cancel once 5 trials have settled. The error is the
+	// context's; the journal keeps what was acked before the cut.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var settled atomic.Int64
+	var log1 bytes.Buffer
+	_, err := Execute(f, 0, spec.Options{
+		Ctx: ctx,
+		OnTrial: func(harness.Result) {
+			if settled.Add(1) == 5 {
+				cancel()
+			}
+		},
+	}, checkpointConfig(t, dir, &log1))
+	if err == nil {
+		t.Fatalf("interrupted run returned no error (log: %s)", log1.Bytes())
+	}
+	if settled.Load() < 5 {
+		t.Fatalf("only %d trials settled before interruption", settled.Load())
+	}
+
+	// Second run: must refuse to redo journaled work and still produce the
+	// uninterrupted bytes.
+	var resumed atomic.Int64
+	var log2 bytes.Buffer
+	out, err := Execute(f, 0, spec.Options{
+		OnTrial: func(harness.Result) { resumed.Add(1) },
+	}, checkpointConfig(t, dir, &log2))
+	if err != nil {
+		t.Fatalf("resumed run: %v\nlog: %s", err, log2.Bytes())
+	}
+	if got := artifactBytes(t, out); !bytes.Equal(got, want) {
+		t.Errorf("resumed artifacts differ from uninterrupted run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if !bytes.Contains(log2.Bytes(), []byte("resumed")) {
+		t.Errorf("resume log missing the replay line: %s", log2.Bytes())
+	}
+	// Replayed slots must not re-fire OnTrial — they already fired before
+	// the crash, and the serve layer's SSE stream would double-report.
+	runner := harness.Runner{}
+	total := int64(len(runner.ExpandAll(mustCompile(t, f)...)))
+	if resumed.Load() >= total {
+		t.Errorf("resume re-settled %d of %d trials; journaled slots should be replayed, not re-run", resumed.Load(), total)
+	}
+}
+
+func mustCompile(t *testing.T, f *spec.File) []*harness.Scenario {
+	t.Helper()
+	scs, err := spec.Compile(f, spec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+// TestResumeCompletedRun: rerunning a finished checkpoint replays
+// everything, spawns no worker, re-executes nothing, and produces the same
+// bytes.
+func TestResumeCompletedRun(t *testing.T) {
+	f := testFile()
+	want := baseline(t, f)
+	dir := t.TempDir()
+	var log1 bytes.Buffer
+	if _, err := Execute(f, 0, spec.Options{}, checkpointConfig(t, dir, &log1)); err != nil {
+		t.Fatalf("first run: %v\nlog: %s", err, log1.Bytes())
+	}
+
+	var rerun atomic.Int64
+	var log2 bytes.Buffer
+	out, err := Execute(f, 0, spec.Options{
+		OnTrial: func(harness.Result) { rerun.Add(1) },
+	}, checkpointConfig(t, dir, &log2))
+	if err != nil {
+		t.Fatalf("second run: %v\nlog: %s", err, log2.Bytes())
+	}
+	if got := artifactBytes(t, out); !bytes.Equal(got, want) {
+		t.Errorf("replayed artifacts differ from original run")
+	}
+	if n := rerun.Load(); n != 0 {
+		t.Errorf("completed checkpoint re-ran %d trials; want 0", n)
+	}
+	if !bytes.Contains(log2.Bytes(), []byte("already holds all")) {
+		t.Errorf("second run log missing the nothing-to-re-run line: %s", log2.Bytes())
+	}
+}
+
+// TestCheckpointIdentityRefusal: a checkpoint directory from a different
+// run — different seed, spec, or mode — is a typed refusal, not a silent
+// merge of foreign results.
+func TestCheckpointIdentityRefusal(t *testing.T) {
+	f := testFile()
+	dir := t.TempDir()
+	var log bytes.Buffer
+	if _, err := Execute(f, 0, spec.Options{}, checkpointConfig(t, dir, &log)); err != nil {
+		t.Fatalf("seeding run: %v\nlog: %s", err, log.Bytes())
+	}
+
+	// Different root seed.
+	_, err := Execute(f, 99999, spec.Options{}, checkpointConfig(t, dir, &log))
+	var mm *CheckpointMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("foreign root: err = %v, want *CheckpointMismatchError", err)
+	}
+	if mm.Field != "root seed" {
+		t.Errorf("mismatch field = %q, want root seed", mm.Field)
+	}
+
+	// Different spec document.
+	f2 := testFile()
+	f2.Scenarios[0].Trials++
+	if _, err := Execute(f2, 0, spec.Options{}, checkpointConfig(t, dir, &log)); !errors.As(err, &mm) {
+		t.Fatalf("foreign spec: err = %v, want *CheckpointMismatchError", err)
+	}
+
+	// Quick mode flipped.
+	if _, err := Execute(f, 0, spec.Options{Quick: true}, checkpointConfig(t, dir, &log)); !errors.As(err, &mm) {
+		t.Fatalf("quick flip: err = %v, want *CheckpointMismatchError", err)
+	}
+
+	// The refusals must leave the journal untouched: the original run still
+	// resumes cleanly.
+	out, err := Execute(f, 0, spec.Options{}, checkpointConfig(t, dir, &log))
+	if err != nil {
+		t.Fatalf("original identity after refusals: %v", err)
+	}
+	if got := artifactBytes(t, out); !bytes.Equal(got, baseline(t, f)) {
+		t.Errorf("artifacts drifted after refused resumes")
+	}
+}
+
+// TestCheckpointTornTailAndCorruption: a torn tail (the crash residue) is
+// healed silently; interior damage is the typed journal error.
+func TestCheckpointTornTailAndCorruption(t *testing.T) {
+	f := testFile()
+	want := baseline(t, f)
+	dir := t.TempDir()
+	var log bytes.Buffer
+	if _, err := Execute(f, 0, spec.Options{}, checkpointConfig(t, dir, &log)); err != nil {
+		t.Fatalf("seeding run: %v\nlog: %s", err, log.Bytes())
+	}
+	path := filepath.Join(dir, "run.journal")
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: a partial frame appended by a crash mid-write. The resume
+	// truncates it, re-runs the slots it would have covered, and the bytes
+	// do not change.
+	if err := os.WriteFile(path, append(append([]byte(nil), intact...), 0x00, 0x00, 0x00, 0x09, 0xab), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Execute(f, 0, spec.Options{}, checkpointConfig(t, dir, &log))
+	if err != nil {
+		t.Fatalf("resume over torn tail: %v\nlog: %s", err, log.Bytes())
+	}
+	if got := artifactBytes(t, out); !bytes.Equal(got, want) {
+		t.Errorf("torn-tail resume changed artifacts")
+	}
+
+	// Interior damage: flip a payload byte of the first record (the second
+	// frame — the header is the first) with a dozen intact records after it.
+	// Flipping a blind mid-file offset would be flaky: hitting a length byte
+	// can make the frame overshoot EOF, which is legitimately torn-tail
+	// territory, not corruption.
+	mut := append([]byte(nil), intact...)
+	headerLen := binary.BigEndian.Uint32(mut[0:4])
+	rec1 := 8 + int(headerLen) // offset of the first record frame
+	mut[rec1+8] ^= 0xff        // first payload byte: CRC now fails, extent intact
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(f, 0, spec.Options{}, checkpointConfig(t, dir, &log)); !journal.IsCorrupt(err) {
+		t.Fatalf("interior damage: err = %v, want journal corruption error", err)
+	}
+}
+
+// TestCheckpointedChaosByteIdentity: the durability layer composes with
+// worker chaos — crashes, stalls, and corrupted frames all land on the
+// journal path and the artifacts still never change by a byte.
+func TestCheckpointedChaosByteIdentity(t *testing.T) {
+	f := testFile()
+	want := baseline(t, f)
+	for _, chaos := range []ChaosSpec{
+		{Seed: 2, KillAfter: 2, StallPct: 20},
+		{Seed: 4, CorruptPct: 100},
+	} {
+		var log bytes.Buffer
+		cfg := checkpointConfig(t, t.TempDir(), &log)
+		cfg.Chaos = chaos
+		out, err := Execute(f, 0, spec.Options{}, cfg)
+		if err != nil {
+			t.Fatalf("chaos %v: %v\nlog: %s", chaos, err, log.Bytes())
+		}
+		if got := artifactBytes(t, out); !bytes.Equal(got, want) {
+			t.Errorf("chaos %v: artifacts differ from unfaulted run\nlog: %s", chaos, log.Bytes())
+		}
+	}
+}
+
+// TestCorruptChaosByteIdentity: every incarnation corrupts a result frame
+// in flight (corrupt=100) and the coordinator — detecting each via the
+// CRC32 typed error, revoking, respawning — still merges the exact bytes,
+// without any checkpoint configured.
+func TestCorruptChaosByteIdentity(t *testing.T) {
+	f := testFile()
+	want := baseline(t, f)
+	for seed := uint64(1); seed <= 3; seed++ {
+		var log bytes.Buffer
+		out, err := Execute(f, 0, spec.Options{}, Config{
+			Workers:          3,
+			LeaseSize:        3,
+			Command:          workerCommand(t, "dist-worker"),
+			Chaos:            ChaosSpec{Seed: seed, CorruptPct: 100},
+			Heartbeat:        20 * time.Millisecond,
+			HeartbeatTimeout: 200 * time.Millisecond,
+			BackoffBase:      time.Millisecond,
+			Log:              &log,
+		})
+		if err != nil {
+			t.Fatalf("corrupt chaos seed %d: %v\nlog: %s", seed, err, log.Bytes())
+		}
+		if got := artifactBytes(t, out); !bytes.Equal(got, want) {
+			t.Errorf("corrupt chaos seed %d: artifacts differ from clean run\nlog: %s", seed, log.Bytes())
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/progress"
 	"repro/internal/spec"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	// Chaos is the deterministic fault-injection schedule shipped to
 	// workers (zero value = none).
 	Chaos ChaosSpec
+	// CheckpointDir, when set, makes the run durable: every acked trial is
+	// journaled there before the in-memory ack, and a rerun against the
+	// same directory resumes — replaying completed trials, re-leasing only
+	// the rest — after verifying the journal belongs to this exact run.
+	CheckpointDir string
+	// CheckpointSync batches the journal's fsyncs (0 = sync every append;
+	// see journal.Options.SyncInterval).
+	CheckpointSync time.Duration
 	// Command is the worker argv for the default pipe transport (default:
 	// this binary with the single argument "work"). Ignored when
 	// Transport is set.
@@ -178,6 +187,12 @@ type coordinator struct {
 	lastAlive time.Time
 	stream    *harness.Stream // lazy; in-process execution of poisoned leases
 	fatal     error
+	// jn is the durability journal (nil without -checkpoint); replayed
+	// counts slots restored from it, ckptAppends records appended through
+	// this process (the coordkill chaos trigger).
+	jn          *journal.Journal
+	replayed    int
+	ckptAppends int
 
 	stats struct {
 		spawns, releases, duplicates, dupResults, inproc int
@@ -233,9 +248,23 @@ func Execute(f *spec.File, root uint64, opts spec.Options, cfg Config) (*spec.Ou
 	c.done = make(chan struct{})
 	defer close(c.done)
 
+	if cfg.CheckpointDir != "" && len(c.refs) > 0 {
+		if err := c.openCheckpoint(); err != nil {
+			return nil, err
+		}
+		defer c.jn.Close()
+	}
 	if len(c.refs) > 0 {
 		if err := c.run(); err != nil {
 			return nil, err
+		}
+		// The run completed: make the journal's tail durable before the
+		// caller writes artifacts, so a post-run crash cannot strand a
+		// checkpoint behind the outputs derived from it.
+		if c.jn != nil {
+			if err := c.jn.Sync(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return &spec.Output{
@@ -263,6 +292,12 @@ func (c *coordinator) newPolicy() LeasePolicy {
 
 // run populates the fleet and drives the event loop to completion.
 func (c *coordinator) run() error {
+	if c.tbl.allDone() {
+		// Every slot was replayed from the checkpoint; there is nothing to
+		// lease, so no worker is spawned at all.
+		fmt.Fprintf(c.cfg.Log, "dist: checkpoint already holds all %d trials; nothing to re-run\n", len(c.refs))
+		return nil
+	}
 	fleet := c.cfg.Workers
 	if fleet > len(c.tbl.leases) {
 		fleet = len(c.tbl.leases)
@@ -279,11 +314,20 @@ func (c *coordinator) run() error {
 	if !c.async && started == 0 {
 		// No worker process could be spawned at all: degrade gracefully to
 		// the in-process parallel runner — identical bytes, no coordination.
+		// Trials already replayed from a checkpoint are recomputed (the
+		// pooled runner has no skip list) but keep their journaled results;
+		// determinism makes the two identical anyway.
 		fmt.Fprintf(c.cfg.Log, "dist: warning: no worker process could be spawned (%q); running %d trials in-process\n",
 			c.cfg.Command[0], len(c.refs))
-		c.results = c.runner.Run(c.scs...)
-		for i := range c.results {
+		for i, res := range c.runner.Run(c.scs...) {
+			if c.tbl.acked[i] {
+				continue
+			}
+			if !c.checkpointAppend(i, res.Metrics, res.Err) {
+				return c.fatal
+			}
 			c.tbl.ack(i)
+			c.results[i] = res
 		}
 		return nil
 	}
@@ -418,16 +462,23 @@ func (c *coordinator) handleMsg(w *workerProc, m *Message) {
 			w.policy.Observe(now.Sub(w.lastMark))
 		}
 		w.lastMark = now
-		if c.tbl.ack(m.Slot) {
-			c.results[m.Slot] = harness.Result{Trial: c.refs[m.Slot].Trial, Metrics: m.Metrics, Err: m.TrialErr}
-			w.fails = 0
-			c.notifyTrial(m.Slot)
-			if l := c.tbl.leaseOf(m.Slot); !l.done && c.tbl.remaining(l) == 0 {
-				l.done = true
-				c.cfg.Observer.LeaseDone(l.id)
-			}
-		} else {
+		if c.tbl.acked[m.Slot] {
 			c.stats.dupResults++
+			return
+		}
+		// Journal first, ack second: the bitmap must never lead the
+		// durable record, or a crash between the two un-completes a trial
+		// the journal promised was done.
+		if !c.checkpointAppend(m.Slot, m.Metrics, m.TrialErr) {
+			return
+		}
+		c.tbl.ack(m.Slot)
+		c.results[m.Slot] = harness.Result{Trial: c.refs[m.Slot].Trial, Metrics: m.Metrics, Err: m.TrialErr}
+		w.fails = 0
+		c.notifyTrial(m.Slot)
+		if l := c.tbl.leaseOf(m.Slot); !l.done && c.tbl.remaining(l) == 0 {
+			l.done = true
+			c.cfg.Observer.LeaseDone(l.id)
 		}
 	case KindLeaseDone:
 		if m.LeaseID < 0 || m.LeaseID >= len(c.tbl.leases) {
@@ -650,10 +701,15 @@ func (c *coordinator) runLeaseInProcess(l *leaseState) {
 	err := c.stream.RunRange(c.opts.Ctx, l.start, l.end,
 		func(slot int) bool { return c.tbl.acked[slot] },
 		func(ref harness.TrialRef, res harness.Result) {
-			if c.tbl.ack(ref.Slot) {
-				c.results[ref.Slot] = res
-				c.notifyTrial(ref.Slot)
+			if c.tbl.acked[ref.Slot] || c.fatal != nil {
+				return
 			}
+			if !c.checkpointAppend(ref.Slot, res.Metrics, res.Err) {
+				return
+			}
+			c.tbl.ack(ref.Slot)
+			c.results[ref.Slot] = res
+			c.notifyTrial(ref.Slot)
 		})
 	if err != nil {
 		c.fatal = err
@@ -746,11 +802,21 @@ func (c *coordinator) kill(w *workerProc, reason string) {
 	}
 }
 
-// shutdownAll asks live workers to exit and kills whatever lingers.
+// shutdownAll asks live workers to exit and kills whatever lingers. On an
+// interrupted run (SIGINT/SIGTERM cancelled the context) there is no point
+// being polite — a worker mid-trial will not read the shutdown frame until
+// the trial finishes, which on a large scenario is exactly the window that
+// leaves orphans behind the operator's ^C — so every live worker is killed
+// outright and reaped before Execute returns.
 func (c *coordinator) shutdownAll() {
+	interrupted := c.opts.Ctx != nil && c.opts.Ctx.Err() != nil
 	for _, w := range c.workers {
 		if w != nil && w.live {
-			_ = w.conn.Write(&Message{Kind: KindShutdown})
+			if interrupted {
+				c.kill(w, "run interrupted")
+			} else {
+				_ = w.conn.Write(&Message{Kind: KindShutdown})
+			}
 		}
 	}
 	// Clean workers exit on the shutdown frame within milliseconds; anything

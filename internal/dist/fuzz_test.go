@@ -30,11 +30,12 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		"seed_lease":        frameBytes(t, &Message{Kind: KindLease, Lease: &Lease{ID: 1, Start: 0, End: 7, Skip: []int{2, 3}}}),
 		"seed_result":       frameBytes(t, &Message{Kind: KindResult, LeaseID: 1, Slot: 3, Seed: 42, Metrics: map[string]float64{"rounds": 17}}),
 		"seed_two_frames":   append(frameBytes(t, &Message{Kind: KindHeartbeat}), frameBytes(t, &Message{Kind: KindShutdown})...),
+		"seed_bad_crc":      corruptFrameBytes(t, &Message{Kind: KindReady}),
 		"seed_short_prefix": {0x00, 0x00},
-		"seed_short_body":   {0x00, 0x00, 0x00, 0x10, '{'},
-		"seed_oversize":     {0xff, 0xff, 0xff, 0xff},
-		"seed_empty_body":   {0x00, 0x00, 0x00, 0x00},
-		"seed_not_json":     {0x00, 0x00, 0x00, 0x04, 'a', 'b', 'c', 'd'},
+		"seed_short_body":   {0x00, 0x00, 0x00, 0x10, 0x00, 0x00, 0x00, 0x00, '{'},
+		"seed_oversize":     {0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00},
+		"seed_empty_body":   {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00},
+		"seed_not_json":     {0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00, 0x00, 'a', 'b', 'c', 'd'},
 	}
 	for name, data := range entries {
 		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
@@ -55,6 +56,19 @@ func frameBytes(tb testing.TB, m *Message) []byte {
 	return buf.Bytes()
 }
 
+// corruptFrameBytes encodes m with its body flipped after the CRC was
+// computed — the exact wire image a `-chaos corrupt` worker emits.
+func corruptFrameBytes(tb testing.TB, m *Message) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.CorruptNext()
+	if err := fw.Write(m); err != nil {
+		tb.Fatalf("encoding corrupt seed frame: %v", err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzReadFrame hammers the frame decoder with arbitrary byte streams: the
 // listener hands it raw network input before authentication completes, so it
 // must fail cleanly — typed error or EOF, never a panic, never a frame
@@ -68,13 +82,15 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(frameBytes(f, &Message{Kind: KindResult, LeaseID: 1, Slot: 3, Seed: 42, Metrics: map[string]float64{"rounds": 17}}))
 	// Two frames back to back: the reader must consume exactly one per call.
 	f.Add(append(frameBytes(f, &Message{Kind: KindHeartbeat}), frameBytes(f, &Message{Kind: KindShutdown})...))
-	// Truncated length prefix, truncated body, oversize claim, empty frame,
-	// valid length over non-JSON bytes.
+	// A frame corrupted in flight: body flipped after the CRC was computed.
+	f.Add(corruptFrameBytes(f, &Message{Kind: KindReady}))
+	// Truncated header, truncated body, oversize claim, empty frame,
+	// valid length + zero CRC over non-JSON bytes.
 	f.Add([]byte{0x00, 0x00})
-	f.Add([]byte{0x00, 0x00, 0x00, 0x10, '{'})
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
-	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
-	f.Add([]byte{0x00, 0x00, 0x00, 0x04, 'a', 'b', 'c', 'd'})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x10, 0x00, 0x00, 0x00, 0x00, '{'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00, 0x00, 'a', 'b', 'c', 'd'})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr := NewFrameReader(bytes.NewReader(data))
@@ -90,19 +106,19 @@ func FuzzReadFrame(f *testing.F) {
 				t.Fatal("Read returned nil message with nil error")
 			}
 			// A successfully decoded frame implies the stream really carried
-			// a length-prefixed body within bounds; check the prefix honestly
-			// describes a body we had.
-			if consumed+4 > len(data) {
+			// a length-prefixed, checksummed body within bounds; check the
+			// header honestly describes a body we had.
+			if consumed+frameHeader > len(data) {
 				t.Fatalf("frame decoded beyond input: consumed %d of %d", consumed, len(data))
 			}
 			n := int(binary.BigEndian.Uint32(data[consumed : consumed+4]))
 			if n > MaxFrame {
 				t.Fatalf("decoded a frame whose prefix claims %d bytes > MaxFrame", n)
 			}
-			if consumed+4+n > len(data) {
-				t.Fatalf("decoded a frame longer than the remaining input (%d+%d of %d)", consumed+4, n, len(data))
+			if consumed+frameHeader+n > len(data) {
+				t.Fatalf("decoded a frame longer than the remaining input (%d+%d of %d)", consumed+frameHeader, n, len(data))
 			}
-			consumed += 4 + n
+			consumed += frameHeader + n
 		}
 	})
 }
@@ -112,10 +128,11 @@ func FuzzReadFrame(f *testing.F) {
 func TestReadFrameSeedCorpus(t *testing.T) {
 	cases := [][]byte{
 		frameBytes(t, &Message{Kind: KindReady}),
+		corruptFrameBytes(t, &Message{Kind: KindReady}),
 		{0x00, 0x00},
-		{0xff, 0xff, 0xff, 0xff},
-		{0x00, 0x00, 0x00, 0x00},
-		{0x00, 0x00, 0x00, 0x04, 'a', 'b', 'c', 'd'},
+		{0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00},
+		{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00},
+		{0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00, 0x00, 'a', 'b', 'c', 'd'},
 	}
 	for i, data := range cases {
 		fr := NewFrameReader(bytes.NewReader(data))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -248,7 +249,7 @@ func TestHandshakeSuccess(t *testing.T) {
 		t.Fatalf("negotiated versions = %+v, want %+v", o.v, testVersion)
 	}
 	if !strings.Contains(log.String(), "worker authenticated from") ||
-		!strings.Contains(log.String(), "proto v2, code testbuild") {
+		!strings.Contains(log.String(), fmt.Sprintf("proto v%d, code testbuild", ProtoVersion)) {
 		t.Errorf("transport log missing the negotiated-versions line: %s", log.String())
 	}
 	conn.Kill()

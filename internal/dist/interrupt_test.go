@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/spec"
+)
+
+// recordingTransport wraps another transport and records the pid of every
+// worker process it spawns, so tests can assert on the processes' fate after
+// the coordinator returns.
+type recordingTransport struct {
+	inner Transport
+	mu    sync.Mutex
+	pids  []int
+}
+
+func (r *recordingTransport) Spawn() (Conn, error) {
+	conn, err := r.inner.Spawn()
+	if conn != nil {
+		if rest, ok := strings.CutPrefix(conn.Peer(), "pid "); ok {
+			if pid, perr := strconv.Atoi(rest); perr == nil {
+				r.mu.Lock()
+				r.pids = append(r.pids, pid)
+				r.mu.Unlock()
+			}
+		}
+	}
+	return conn, err
+}
+
+func (r *recordingTransport) Accepts() <-chan Conn { return r.inner.Accepts() }
+func (r *recordingTransport) Close() error         { return r.inner.Close() }
+
+func (r *recordingTransport) allPids() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.pids...)
+}
+
+// TestInterruptKillsWorkers: SIGINT/SIGTERM mid-run (modelled by cancelling
+// the context) must not leave worker processes behind — not as running
+// orphans, and not as unreaped zombies. Stall chaos wedges every worker after
+// its first trial, and the heartbeat timeout is set far beyond the test's
+// horizon, so the only thing that can make these processes disappear is the
+// interrupt path in shutdownAll.
+func TestInterruptKillsWorkers(t *testing.T) {
+	f := testFile()
+	tr := &recordingTransport{inner: NewProcTransport(workerCommand(t, "dist-worker"))}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var settled atomic.Int64
+	var log bytes.Buffer
+	_, err := Execute(f, 0, spec.Options{
+		Ctx: ctx,
+		OnTrial: func(harness.Result) {
+			if settled.Add(1) == 3 {
+				cancel()
+			}
+		},
+	}, Config{
+		Workers:          3,
+		LeaseSize:        3,
+		Transport:        tr,
+		Chaos:            ChaosSpec{Seed: 9, StallPct: 100},
+		Heartbeat:        20 * time.Millisecond,
+		HeartbeatTimeout: 5 * time.Minute, // liveness must not be what kills them
+		BackoffBase:      time.Millisecond,
+		Log:              &log,
+	})
+	if err == nil {
+		t.Fatalf("interrupted run returned no error (log: %s)", log.Bytes())
+	}
+	pids := tr.allPids()
+	if len(pids) == 0 {
+		t.Fatal("transport spawned no workers")
+	}
+
+	// Every spawned worker must be gone — killed AND reaped. kill(pid, 0)
+	// succeeds for zombies too (they exist until waited on), so polling it to
+	// ESRCH asserts both halves. Reaping happens on the per-connection reader
+	// goroutines, so give it a bounded moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, pid := range pids {
+		for {
+			if err := syscall.Kill(pid, 0); err == syscall.ESRCH {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker pid %d still exists after interrupt (orphan or unreaped zombie); spawned %v\nlog: %s", pid, pids, log.Bytes())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -5,26 +5,34 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 )
 
 // The wire protocol between the coordinator and a worker process: JSON
-// messages framed by a 4-byte big-endian length prefix, exchanged over the
-// worker's stdin (coordinator → worker) and stdout (worker → coordinator).
-// Framing keeps the stream self-synchronizing — a crashed worker can at
-// worst truncate the final frame, which the reader surfaces as an error
-// instead of a half-parsed message.
+// messages framed by a 4-byte big-endian length prefix and a 4-byte
+// big-endian IEEE CRC32 of the body, exchanged over the worker's stdin
+// (coordinator → worker) and stdout (worker → coordinator). Framing keeps
+// the stream self-synchronizing — a crashed worker can at worst truncate
+// the final frame, which the reader surfaces as an error instead of a
+// half-parsed message — and the checksum turns a corrupted-in-flight frame
+// into a typed *FrameCorruptError rather than a JSON parse guess (or,
+// worse, a frame that parses to the wrong values).
 
 // MaxFrame bounds a single frame. Result frames carry one trial's metrics
 // and hello frames one spec file; both are far below this.
 const MaxFrame = 16 << 20
 
+// frameHeader is the per-frame overhead: length prefix plus body CRC32.
+const frameHeader = 8
+
 // ProtoVersion is the version of this frame protocol, negotiated during the
 // socket handshake. Bump it whenever a frame's meaning changes
-// incompatibly; the stdin/stdout pipe transport needs no negotiation
-// because the coordinator fork/execs its own binary.
-const ProtoVersion = 2
+// incompatibly (v3 added the CRC32 body checksum to every frame); the
+// stdin/stdout pipe transport needs no negotiation because the coordinator
+// fork/execs its own binary.
+const ProtoVersion = 3
 
 // Kind discriminates protocol messages.
 type Kind string
@@ -177,18 +185,43 @@ type Message struct {
 	TrialErr string             `json:"trialErr,omitempty"`
 }
 
-// FrameWriter writes length-prefixed frames. It is safe for concurrent use —
-// a worker's heartbeat timer and its result stream share one writer — and
-// flushes after every frame so a subsequent crash cannot swallow an emitted
-// result.
+// FrameCorruptError reports a frame whose body failed its CRC32 check: the
+// bytes that arrived are not the bytes the peer framed. It is a transport
+// integrity failure, not a protocol disagreement — the receiver should drop
+// the connection (the stream offers no way to resynchronize past a lying
+// body) and let the usual revoke/respawn machinery take over.
+type FrameCorruptError struct {
+	Stored   uint32 // checksum carried by the frame
+	Computed uint32 // checksum of the body as received
+}
+
+func (e *FrameCorruptError) Error() string {
+	return fmt.Sprintf("dist: frame body failed CRC32 (stored %08x, computed %08x): corrupted in flight", e.Stored, e.Computed)
+}
+
+// FrameWriter writes length-prefixed, CRC32-framed messages. It is safe for
+// concurrent use — a worker's heartbeat timer and its result stream share
+// one writer — and flushes after every frame so a subsequent crash cannot
+// swallow an emitted result.
 type FrameWriter struct {
-	mu sync.Mutex
-	bw *bufio.Writer
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	corrupt bool
 }
 
 // NewFrameWriter wraps w for frame output.
 func NewFrameWriter(w io.Writer) *FrameWriter {
 	return &FrameWriter{bw: bufio.NewWriter(w)}
+}
+
+// CorruptNext makes the next Write emit a frame whose body is flipped after
+// the checksum was computed, so the receiver sees a CRC failure. Chaos-only:
+// this is how `-chaos corrupt=P` simulates in-flight damage without a real
+// flaky link.
+func (fw *FrameWriter) CorruptNext() {
+	fw.mu.Lock()
+	fw.corrupt = true
+	fw.mu.Unlock()
 }
 
 // Write marshals, frames, and flushes one message.
@@ -200,10 +233,16 @@ func (fw *FrameWriter) Write(m *Message) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("dist: %s frame of %d bytes exceeds the %d-byte limit", m.Kind, len(body), MaxFrame)
 	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	var prefix [frameHeader]byte
+	binary.BigEndian.PutUint32(prefix[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(prefix[4:8], crc32.ChecksumIEEE(body))
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
+	if fw.corrupt && len(body) > 0 {
+		fw.corrupt = false
+		body = append([]byte(nil), body...)
+		body[0] ^= 0xff
+	}
 	if _, err := fw.bw.Write(prefix[:]); err != nil {
 		return err
 	}
@@ -225,22 +264,27 @@ func NewFrameReader(r io.Reader) *FrameReader {
 }
 
 // Read returns the next message. io.EOF (clean close between frames) passes
-// through unchanged; a stream truncated mid-frame reports ErrUnexpectedEOF.
+// through unchanged; a stream truncated mid-frame reports ErrUnexpectedEOF,
+// and a body whose CRC32 does not verify reports a *FrameCorruptError.
 func (fr *FrameReader) Read() (*Message, error) {
-	var prefix [4]byte
+	var prefix [frameHeader]byte
 	if _, err := io.ReadFull(fr.br, prefix[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("dist: stream truncated mid-prefix: %w", err)
 		}
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(prefix[:])
+	n := binary.BigEndian.Uint32(prefix[0:4])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("dist: incoming frame of %d bytes exceeds the %d-byte limit", n, MaxFrame)
 	}
+	want := binary.BigEndian.Uint32(prefix[4:8])
 	body := make([]byte, n)
 	if _, err := io.ReadFull(fr.br, body); err != nil {
 		return nil, fmt.Errorf("dist: stream truncated mid-frame: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, &FrameCorruptError{Stored: want, Computed: got}
 	}
 	m := new(Message)
 	if err := json.Unmarshal(body, m); err != nil {

@@ -106,7 +106,11 @@ func (c *procConn) Peer() string {
 // readLoop is the shared per-connection reader goroutine body: it forwards
 // frames to the coordinator's event stream and, when the stream ends, reaps
 // the worker and reports the exit. A clean close between frames (io.EOF
-// with a clean reap) is a nil-error exit.
+// with a clean reap) is a nil-error exit. A connection abandoned mid-frame
+// — deliver refusing because the run is over — is killed and reaped right
+// here: without that, a worker that outlives its run would linger as an
+// orphan (or, once dead, an unreaped zombie) for the rest of the
+// coordinator process, accumulating across a multi-spec `run` invocation.
 func readLoop(conn Conn, deliver func(m *Message, err error) bool) {
 	for {
 		m, err := conn.Read()
@@ -122,6 +126,8 @@ func readLoop(conn Conn, deliver func(m *Message, err error) bool) {
 			return
 		}
 		if !deliver(m, nil) {
+			conn.Kill()
+			_ = conn.Wait()
 			return
 		}
 	}

@@ -43,7 +43,10 @@ var (
 // trial's result frame is already flushed, so injected failures never lose
 // completed work. A disconnect plan severs the transport: over pipes that
 // is indistinguishable from a kill, so it exits with ChaosExitCode too;
-// remote workers instead drop the socket and redial (see RemoteWorker).
+// remote workers instead drop the socket and redial (see RemoteWorker). A
+// corrupt plan flips bytes in one result frame after its CRC32 was computed
+// — the coordinator's reader reports a typed checksum failure — and then
+// severs the transport the same way a disconnect does.
 func ServeWorker(in io.Reader, out io.Writer) error {
 	fr := NewFrameReader(in)
 	fw := NewFrameWriter(out)
@@ -156,6 +159,14 @@ func serveHello(fr *FrameReader, fw *FrameWriter, h *Hello, remote bool) error {
 						// bytes never change.
 						time.Sleep(fault.Delay)
 					}
+					// A corrupt fault damages the frame AFTER the planned
+					// number of good ones — never the first — so every
+					// incarnation still lands completed work and chaos
+					// sweeps converge even at corrupt=100.
+					corrupting := fault.Kind == FaultCorrupt && completed >= fault.After
+					if corrupting {
+						fw.CorruptNext()
+					}
 					writeErr = fw.Write(&Message{
 						Kind:     KindResult,
 						LeaseID:  l.ID,
@@ -165,6 +176,17 @@ func serveHello(fr *FrameReader, fw *FrameWriter, h *Hello, remote bool) error {
 						TrialErr: res.Err,
 					})
 					completed++
+					if corrupting {
+						// The stream cannot resynchronize past a lying body,
+						// so a corrupting worker severs like a disconnect:
+						// pipes exit, remote drops the socket and redials.
+						if !remote {
+							os.Exit(ChaosExitCode)
+						}
+						disconnected = true
+						cancel()
+						return
+					}
 					if fault.Kind != FaultNone && completed >= fault.After {
 						switch fault.Kind {
 						case FaultKill:

@@ -1,0 +1,327 @@
+// Package journal is the durability layer behind crash recovery: an
+// append-only record log whose readers survive the writer dying mid-write.
+//
+// Both control planes that can lose state to a crash sit on it — the
+// distributed-sweep coordinator checkpoints acked trial results into one
+// (internal/dist, `radiobfs run -dist -checkpoint`), and the serve daemon
+// records accepted jobs and their state transitions in another
+// (internal/serve). The package itself knows nothing about either: records
+// are opaque byte payloads, and the first record of every file is a
+// caller-supplied header that identifies what the journal belongs to, so a
+// recovering process can refuse a journal written by a different run before
+// replaying a single record.
+//
+// # Format
+//
+// A journal file is a sequence of frames. Each frame is
+//
+//	4 bytes  big-endian payload length n
+//	4 bytes  big-endian IEEE CRC32 of the payload
+//	n bytes  payload
+//
+// The first frame is the header; every later frame is one record, in append
+// order. The CRC is what makes recovery honest: a process killed mid-append
+// leaves a torn final frame — a short prefix, a short payload, or a full
+// extent of partially-flushed garbage — and the checksum distinguishes "the
+// tail of this file is an interrupted write" (expected after any crash;
+// truncated away, never fatal) from "bytes in the middle of this file
+// changed" (bit rot or foreign writes; a typed CorruptError, because
+// silently dropping the records after the damage would un-complete work the
+// caller already acknowledged).
+//
+// # Durability
+//
+// Append writes the frame straight to the file — no user-space buffering,
+// so an appended record survives a process kill the moment the syscall
+// returns — and batches fsyncs on a configurable interval (Options.
+// SyncInterval) so sustained append streams pay one disk flush per interval
+// rather than one per record. Only records appended before the last
+// completed Sync are guaranteed to survive a machine-level crash; callers
+// that need a hard durability point (a checkpoint boundary, a job accepted
+// response) call Sync explicitly.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// MaxRecord bounds one record's payload. Journal records are small (one
+// trial result, one job transition); a length prefix claiming more than
+// this is damage, not data.
+const MaxRecord = 16 << 20
+
+// frameOverhead is the per-record framing cost: length prefix plus CRC.
+const frameOverhead = 8
+
+// CorruptError reports damage in the interior of a journal: a record whose
+// bytes are all present but whose checksum (or framing) does not verify,
+// with intact data following it. It is deliberately distinct from a torn
+// tail — which Recover heals by truncation — because truncating past
+// interior damage would silently drop every intact record after it.
+type CorruptError struct {
+	Path   string
+	Offset int64  // file offset of the damaged frame
+	Reason string // what failed to verify
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s: corrupt record at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Options tunes a journal's durability policy.
+type Options struct {
+	// SyncInterval batches fsyncs: an Append flushes the file to disk only
+	// when at least this much time has passed since the previous flush.
+	// 0 syncs on every append (maximum durability); negative disables
+	// automatic syncs entirely (Sync and Close still flush).
+	SyncInterval time.Duration
+}
+
+// Journal is an open, append-ready record log. Not safe for concurrent use;
+// both owners (the coordinator's event loop, the serve admission path)
+// serialize access by construction.
+type Journal struct {
+	f        *os.File
+	path     string
+	opts     Options
+	appended int
+	lastSync time.Time
+	synced   bool // no appends since the last sync
+}
+
+// Create creates a fresh journal at path, stamped with header as its first
+// frame and synced to disk before returning, so the journal's identity is
+// durable before any record is. It fails if the file already exists —
+// distinguishing "new run" from "resume" is the caller's decision, made
+// with os.Stat, not something to paper over here.
+func Create(path string, header []byte, opts Options) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	j := &Journal{f: f, path: path, opts: opts, lastSync: time.Now(), synced: true}
+	if err := j.writeFrame(header); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := j.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return j, nil
+}
+
+// Recover opens an existing journal for appending, replaying what survived.
+//
+// The header frame is read first and passed to check before anything else
+// happens — identity verification must veto a foreign journal while the
+// file is still untouched, so a refused recovery leaves the evidence
+// intact. Then every intact record is streamed to replay in append order.
+// A torn tail — any malformed frame whose claimed extent reaches the end of
+// the file, including a trailing frame with a failing CRC — is the expected
+// residue of a crash mid-append: it is truncated away and recovery
+// succeeds with the intact prefix. Malformed frames with intact data beyond
+// them are interior damage and surface as a *CorruptError instead.
+//
+// check and replay may be nil. Errors returned by either abort recovery
+// verbatim (the file is left as found, apart from tail truncation already
+// performed before replay began — truncation happens only after the full
+// scan succeeds, so a replay error never costs data).
+func Recover(path string, check func(header []byte) error, replay func(rec []byte) error, opts Options) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: recover: %w", err)
+	}
+	j := &Journal{f: f, path: path, opts: opts, lastSync: time.Now(), synced: true}
+
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: recover: %w", err)
+	}
+	size := info.Size()
+
+	// Scan pass: establish the intact extent (and collect records) before
+	// mutating anything, so identity refusal and interior corruption leave
+	// the file byte-for-byte as found.
+	header, records, goodEnd, err := scan(f, j.path, size)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if check != nil {
+		if err := check(header); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if replay != nil {
+		for _, rec := range records {
+			if err := replay(rec); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if goodEnd < size {
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: recover: %w", err)
+	}
+	j.appended = len(records)
+	return j, nil
+}
+
+// scan walks the frames of an open journal file and returns the header, the
+// intact records, and the byte offset where intact data ends. Damage at the
+// tail ends the scan silently; damage with intact-looking data after it is
+// a *CorruptError; a file whose header frame itself is damaged has no
+// usable identity and is corrupt however the damage happened.
+func scan(f *os.File, path string, size int64) (header []byte, records [][]byte, goodEnd int64, err error) {
+	r := io.NewSectionReader(f, 0, size)
+	var offset int64
+	var prefix [frameOverhead]byte
+	first := true
+	for {
+		if _, err := io.ReadFull(r, prefix[:]); err != nil {
+			if err == io.EOF && !first {
+				return header, records, offset, nil // clean end at a frame boundary
+			}
+			if first {
+				// No intact header: an empty or prefix-torn file cannot prove
+				// what run it belongs to, so recovery must not guess.
+				return nil, nil, 0, &CorruptError{Path: path, Offset: 0, Reason: "header frame missing or torn — this is not a recoverable journal"}
+			}
+			return header, records, offset, nil // torn prefix at the tail
+		}
+		n := int64(binary.BigEndian.Uint32(prefix[0:4]))
+		want := binary.BigEndian.Uint32(prefix[4:8])
+		frameEnd := offset + frameOverhead + n
+		switch {
+		case n > MaxRecord:
+			// A garbage length. If its claimed extent stays inside the file,
+			// real data follows the damage; otherwise it is a torn tail.
+			if frameEnd <= size {
+				return nil, nil, 0, &CorruptError{Path: path, Offset: offset, Reason: fmt.Sprintf("record claims %d bytes (limit %d)", n, MaxRecord)}
+			}
+			if first {
+				return nil, nil, 0, &CorruptError{Path: path, Offset: 0, Reason: "header frame missing or torn — this is not a recoverable journal"}
+			}
+			return header, records, offset, nil
+		case frameEnd > size:
+			// Torn payload at the tail.
+			if first {
+				return nil, nil, 0, &CorruptError{Path: path, Offset: 0, Reason: "header frame missing or torn — this is not a recoverable journal"}
+			}
+			return header, records, offset, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, nil, 0, fmt.Errorf("journal: %s: read: %w", path, err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			// A full-extent frame with a failing checksum: interior damage if
+			// anything follows, a partially-flushed torn tail if it is last.
+			if frameEnd < size {
+				return nil, nil, 0, &CorruptError{Path: path, Offset: offset, Reason: fmt.Sprintf("CRC mismatch (stored %08x, computed %08x)", want, got)}
+			}
+			if first {
+				return nil, nil, 0, &CorruptError{Path: path, Offset: 0, Reason: "header frame missing or torn — this is not a recoverable journal"}
+			}
+			return header, records, offset, nil
+		}
+		if first {
+			header = payload
+			first = false
+		} else {
+			records = append(records, payload)
+		}
+		offset = frameEnd
+	}
+}
+
+// Append writes one record frame. The write goes straight to the file (a
+// process kill after Append returns cannot lose the record), and the fsync
+// policy decides whether this append also flushes to disk.
+func (j *Journal) Append(rec []byte) error {
+	if err := j.writeFrame(rec); err != nil {
+		return err
+	}
+	j.appended++
+	if j.opts.SyncInterval == 0 || (j.opts.SyncInterval > 0 && time.Since(j.lastSync) >= j.opts.SyncInterval) {
+		return j.Sync()
+	}
+	return nil
+}
+
+// writeFrame assembles and writes one frame in a single syscall, so a
+// concurrent kill can tear a frame but never interleave two.
+func (j *Journal) writeFrame(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecord)
+	}
+	frame := make([]byte, frameOverhead+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameOverhead:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.synced = false
+	return nil
+}
+
+// Sync flushes appended records to disk. Records appended before a
+// completed Sync survive machine crashes, not just process kills.
+func (j *Journal) Sync() error {
+	if j.synced {
+		j.lastSync = time.Now()
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.lastSync = time.Now()
+	j.synced = true
+	return nil
+}
+
+// Appended returns the record count: replayed records plus records appended
+// through this handle (the header does not count).
+func (j *Journal) Appended() int { return j.appended }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	serr := j.Sync()
+	cerr := j.f.Close()
+	j.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// IsCorrupt reports whether err is (or wraps) a journal corruption error.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}

@@ -15,7 +15,7 @@
 // bytes `radiobfs run` would have written locally, which CI enforces with a
 // byte-level diff.
 //
-// The three moving parts:
+// The four moving parts:
 //
 //   - Store (store.go): a content-addressed artifact directory keyed by
 //     hex SHA-256 of (code version, canonical spec hash, effective root
@@ -25,6 +25,13 @@
 //     handlers replay retained events after the client's Last-Event-ID and
 //     then follow live appends; progress events are sourced from
 //     internal/progress observers and the harness's per-trial hook.
+//   - Job journal (journal.go): an internal/journal record log in the
+//     store root that makes accepted work durable. Every admission is
+//     journaled (and fsynced) before the 202 response; state transitions
+//     append as they happen; a restarted server replays the journal and
+//     requeues — under their original IDs — the jobs a crashed process
+//     accepted but never finished, answering already-committed keys from
+//     the cache. /v1/stats reports the recovery counters.
 //   - Server (server.go): admission control (bounded queue, per-client
 //     in-flight caps, 429 + Retry-After on overload), a fixed pool of job
 //     executors over the shared harness runner, per-job cancellation wired

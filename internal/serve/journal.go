@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/journal"
+	"repro/internal/spec"
+)
+
+// The job journal makes accepted work durable: every job the server admits
+// is appended (and fsynced) to an append-only journal in the store root
+// BEFORE the 202 goes out, and every state transition is appended as it
+// happens. A serve process that crashes — or is killed — therefore never
+// loses a job a client was told "accepted": the next process to open the
+// same store replays the journal, requeues every job that had not reached a
+// terminal state (with its original ID), and answers cached keys directly.
+// Graceful shutdown is different on purpose: Close cancels live jobs to
+// "canceled", a terminal state, so only genuinely interrupted work is
+// redone.
+//
+// On startup the journal is compacted: the surviving (requeued) jobs'
+// submit records are rewritten to a fresh file which atomically replaces
+// the old one, so the journal stays proportional to in-flight work rather
+// than growing with server history.
+
+// jobsJournalFile is the journal's name inside the store root. Cache-entry
+// directories are 64-hex-character keys, so the name cannot collide.
+const jobsJournalFile = "jobs.journal"
+
+// jobsJournalFormat versions the journal's record shapes.
+const jobsJournalFormat = "radiobfs-serve-jobs/v1"
+
+// jobsHeader is the journal's identity frame.
+type jobsHeader struct {
+	Format string `json:"format"`
+}
+
+// jobRecord is one journal entry: a job admission (op "submit", carrying
+// everything needed to re-create and re-run the job after a crash) or a
+// state transition (op "state").
+type jobRecord struct {
+	Op    string `json:"op"` // "submit" | "state"
+	ID    string `json:"id"`
+	State State  `json:"state,omitempty"`
+	Err   string `json:"error,omitempty"`
+	// Submit fields: the full spec document plus the admission parameters.
+	SpecDoc json.RawMessage `json:"specDoc,omitempty"`
+	Root    uint64          `json:"root,omitempty"`
+	Quick   bool            `json:"quick,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Client  string          `json:"client,omitempty"`
+}
+
+// journalSubmit durably records one admitted job. It must succeed before
+// the client hears "accepted": an acknowledged-then-lost job is exactly the
+// failure mode the journal exists to close.
+func (s *Server) journalSubmit(j *Job) error {
+	raw, err := j.file.Encode()
+	if err != nil {
+		return err
+	}
+	rec, err := json.Marshal(jobRecord{Op: "submit", ID: j.ID, SpecDoc: raw,
+		Root: j.Root, Quick: j.Quick, Key: j.Key, Client: j.client})
+	if err != nil {
+		return err
+	}
+	s.jnMu.Lock()
+	defer s.jnMu.Unlock()
+	if err := s.jn.Append(rec); err != nil {
+		return err
+	}
+	return s.jn.Sync()
+}
+
+// journalState appends one state transition. Transition records are
+// best-effort narration on top of the durable submit record: a failed
+// append degrades recovery precision (the job re-runs when it might not
+// have needed to), never correctness, so the job proceeds and the failure
+// is logged.
+func (s *Server) journalState(j *Job, state State, errText string) {
+	rec, err := json.Marshal(jobRecord{Op: "state", ID: j.ID, State: state, Err: errText})
+	if err == nil {
+		s.jnMu.Lock()
+		err = s.jn.Append(rec)
+		s.jnMu.Unlock()
+	}
+	if err != nil {
+		fmt.Fprintf(s.cfg.Log, "serve: warning: journaling job %s state %s: %v\n", j.ID, state, err)
+	}
+}
+
+// openJobsJournal opens (or creates) the store's job journal and returns
+// the recovered jobs to requeue, in their original admission order. The
+// caller enqueues them once the executor pool exists. Recovered jobs whose
+// cache key is already present are finished as done on the spot — the
+// artifacts the client wants exist, so re-executing would be waste.
+func (s *Server) openJobsJournal() ([]*Job, error) {
+	path := filepath.Join(s.cfg.Store, jobsJournalFile)
+	header, err := json.Marshal(jobsHeader{Format: jobsJournalFormat})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		s.jn, err = journal.Create(path, header, journal.Options{})
+		return nil, err
+	}
+
+	// Replay pass: reconstruct each journaled job's latest known state.
+	var order []string
+	submits := map[string]jobRecord{}
+	last := map[string]State{}
+	jn, err := journal.Recover(path,
+		func(h []byte) error { return checkJobsHeader(path, h) },
+		func(b []byte) error {
+			var r jobRecord
+			if err := json.Unmarshal(b, &r); err != nil {
+				return fmt.Errorf("serve: job journal %s: undecodable record: %w", path, err)
+			}
+			switch r.Op {
+			case "submit":
+				if _, ok := submits[r.ID]; !ok {
+					submits[r.ID] = r
+					order = append(order, r.ID)
+					last[r.ID] = StateQueued
+				}
+			case "state":
+				if _, ok := submits[r.ID]; ok {
+					last[r.ID] = r.State
+				}
+			default:
+				return fmt.Errorf("serve: job journal %s: unknown record op %q", path, r.Op)
+			}
+			return nil
+		},
+		journal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	jn.Close()
+
+	// Job IDs must keep counting past everything the journal has seen, so a
+	// recovered job and a fresh admission can never collide.
+	for _, id := range order {
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+
+	var requeue []*Job
+	var cached int
+	for _, id := range order {
+		if last[id].Terminal() {
+			continue
+		}
+		rec := submits[id]
+		job, err := s.recoverJob(rec)
+		if err != nil {
+			// The spec no longer parses or compiles under this binary; the
+			// job cannot be re-run, and inventing a failure record for a
+			// client that may never return is noise. Drop it, loudly.
+			fmt.Fprintf(s.cfg.Log, "serve: warning: dropping journaled job %s: %v\n", id, err)
+			continue
+		}
+		if s.store.Has(rec.Key) {
+			// Executed and committed before the crash reached the journal.
+			job.state = StateDone
+			job.done = job.total
+			job.cacheHit = true
+			job.log.Append(Event{Type: "complete", Job: job.ID, State: string(StateDone), Done: job.total, Total: job.total, CacheHit: true})
+			job.log.Close()
+			s.recoveredCached.Add(1)
+			cached++
+			fmt.Fprintf(s.cfg.Log, "serve: recovered job %s spec %s: already cached (%s)\n", job.ID, job.Spec, short(job.Key))
+			continue
+		}
+		if s.inflight[job.Key] != nil {
+			// Two unfinished journaled jobs with one key: single-flight
+			// would have coalesced the second at admission, so treat the
+			// duplicate the same way and let the first carry the work.
+			fmt.Fprintf(s.cfg.Log, "serve: recovered job %s coalesces onto %s (%s)\n", job.ID, s.inflight[job.Key].ID, short(job.Key))
+			job.cancel()
+			continue
+		}
+		job.state = StateQueued
+		s.inflight[job.Key] = job
+		s.perClient[job.client]++
+		job.log.Append(Event{Type: "queued", Job: job.ID, Total: job.total})
+		s.recovered.Add(1)
+		requeue = append(requeue, job)
+		fmt.Fprintf(s.cfg.Log, "serve: recovered job %s spec %s: requeued (%d trials, key %s)\n", job.ID, job.Spec, job.total, short(job.Key))
+	}
+	if n := len(requeue) + cached; n > 0 {
+		fmt.Fprintf(s.cfg.Log, "serve: job journal: recovered %d unfinished jobs (%d requeued, %d already cached)\n", n, len(requeue), cached)
+	}
+
+	// Compact: rewrite only the surviving submit records, then atomically
+	// replace the old journal. Their fresh state transitions re-append as
+	// the requeued jobs re-execute.
+	tmp := path + ".compact"
+	os.Remove(tmp)
+	njn, err := journal.Create(tmp, header, journal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, job := range requeue {
+		rec := submits[job.ID]
+		b, err := json.Marshal(rec)
+		if err == nil {
+			err = njn.Append(b)
+		}
+		if err != nil {
+			njn.Close()
+			return nil, fmt.Errorf("serve: compacting job journal: %w", err)
+		}
+	}
+	if err := njn.Sync(); err != nil {
+		njn.Close()
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		njn.Close()
+		return nil, fmt.Errorf("serve: compacting job journal: %w", err)
+	}
+	s.jn = njn
+	return requeue, nil
+}
+
+// checkJobsHeader refuses a journal whose identity frame is not ours.
+func checkJobsHeader(path string, header []byte) error {
+	var h jobsHeader
+	if err := json.Unmarshal(header, &h); err != nil {
+		return &journal.CorruptError{Path: path, Offset: 0, Reason: "undecodable identity header: " + err.Error()}
+	}
+	if h.Format != jobsJournalFormat {
+		return fmt.Errorf("serve: job journal %s has format %q, this build expects %q — move the file aside to discard it", path, h.Format, jobsJournalFormat)
+	}
+	return nil
+}
+
+// recoverJob rebuilds a Job from its journaled submit record: the spec
+// re-parses and re-compiles under the current binary (registries can change
+// across builds), and the job keeps its original ID.
+func (s *Server) recoverJob(rec jobRecord) (*Job, error) {
+	f, err := spec.Parse(bytes.NewReader(rec.SpecDoc))
+	if err != nil {
+		return nil, err
+	}
+	scs, err := spec.Compile(f, spec.Options{Quick: rec.Quick})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, sc := range scs {
+		total += len(sc.Instances) * sc.TrialCount()
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		ID:     rec.ID,
+		Key:    rec.Key,
+		Spec:   f.Name,
+		Root:   rec.Root,
+		Quick:  rec.Quick,
+		client: rec.Client,
+		file:   f,
+		ctx:    ctx,
+		cancel: cancel,
+		log:    NewLog(s.cfg.EventLogCap),
+		total:  total,
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	return job, nil
+}

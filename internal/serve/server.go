@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/spec"
 )
 
@@ -118,10 +119,17 @@ type Server struct {
 	inflight  map[string]*Job // cache key → active (queued/running) job
 	perClient map[string]int
 
-	executions atomic.Int64 // jobs that actually executed trials
-	cacheHits  atomic.Int64
-	coalesced  atomic.Int64
-	rejected   atomic.Int64
+	// jn is the durable job journal at the store root; jnMu serializes its
+	// appends (the admission path and the executors both write).
+	jn   *journal.Journal
+	jnMu sync.Mutex
+
+	executions      atomic.Int64 // jobs that actually executed trials
+	cacheHits       atomic.Int64
+	coalesced       atomic.Int64
+	rejected        atomic.Int64
+	recovered       atomic.Int64 // journaled jobs requeued at startup
+	recoveredCached atomic.Int64 // journaled jobs satisfied from the cache at startup
 
 	// beforeRun, when non-nil, runs on the executor goroutine after a job
 	// enters the running state and before any trial executes. Tests use it
@@ -129,7 +137,9 @@ type Server struct {
 	beforeRun func(*Job)
 }
 
-// New opens the store and starts the executor pool.
+// New opens the store, recovers the job journal — requeueing every job a
+// previous process accepted but never finished — and starts the executor
+// pool.
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	store, err := OpenStore(cfg.Store)
@@ -142,10 +152,20 @@ func New(cfg Config) (*Server, error) {
 		store:      store,
 		baseCtx:    ctx,
 		cancelBase: cancel,
-		queue:      make(chan *Job, cfg.QueueCap),
 		jobs:       map[string]*Job{},
 		inflight:   map[string]*Job{},
 		perClient:  map[string]int{},
+	}
+	requeue, err := s.openJobsJournal()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Recovered jobs must all fit regardless of the configured queue bound —
+	// they were admitted once already.
+	s.queue = make(chan *Job, cfg.QueueCap+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
 	}
 	for i := 0; i < cfg.Execs; i++ {
 		s.wg.Add(1)
@@ -173,6 +193,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancelBase()
 	s.wg.Wait()
+	s.jnMu.Lock()
+	s.jn.Close()
+	s.jnMu.Unlock()
 }
 
 // Handler returns the HTTP API. The routes are REST/JSON with one SSE
@@ -316,6 +339,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job := s.registerLocked(f, key, root, quick, client, total)
 	job.state = StateQueued
+	// Journal the admission — durably — before the client hears 202: an
+	// accepted job must survive this process.
+	if err := s.journalSubmit(job); err != nil {
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		job.cancel()
+		httpError(w, http.StatusInternalServerError, "recording job: %v", err)
+		return
+	}
 	s.inflight[key] = job
 	s.perClient[client]++
 	job.log.Append(Event{Type: "queued", Job: job.ID, Total: total})
@@ -399,6 +432,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.mu.Unlock()
+	s.journalState(j, StateRunning, "")
 	j.log.Append(Event{Type: "started", Job: j.ID, Total: j.total})
 	if hook := s.beforeRun; hook != nil {
 		hook(j)
@@ -472,6 +506,7 @@ func (s *Server) finish(j *Job, state State, errText string) {
 	done, total := j.done, j.total
 	j.mu.Unlock()
 	j.cancel()
+	s.journalState(j, state, errText)
 	j.log.Append(Event{Type: "complete", Job: j.ID, State: string(state), Done: done, Total: total, Err: errText})
 	j.log.Close()
 	s.mu.Lock()
@@ -631,19 +666,26 @@ type Stats struct {
 	CacheHits  int64 `json:"cacheHits"`
 	Coalesced  int64 `json:"coalesced"`
 	Rejected   int64 `json:"rejected"`
-	Queued     int   `json:"queued"`
-	Running    int   `json:"running"`
-	Done       int   `json:"done"`
-	Failed     int   `json:"failed"`
-	Canceled   int   `json:"canceled"`
+	// Recovered counts journaled jobs this process requeued at startup;
+	// RecoveredCached counts journaled jobs it finished directly because
+	// their artifacts were already committed before the crash.
+	Recovered       int64 `json:"recovered"`
+	RecoveredCached int64 `json:"recoveredCached"`
+	Queued          int   `json:"queued"`
+	Running         int   `json:"running"`
+	Done            int   `json:"done"`
+	Failed          int   `json:"failed"`
+	Canceled        int   `json:"canceled"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := Stats{
-		Executions: s.executions.Load(),
-		CacheHits:  s.cacheHits.Load(),
-		Coalesced:  s.coalesced.Load(),
-		Rejected:   s.rejected.Load(),
+		Executions:      s.executions.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Rejected:        s.rejected.Load(),
+		Recovered:       s.recovered.Load(),
+		RecoveredCached: s.recoveredCached.Load(),
 	}
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))

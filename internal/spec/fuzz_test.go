@@ -1,0 +1,140 @@
+// Fuzzing for the spec parser lives in an external test package: the seed
+// corpus is the embedded scenario library, and scenarios imports spec, so an
+// internal test would be an import cycle.
+package spec_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/scenarios"
+)
+
+var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false, "rewrite the testdata/fuzz/FuzzParseSpec seed corpus from the embedded scenario library")
+
+// degenerateSeeds are hand-picked non-scenario inputs: boundary shapes the
+// fuzzer should start mutating from alongside the real spec files.
+var degenerateSeeds = map[string][]byte{
+	"seed_empty":        []byte(""),
+	"seed_empty_object": []byte("{}"),
+	"seed_not_json":     []byte("not json"),
+	"seed_trailing":     []byte(`{"name":"x"} {"name":"y"}`),
+	"seed_unknown_key":  []byte(`{"name":"x","mystery":1}`),
+	"seed_bad_types":    []byte(`{"name":1,"seed":"nine","scenarios":{}}`),
+	"seed_deep_partial": []byte(`{"name":"x","scenarios":[{"name":"s","algorithm":"recursive","instances":[{"family":`),
+}
+
+// TestWriteParseSpecCorpus regenerates the checked-in seed corpus (run with
+// -update-fuzz-corpus after adding scenario files). Keeping the corpus in
+// the repo lets `go test -fuzz` start from every real experiment spec and
+// lets plain `go test` replay them as regression cases.
+func TestWriteParseSpecCorpus(t *testing.T) {
+	if !*updateFuzzCorpus {
+		t.Skip("corpus regeneration runs only with -update-fuzz-corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzParseSpec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries := map[string][]byte{}
+	for _, name := range scenarios.Names() {
+		b, err := scenarios.FS.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries["seed_"+strings.TrimSuffix(name, ".json")] = b
+	}
+	for name, b := range degenerateSeeds {
+		entries[name] = b
+	}
+	for name, data := range entries {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzParseSpec throws arbitrary bytes at the spec parser and holds the
+// survivors to the package's contracts: parsing never panics, a parsed file
+// validates without panicking, and the canonical encoding is a fixed point
+// (Parse∘Encode is the identity on encoded forms) with a stable canonical
+// hash — the properties the dist handshake and the serve cache key both
+// stand on.
+func FuzzParseSpec(f *testing.F) {
+	for _, name := range scenarios.Names() {
+		b, err := scenarios.FS.ReadFile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, b := range degenerateSeeds {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := spec.Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		_ = fl.Validate() // either verdict is fine; panics are not
+		raw, err := fl.Encode()
+		if err != nil {
+			t.Fatalf("parsed spec failed to encode: %v", err)
+		}
+		fl2, err := spec.Parse(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v\nencoding: %s", err, raw)
+		}
+		raw2, err := fl2.Encode()
+		if err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(raw, raw2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", raw, raw2)
+		}
+		h1, err1 := fl.CanonicalHash()
+		h2, err2 := fl2.CanonicalHash()
+		if (err1 == nil) != (err2 == nil) || h1 != h2 {
+			t.Fatalf("canonical hash unstable across the encode round trip: %q (%v) vs %q (%v)", h1, err1, h2, err2)
+		}
+	})
+}
+
+// TestParseSpecSeedCorpus replays every embedded scenario file through the
+// fuzz target's property set under plain `go test`, so the contract holds
+// in CI runs that never invoke the fuzzer.
+func TestParseSpecSeedCorpus(t *testing.T) {
+	for _, name := range scenarios.Names() {
+		b, err := scenarios.FS.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := spec.Parse(bytes.NewReader(b))
+		if err != nil {
+			t.Errorf("%s: embedded scenario does not parse: %v", name, err)
+			continue
+		}
+		if err := fl.Validate(); err != nil {
+			t.Errorf("%s: embedded scenario does not validate: %v", name, err)
+		}
+		raw, err := fl.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		fl2, err := spec.Parse(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: canonical encoding does not re-parse: %v", name, err)
+		}
+		raw2, err := fl2.Encode()
+		if err != nil || !bytes.Equal(raw, raw2) {
+			t.Errorf("%s: canonical encoding is not a fixed point (%v)", name, err)
+		}
+	}
+}

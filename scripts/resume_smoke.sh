@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# resume_smoke.sh — end-to-end smoke of durable checkpointing and crash
+# recovery, run by CI and `make resume-check`.
+#
+#   1. `radiobfs run` executes the quick scale suite in a single process →
+#      reference bytes (stdout and artifact tree).
+#   2. A crash loop runs the same suite with -checkpoint and coordkill
+#      chaos: the coordinator SIGKILLs itself after each freshly
+#      checkpointed trial — the hardest crash there is, no deferred
+#      cleanup — and each restart must resume from the journal instead of
+#      starting over.
+#   3. The run that finally completes must produce stdout and artifacts
+#      byte-identical to the single-process run: resumed progress replays
+#      from the journal, it is never recomputed into different bytes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d /tmp/radiobfs_resume_smoke.XXXXXX)"
+bin="$work/radiobfs"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$bin" ./cmd/radiobfs
+
+# 1. Reference run: single process, one worker.
+"$bin" run -quick -out "$work/base" -workers 1 \
+    scenarios/scale_suite.json > "$work/base.txt"
+
+# 2. Crash loop: every attempt is SIGKILLed after its first fresh checkpoint
+# append, so each one advances the journal by exactly 1 trial; the loop
+# converges when none remain.
+crashes=0
+final_log=""
+for i in $(seq 1 80); do
+    final_log="$work/run$i.log"
+    if "$bin" run -quick -out "$work/resumed" -workers 3 \
+        -checkpoint "$work/ckpt" -chaos "seed=1,coordkill=1" \
+        scenarios/scale_suite.json > "$work/resumed.txt" 2> "$final_log"; then
+        break
+    fi
+    crashes=$((crashes + 1))
+    if [ "$i" -eq 80 ]; then
+        echo "crash loop never converged after $crashes coordinator kills:"
+        cat "$final_log"
+        exit 1
+    fi
+done
+if [ "$crashes" -lt 3 ]; then
+    echo "expected at least 3 coordinator SIGKILLs before completion, got $crashes"
+    exit 1
+fi
+
+# The completing run must have resumed journaled work, not restarted.
+grep -q "checkpoint.*resumed" "$final_log" \
+    || { echo "final run's log missing the resume line:"; cat "$final_log"; exit 1; }
+# And at least one crash must have announced itself.
+grep -q "coordkill firing" "$work/run1.log" \
+    || { echo "first run's log missing the coordkill line:"; cat "$work/run1.log"; exit 1; }
+
+# 3. Byte-identity: a run assembled across $crashes crashes and resumes is
+# indistinguishable from one that never crashed.
+diff "$work/base.txt" "$work/resumed.txt"
+diff -r "$work/base" "$work/resumed"
+
+echo "resume-smoke: run survived $crashes coordinator SIGKILLs and finished byte-identical to the single-process run"
